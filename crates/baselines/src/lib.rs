@@ -1,0 +1,18 @@
+//! Baseline algorithms the paper's contributions are measured against.
+//!
+//! * [`NeverMove`] — the lazy floor: keep the initial placement, pay
+//!   every cut request.
+//! * [`GreedySwap`] — deterministic greedy collocation by swapping;
+//!   locally plausible, thrashes under adversarial rotation.
+//! * [`ComponentSweep`] — a deterministic component-growing
+//!   repartitioner inspired by the connectivity-based algorithms of
+//!   Avin et al. (DISC 2016) and Forner et al. (APOCS 2021).
+//! * [`line`] — deterministic hitting-game strategies (stay-put,
+//!   flee-to-minimum, work-function) used as the Ω(k) lower-bound
+//!   victims in experiment F2.
+
+pub mod line;
+mod ring;
+
+pub use line::{FleeToMin, LineStrategy, StayPut, WorkFunctionLine};
+pub use ring::{ComponentSweep, GreedySwap, NeverMove};

@@ -1,0 +1,164 @@
+//! Deterministic hitting-game strategies (the Lemma 4.1 victims).
+//!
+//! Each implements a simple `(requested edge, counts) → next position`
+//! policy compatible with
+//! [`rdbp_offline::adversaries::chase_line_strategy`]'s closure shape
+//! (kept decoupled: these are plain `FnMut`-compatible structs).
+
+use rdbp_mts::{MtsPolicy, WorkFunction};
+
+/// A deterministic strategy for the hitting game on a line of `k`
+/// edges.
+pub trait LineStrategy {
+    /// Decides the next position after a request.
+    fn next(&mut self, request: usize, counts: &[u64]) -> usize;
+    /// Display name.
+    fn name(&self) -> &'static str;
+}
+
+/// Never moves.
+#[derive(Debug, Clone)]
+pub struct StayPut {
+    position: usize,
+}
+
+impl StayPut {
+    /// Creates the strategy at `start`.
+    #[must_use]
+    pub fn new(start: usize) -> Self {
+        Self { position: start }
+    }
+}
+
+impl LineStrategy for StayPut {
+    fn next(&mut self, _request: usize, _counts: &[u64]) -> usize {
+        self.position
+    }
+
+    fn name(&self) -> &'static str {
+        "stay-put"
+    }
+}
+
+/// Jumps to the globally least-requested edge whenever its current
+/// position is requested (the natural deterministic "flee" heuristic).
+#[derive(Debug, Clone)]
+pub struct FleeToMin {
+    position: usize,
+}
+
+impl FleeToMin {
+    /// Creates the strategy at `start`.
+    #[must_use]
+    pub fn new(start: usize) -> Self {
+        Self { position: start }
+    }
+}
+
+impl LineStrategy for FleeToMin {
+    fn next(&mut self, request: usize, counts: &[u64]) -> usize {
+        if request == self.position {
+            let (best, _) = counts
+                .iter()
+                .enumerate()
+                .min_by_key(|&(e, &c)| (c, e))
+                .expect("nonempty line");
+            self.position = best;
+        }
+        self.position
+    }
+
+    fn name(&self) -> &'static str {
+        "flee-to-min"
+    }
+}
+
+/// The work-function algorithm as a hitting strategy (deterministic —
+/// optimal against dynamic comparators, still Ω(k) against the chaser
+/// relative to a *static* optimum on the adversarial sequence).
+#[derive(Debug)]
+pub struct WorkFunctionLine {
+    wfa: WorkFunction,
+    scratch: Vec<f64>,
+}
+
+impl WorkFunctionLine {
+    /// Creates the strategy on `k` edges starting at `start`.
+    #[must_use]
+    pub fn new(k: usize, start: usize) -> Self {
+        Self {
+            wfa: WorkFunction::new(k, start),
+            scratch: vec![0.0; k],
+        }
+    }
+}
+
+impl LineStrategy for WorkFunctionLine {
+    fn next(&mut self, request: usize, _counts: &[u64]) -> usize {
+        self.scratch[request] = 1.0;
+        let s = self.wfa.serve(&self.scratch);
+        self.scratch[request] = 0.0;
+        s
+    }
+
+    fn name(&self) -> &'static str {
+        "work-function"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stay_put_never_moves() {
+        let mut s = StayPut::new(3);
+        let counts = vec![0u64; 8];
+        for e in [3, 1, 3, 7] {
+            assert_eq!(s.next(e, &counts), 3);
+        }
+    }
+
+    #[test]
+    fn flee_to_min_leaves_on_hit() {
+        let mut s = FleeToMin::new(2);
+        let mut counts = vec![0u64; 5];
+        counts[2] = 1;
+        let next = s.next(2, &counts);
+        assert_ne!(next, 2);
+        assert_eq!(next, 0, "ties break to the lowest index");
+    }
+
+    #[test]
+    fn flee_to_min_ignores_other_requests() {
+        let mut s = FleeToMin::new(2);
+        let counts = vec![1u64, 1, 0, 1, 1];
+        assert_eq!(s.next(4, &counts), 2);
+    }
+
+    #[test]
+    fn work_function_line_is_deterministic() {
+        let run = || {
+            let mut s = WorkFunctionLine::new(9, 4);
+            let counts = vec![0u64; 9];
+            (0..40).map(|t| s.next((t * 3) % 9, &counts)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn all_strategies_stay_on_the_line() {
+        let counts = vec![0u64; 7];
+        let mut strategies: Vec<Box<dyn LineStrategy>> = vec![
+            Box::new(StayPut::new(3)),
+            Box::new(FleeToMin::new(3)),
+            Box::new(WorkFunctionLine::new(7, 3)),
+        ];
+        for s in &mut strategies {
+            for e in 0..7 {
+                let p = s.next(e, &counts);
+                assert!(p < 7, "{} left the line", s.name());
+            }
+        }
+    }
+}

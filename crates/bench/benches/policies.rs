@@ -1,0 +1,51 @@
+//! Criterion: MTS policy step latency as a function of the state count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rdbp_mts::PolicyKind;
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mts-serve");
+    for &states in &[16usize, 64, 256, 1024] {
+        for kind in [
+            PolicyKind::WorkFunction,
+            PolicyKind::SminGradient,
+            PolicyKind::HstHedge,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), states),
+                &states,
+                |b, &states| {
+                    let mut policy = kind.build(states, states / 2, 42);
+                    let mut task = vec![0.0; states];
+                    let mut t = 0usize;
+                    b.iter(|| {
+                        let hot = (t * 7) % states;
+                        t += 1;
+                        task[hot] = 1.0;
+                        let s = policy.serve(&task);
+                        task[hot] = 0.0;
+                        black_box(s)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_policies
+}
+criterion_main!(benches);

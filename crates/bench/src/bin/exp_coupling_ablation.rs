@@ -1,0 +1,66 @@
+//! **A2** — DESIGN.md decision D1: the quantile coupling's realized
+//! movement vs the two analytical bounds — the Wasserstein drift (tight)
+//! and the paper's `k·‖Δp‖₁` (loose).
+
+use rdbp_bench::{f3, full_profile, parallel_map, Table};
+use rdbp_mts::{MtsPolicy, SminGradient};
+
+fn main() {
+    let ks: Vec<usize> = if full_profile() {
+        vec![16, 32, 64, 128, 256, 512]
+    } else {
+        vec![16, 32, 64, 128]
+    };
+
+    let mut table = Table::new(
+        "A2 — coupling ablation: realized movement vs W1 vs k·||Δp||₁",
+        &["k", "realized", "W1 drift", "k·l1 bound", "realized/W1", "W1/(k·l1)"],
+    );
+
+    let rows = parallel_map(ks, |&k| {
+        let steps = 150 * k as u64;
+        let mut realized = 0u64;
+        let mut w1_total = 0.0;
+        let mut l1_total = 0.0;
+        // The realized movement equals the W1 drift only in expectation
+        // over the coupling's uniform draw — average over many seeds.
+        for seed in 0..24u64 {
+            let mut p = SminGradient::new(k, k / 2, seed);
+            let mut task = vec![0.0; k];
+            for t in 0..steps {
+                // Drifting hot state: exercises steady distribution
+                // movement.
+                let hot = ((t / 32) as usize) % k;
+                task[hot] = 1.0;
+                let before = p.distribution();
+                let s0 = p.state();
+                p.serve(&task);
+                task[hot] = 0.0;
+                let after = p.distribution();
+                realized += s0.abs_diff(p.state()) as u64;
+                w1_total += before.wasserstein1(&after);
+                l1_total += k as f64 * before.l1_distance(&after);
+            }
+        }
+        (k, realized as f64, w1_total, l1_total)
+    });
+
+    for (k, realized, w1, l1) in rows {
+        table.row(vec![
+            k.to_string(),
+            f3(realized),
+            f3(w1),
+            f3(l1),
+            f3(realized / w1.max(1e-9)),
+            f3(w1 / l1.max(1e-9)),
+        ]);
+    }
+
+    table.print();
+    println!(
+        "\nExpected shape: realized/W1 ≈ 1 (inverse-CDF coupling is an optimal\n\
+         transport plan on the line); W1/(k·l1) ≪ 1 and shrinking with k — the\n\
+         paper's movement bound is loose, the implementation does better."
+    );
+    table.write_csv("a2_coupling_ablation");
+}

@@ -1,0 +1,91 @@
+//! **F3** — Theorem 2.1 at scale: online cost vs the exact
+//! interval-based optimum `OPT_R` (Lemma 3.3's comparator), sweeping k.
+//!
+//! Reports both the real model cost and the interval proxy `ONL_R`
+//! against `OPT_R`; the paper's chain predicts
+//! `ONL_R ≤ α(k)·OPT_R + c` with `α(k)` polylog for a good MTS box.
+
+use rdbp_bench::{f3, full_profile, mean, parallel_map, stddev, Table};
+use rdbp_core::{DynamicConfig, DynamicPartitioner};
+use rdbp_model::workload::{self, record, Workload};
+use rdbp_model::{run_trace, AuditLevel, Placement, RingInstance};
+use rdbp_mts::PolicyKind;
+use rdbp_offline::{interval_opt, IntervalLayout};
+
+const EPSILON: f64 = 0.5;
+
+fn workload_for(name: &str, inst: &RingInstance, seed: u64) -> Box<dyn Workload> {
+    match name {
+        "uniform" => Box::new(workload::UniformRandom::new(seed)),
+        "zipf" => Box::new(workload::Zipf::new(inst, 1.2, seed)),
+        "sliding" => Box::new(workload::SlidingWindow::new(inst.capacity() / 2 + 1, 8, seed)),
+        "allreduce" => Box::new(workload::Sequential::new()),
+        _ => unreachable!(),
+    }
+}
+
+fn main() {
+    let ks: Vec<u32> = if full_profile() {
+        vec![8, 16, 32, 64, 128, 256]
+    } else {
+        vec![8, 16, 32, 64]
+    };
+    let seeds: Vec<u64> = (0..4).collect();
+    let servers = 8;
+    let names = ["uniform", "zipf", "sliding", "allreduce"];
+
+    let mut table = Table::new(
+        "F3 — dynamic model: cost/OPT_R and proxy/OPT_R vs k (Theorem 2.1)",
+        &["k", "workload", "cost/OPT_R", "stdev", "proxy/OPT_R", "ratio/ln^2 k"],
+    );
+
+    for name in names {
+        let rows = parallel_map(ks.clone(), |&k| {
+            let inst = RingInstance::packed(servers, k);
+            let steps = 40 * u64::from(k);
+            let mut ratios = Vec::new();
+            let mut proxy_ratios = Vec::new();
+            for &seed in &seeds {
+                let mut src = workload_for(name, &inst, seed + 100);
+                let trace = record(
+                    src.as_mut(),
+                    &Placement::contiguous(&inst),
+                    steps,
+                );
+                let mut alg = DynamicPartitioner::new(
+                    &inst,
+                    DynamicConfig {
+                        epsilon: EPSILON,
+                        policy: PolicyKind::HstHedge,
+                        seed,
+                        shift: None,
+                    },
+                );
+                let report = run_trace(&mut alg, &trace, AuditLevel::None);
+                let layout = IntervalLayout::new(&inst, EPSILON, alg.shift());
+                let opt_r = interval_opt(&layout, &trace).total.max(1.0);
+                ratios.push(report.ledger.total() as f64 / opt_r);
+                proxy_ratios.push(alg.proxy_cost() as f64 / opt_r);
+            }
+            (k, mean(&ratios), stddev(&ratios), mean(&proxy_ratios))
+        });
+        for (k, r, s, p) in rows {
+            let l2 = (f64::from(k)).ln().powi(2);
+            table.row(vec![
+                k.to_string(),
+                name.into(),
+                f3(r),
+                f3(s),
+                f3(p),
+                f3(r / l2),
+            ]);
+        }
+    }
+
+    table.print();
+    println!(
+        "\nExpected shape: cost/OPT_R grows at most polylogarithmically in k\n\
+         (the /ln² k column should not grow)."
+    );
+    table.write_csv("f3_dynamic_ratio");
+}

@@ -1,0 +1,88 @@
+//! **T1** — Lemma 3.1 + Lemma 4.13: the resource-augmentation bounds are
+//! never exceeded, across algorithms × workloads.
+
+use rdbp_bench::{f3, full_profile, parallel_map, Table};
+use rdbp_core::{DynamicConfig, DynamicPartitioner, StaticConfig, StaticPartitioner};
+use rdbp_model::workload::{self, Workload};
+use rdbp_model::{run, AuditLevel, RingInstance};
+use rdbp_mts::PolicyKind;
+
+fn main() {
+    let inst = RingInstance::packed(6, if full_profile() { 64 } else { 16 });
+    let steps: u64 = if full_profile() { 60_000 } else { 10_000 };
+    let k = f64::from(inst.capacity());
+
+    let mut table = Table::new(
+        "T1 — load audit: max observed load / k vs guaranteed bound",
+        &["algorithm", "workload", "max load/k", "bound/k", "violations"],
+    );
+
+    let workload_names = [
+        "uniform", "zipf", "sliding", "allreduce", "bursty", "cut-chaser",
+    ];
+    let jobs: Vec<(&str, &str)> = ["dynamic", "static"]
+        .iter()
+        .flat_map(|&a| workload_names.iter().map(move |&w| (a, w)))
+        .collect();
+
+    let rows = parallel_map(jobs, |&(alg_name, wname)| {
+        let mut src: Box<dyn Workload> = match wname {
+            "uniform" => Box::new(workload::UniformRandom::new(1)),
+            "zipf" => Box::new(workload::Zipf::new(&inst, 1.2, 2)),
+            "sliding" => Box::new(workload::SlidingWindow::new(inst.capacity(), 4, 3)),
+            "allreduce" => Box::new(workload::Sequential::new()),
+            "bursty" => Box::new(workload::Bursty::new(0.9, 4)),
+            "cut-chaser" => Box::new(workload::CutChaser::new()),
+            _ => unreachable!(),
+        };
+        let (max_load, bound, violations) = match alg_name {
+            "dynamic" => {
+                let mut alg = DynamicPartitioner::new(
+                    &inst,
+                    DynamicConfig {
+                        epsilon: 0.5,
+                        policy: PolicyKind::HstHedge,
+                        seed: 7,
+                        shift: None,
+                    },
+                );
+                let bound = alg.load_bound();
+                let r = run(&mut alg, src.as_mut(), steps, AuditLevel::Full { load_limit: bound });
+                (r.max_load_seen, bound, r.capacity_violations)
+            }
+            _ => {
+                let mut alg = StaticPartitioner::with_contiguous(
+                    &inst,
+                    StaticConfig {
+                        epsilon: 1.0,
+                        seed: 7,
+                    },
+                );
+                let bound = alg.load_bound();
+                let r = run(&mut alg, src.as_mut(), steps, AuditLevel::Full { load_limit: bound });
+                (r.max_load_seen, bound, r.capacity_violations)
+            }
+        };
+        (alg_name, wname, max_load, bound, violations)
+    });
+
+    let mut total_violations = 0;
+    for (alg, w, max_load, bound, violations) in rows {
+        total_violations += violations;
+        table.row(vec![
+            alg.into(),
+            w.into(),
+            f3(f64::from(max_load) / k),
+            f3(f64::from(bound) / k),
+            violations.to_string(),
+        ]);
+    }
+
+    table.print();
+    println!(
+        "\nExpected: zero violations everywhere (dynamic ≤ 2(1+ε)k, static ≤ (3+2ε′)k). \
+         Total violations: {total_violations}"
+    );
+    table.write_csv("t1_load_audit");
+    assert_eq!(total_violations, 0, "capacity bound violated!");
+}

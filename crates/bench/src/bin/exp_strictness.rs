@@ -1,0 +1,103 @@
+//! **T4** — strict vs non-strict competitiveness. Theorem 2.2 is
+//! *strict* (no additive term); Theorem 2.1 carries an additive
+//! constant `c`. On request sequences whose optimum is ~zero, the
+//! difference is visible: the static algorithm's cost stays ~0 while
+//! the dynamic algorithm pays a one-off constant (independent of the
+//! horizon T).
+//!
+//! Workload: hammer a single edge from the *interior* of an initial
+//! server block — the optimal (static or dynamic) cost is 0, since the
+//! initial placement already collocates the pair.
+
+use rdbp_bench::{full_profile, parallel_map, Table};
+use rdbp_core::{DynamicConfig, DynamicPartitioner, StaticConfig, StaticPartitioner};
+use rdbp_model::{run_trace, AuditLevel, Edge, RingInstance};
+use rdbp_mts::PolicyKind;
+
+fn main() {
+    let inst = RingInstance::packed(4, 16);
+    let horizons: Vec<u64> = if full_profile() {
+        vec![1_000, 10_000, 100_000, 1_000_000]
+    } else {
+        vec![1_000, 10_000, 100_000]
+    };
+    // Edge 4 lies strictly inside server 0's block [0,15]: OPT = 0.
+    // Edge 15 is an initial seam (cut in the contiguous placement):
+    // OPT = O(1) (shift one process across), so the algorithms' own
+    // one-off adaptation constants become visible.
+    let cold_edge = Edge(4);
+    let seam_edge = Edge(15);
+
+    let mut table = Table::new(
+        "T4 — strictness: cost on OPT≈0 sequences vs horizon T",
+        &[
+            "T",
+            "static@cold",
+            "dynamic@cold",
+            "static@seam",
+            "dynamic@seam",
+            "dyn@seam / T",
+        ],
+    );
+
+    let rows = parallel_map(horizons, |&t| {
+        let measure = |edge: Edge| {
+            let trace = vec![edge; t as usize];
+            let mut stat = StaticPartitioner::with_contiguous(
+                &inst,
+                StaticConfig {
+                    epsilon: 1.0,
+                    seed: 1,
+                },
+            );
+            let stat_cost = run_trace(&mut stat, &trace, AuditLevel::None)
+                .ledger
+                .total();
+            // Average the dynamic algorithm over seeds (its constant
+            // depends on where the random shift puts the intervals).
+            let mut dyn_costs = Vec::new();
+            for seed in 0..5u64 {
+                let mut alg = DynamicPartitioner::new(
+                    &inst,
+                    DynamicConfig {
+                        epsilon: 0.5,
+                        policy: PolicyKind::HstHedge,
+                        seed,
+                        shift: None,
+                    },
+                );
+                dyn_costs.push(
+                    run_trace(&mut alg, &trace, AuditLevel::None)
+                        .ledger
+                        .total(),
+                );
+            }
+            let dyn_mean = dyn_costs.iter().sum::<u64>() as f64 / dyn_costs.len() as f64;
+            (stat_cost, dyn_mean)
+        };
+        let (stat_cold, dyn_cold) = measure(cold_edge);
+        let (stat_seam, dyn_seam) = measure(seam_edge);
+        (t, stat_cold, dyn_cold, stat_seam, dyn_seam)
+    });
+
+    for (t, stat_cold, dyn_cold, stat_seam, dyn_seam) in rows {
+        table.row(vec![
+            t.to_string(),
+            stat_cold.to_string(),
+            format!("{dyn_cold:.1}"),
+            stat_seam.to_string(),
+            format!("{dyn_seam:.1}"),
+            format!("{:.6}", dyn_seam / t as f64),
+        ]);
+    }
+
+    table.print();
+    println!(
+        "\nExpected shape: the static algorithm (strictly competitive,\n\
+         Theorem 2.2) pays 0 — the hammered edge never enters an interval.\n\
+         The dynamic algorithm pays a CONSTANT independent of T (its MTS\n\
+         instance wobbles once, then parks): the additive c of Theorem 2.1.\n\
+         dynamic/T must vanish as T grows."
+    );
+    table.write_csv("t4_strictness");
+}

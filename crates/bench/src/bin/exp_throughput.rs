@@ -1,0 +1,77 @@
+//! **T3** — systems cost: sustained requests/second per algorithm as a
+//! function of ring size.
+
+use std::time::Instant;
+
+use rdbp_baselines::{GreedySwap, NeverMove};
+use rdbp_bench::{f3, full_profile, Table};
+use rdbp_core::{DynamicConfig, DynamicPartitioner, StaticConfig, StaticPartitioner};
+use rdbp_model::workload::UniformRandom;
+use rdbp_model::{run, AuditLevel, OnlineAlgorithm, RingInstance};
+use rdbp_mts::PolicyKind;
+
+fn throughput(alg: &mut dyn OnlineAlgorithm, steps: u64, seed: u64) -> f64 {
+    let mut w = UniformRandom::new(seed);
+    let start = Instant::now();
+    let _ = run(alg, &mut w, steps, AuditLevel::None);
+    steps as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let sizes: Vec<(u32, u32)> = if full_profile() {
+        vec![(16, 64), (16, 256), (16, 1024), (64, 1024), (64, 4096)]
+    } else {
+        vec![(8, 32), (8, 128), (16, 256)]
+    };
+    let steps: u64 = if full_profile() { 200_000 } else { 20_000 };
+
+    let mut table = Table::new(
+        "T3 — throughput: requests/second (uniform workload)",
+        &["n", "l", "k", "dyn(hedge)", "dyn(wfa)", "static", "greedy", "never-move"],
+    );
+
+    for (ell, k) in sizes {
+        let inst = RingInstance::packed(ell, k);
+        let mut hedge = DynamicPartitioner::new(
+            &inst,
+            DynamicConfig {
+                epsilon: 0.5,
+                policy: PolicyKind::HstHedge,
+                seed: 1,
+                shift: None,
+            },
+        );
+        let mut wfa = DynamicPartitioner::new(
+            &inst,
+            DynamicConfig {
+                epsilon: 0.5,
+                policy: PolicyKind::WorkFunction,
+                seed: 1,
+                shift: None,
+            },
+        );
+        let mut stat = StaticPartitioner::with_contiguous(
+            &inst,
+            StaticConfig {
+                epsilon: 1.0,
+                seed: 1,
+            },
+        );
+        let mut greedy = GreedySwap::new(&inst);
+        let mut lazy = NeverMove::new(&inst);
+        table.row(vec![
+            inst.n().to_string(),
+            ell.to_string(),
+            k.to_string(),
+            f3(throughput(&mut hedge, steps, 2)),
+            f3(throughput(&mut wfa, steps, 2)),
+            f3(throughput(&mut stat, steps, 2)),
+            f3(throughput(&mut greedy, steps, 2)),
+            f3(throughput(&mut lazy, steps, 2)),
+        ]);
+    }
+
+    table.print();
+    println!("\nNote: run with --release for meaningful numbers.");
+    table.write_csv("t3_throughput");
+}

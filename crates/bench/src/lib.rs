@@ -1,0 +1,248 @@
+//! Experiment harness shared by the `exp_*` binaries (see DESIGN.md §5
+//! for the experiment index and EXPERIMENTS.md for recorded results).
+//!
+//! Conventions:
+//! * every binary prints an aligned text table (the "figure/table" the
+//!   paper's systems twin would contain) and writes the same rows as
+//!   CSV under `bench_results/`;
+//! * sweeps honour `RDBP_FULL=1` for publication-size runs and default
+//!   to a quick profile that finishes in seconds;
+//! * parameter points run in parallel via crossbeam scoped threads.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use parking_lot::Mutex;
+
+/// Where CSV outputs land (created on demand).
+///
+/// # Panics
+/// Panics if the directory cannot be created.
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from("bench_results");
+    fs::create_dir_all(&dir).expect("create bench_results/");
+    dir
+}
+
+/// Whether the publication-size sweep was requested (`RDBP_FULL=1`).
+#[must_use]
+pub fn full_profile() -> bool {
+    std::env::var("RDBP_FULL").is_ok_and(|v| v == "1")
+}
+
+/// A printable/serializable results table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            headers: headers.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    ///
+    /// # Panics
+    /// Panics if the arity differs from the header.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Prints the aligned table to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        let _ = writeln!(out, "\n== {} ==", self.title);
+        let header: Vec<String> = self
+            .headers
+            .iter()
+            .zip(&widths)
+            .map(|(h, w)| format!("{h:>w$}"))
+            .collect();
+        let _ = writeln!(out, "{}", header.join("  "));
+        let rule: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        let _ = writeln!(out, "{}", "-".repeat(rule));
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            let _ = writeln!(out, "{}", line.join("  "));
+        }
+    }
+
+    /// Writes the table as CSV under `bench_results/<name>.csv`.
+    ///
+    /// # Panics
+    /// Panics on I/O errors (experiments should fail loudly).
+    pub fn write_csv(&self, name: &str) {
+        let path = results_dir().join(format!("{name}.csv"));
+        let mut f = fs::File::create(&path).expect("create csv");
+        writeln!(f, "{}", self.headers.join(",")).expect("write header");
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(",")).expect("write row");
+        }
+        println!("[csv] {}", path.display());
+    }
+}
+
+/// Runs `f` over `items` in parallel (bounded by available cores),
+/// preserving input order in the output.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    let next: Mutex<usize> = Mutex::new(0);
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(n.max(1));
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let idx = {
+                    let mut guard = next.lock();
+                    if *guard >= n {
+                        return;
+                    }
+                    let i = *guard;
+                    *guard += 1;
+                    i
+                };
+                let r = f(&items[idx]);
+                results.lock()[idx] = Some(r);
+            });
+        }
+    })
+    .expect("worker panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("all items processed"))
+        .collect()
+}
+
+/// Mean of a sample.
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation.
+#[must_use]
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Least-squares scale `a` minimizing `Σ (y - a·g)²` — used to check
+/// how well a ratio series fits `a·log^p k`.
+#[must_use]
+pub fn fit_scale(g: &[f64], y: &[f64]) -> f64 {
+    let num: f64 = g.iter().zip(y).map(|(a, b)| a * b).sum();
+    let den: f64 = g.iter().map(|a| a * a).sum();
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+/// Residual RMS of the best scale fit of `y ≈ a·g` (lower = better
+/// shape match).
+#[must_use]
+pub fn fit_rms(g: &[f64], y: &[f64]) -> f64 {
+    let a = fit_scale(g, y);
+    let se: f64 = g.iter().zip(y).map(|(gi, yi)| (yi - a * gi).powi(2)).sum();
+    (se / y.len() as f64).sqrt()
+}
+
+/// Formats a float with 3 decimals.
+#[must_use]
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_roundtrip() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        t.print();
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn table_rejects_bad_row() {
+        let mut t = Table::new("demo", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(items, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stats_are_sane() {
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert!((stddev(&[1.0, 1.0, 1.0])).abs() < 1e-12);
+        assert!(stddev(&[5.0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_recovers_exact_scale() {
+        let g = vec![1.0, 2.0, 3.0];
+        let y = vec![2.0, 4.0, 6.0];
+        assert!((fit_scale(&g, &y) - 2.0).abs() < 1e-12);
+        assert!(fit_rms(&g, &y) < 1e-12);
+    }
+}

@@ -1,0 +1,28 @@
+//! The paper's contribution: polylog-competitive online algorithms for
+//! dynamic balanced graph partitioning under ring demands.
+//!
+//! Two independent algorithms, as in the paper:
+//!
+//! * [`dynamic`] — **Theorem 2.1** (Section 3): a randomized algorithm
+//!   with expected cost `O(ε⁻¹ log³ k)·OPT + c` against an optimal
+//!   *dynamic* offline algorithm, using resource augmentation `2 + ε`.
+//!   The ring is covered by `ℓ′ = ⌈n/k′⌉` randomly shifted intervals of
+//!   `k′ = ⌈(1+ε)k⌉` edges each; each interval delegates its cut-edge
+//!   choice to an independent metrical-task-system policy, and the cut
+//!   edges induce the server mapping.
+//! * [`staticmodel`] — **Theorem 2.2** (Section 4): a randomized
+//!   algorithm with expected cost `O(ε⁻² log² k)·OPT` (strictly, no
+//!   additive term) against an optimal *static* offline algorithm,
+//!   using resource augmentation `3 + ε`. Built from the hitting game
+//!   (§4.1), the slicing procedure (Algorithm 1), the clustering
+//!   procedure and the scheduling procedure.
+//!
+//! Both implement [`rdbp_model::OnlineAlgorithm`] and are driven by the
+//! `rdbp_model` simulator, which independently charges costs and audits
+//! the load invariants (Lemma 3.1 / Lemma 4.13).
+
+pub mod dynamic;
+pub mod staticmodel;
+
+pub use dynamic::{DynamicConfig, DynamicPartitioner};
+pub use staticmodel::{StaticConfig, StaticCostBreakdown, StaticPartitioner};

@@ -1,0 +1,159 @@
+//! Initial-color arithmetic over ring segments.
+//!
+//! The static-model algorithm's clustering decisions are all stated in
+//! terms of the processes' **initial** colors (the server each process
+//! occupied before the first request): δ̄-monochromatic intervals,
+//! ¾-monochromatic slices, majority colors. This module answers those
+//! queries for wrapped segments.
+
+use rdbp_model::Placement;
+
+/// Frozen initial colors with segment majority queries.
+#[derive(Debug, Clone)]
+pub struct InitialColors {
+    color_of: Vec<u32>,
+    num_colors: u32,
+    /// Scratch counters, one per color (reset via `touched`).
+    counts: std::cell::RefCell<(Vec<u32>, Vec<u32>)>,
+}
+
+impl InitialColors {
+    /// Snapshots the colors from an initial placement.
+    #[must_use]
+    pub fn new(initial: &Placement) -> Self {
+        let num_colors = initial.instance().servers();
+        Self {
+            color_of: initial.assignment().to_vec(),
+            num_colors,
+            counts: std::cell::RefCell::new((vec![0; num_colors as usize], Vec::new())),
+        }
+    }
+
+    /// Number of processes on the ring.
+    #[must_use]
+    pub fn n(&self) -> u32 {
+        self.color_of.len() as u32
+    }
+
+    /// Initial color of process `p`.
+    #[must_use]
+    pub fn color(&self, p: u32) -> u32 {
+        self.color_of[p as usize]
+    }
+
+    /// `(majority color, its count)` over the wrapped segment of `len`
+    /// processes starting at `start`. Ties are broken toward the lower
+    /// color id ("ties broken arbitrarily" in the paper).
+    ///
+    /// # Panics
+    /// Panics if `len == 0` or `len > n`.
+    #[must_use]
+    pub fn majority(&self, start: u32, len: u32) -> (u32, u32) {
+        assert!(len > 0, "majority of an empty segment");
+        let n = self.n();
+        assert!(len <= n, "segment longer than ring");
+        let mut guard = self.counts.borrow_mut();
+        let (counts, touched) = &mut *guard;
+        let mut best = (u32::MAX, 0u32);
+        for i in 0..len {
+            let c = self.color_of[((start + i) % n) as usize];
+            if counts[c as usize] == 0 {
+                touched.push(c);
+            }
+            counts[c as usize] += 1;
+            let cnt = counts[c as usize];
+            if cnt > best.1 || (cnt == best.1 && c < best.0) {
+                best = (c, cnt);
+            }
+        }
+        for &c in touched.iter() {
+            counts[c as usize] = 0;
+        }
+        touched.clear();
+        best
+    }
+
+    /// Whether the segment is δ-monochromatic: **strictly** more than
+    /// `δ·len` processes share one initial color (Section 4 notation).
+    #[must_use]
+    pub fn is_mono(&self, start: u32, len: u32, delta: f64) -> bool {
+        if len == 0 {
+            return true;
+        }
+        let (_, cnt) = self.majority(start, len);
+        f64::from(cnt) > delta * f64::from(len)
+    }
+
+    /// Number of distinct colors.
+    #[must_use]
+    pub fn num_colors(&self) -> u32 {
+        self.num_colors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdbp_model::RingInstance;
+
+    fn colors() -> InitialColors {
+        // n=12, 3 servers, k=4: colors 000011112222.
+        InitialColors::new(&Placement::contiguous(&RingInstance::new(12, 3, 4)))
+    }
+
+    #[test]
+    fn color_of_contiguous_blocks() {
+        let c = colors();
+        assert_eq!(c.color(0), 0);
+        assert_eq!(c.color(3), 0);
+        assert_eq!(c.color(4), 1);
+        assert_eq!(c.color(11), 2);
+    }
+
+    #[test]
+    fn majority_within_one_block() {
+        let c = colors();
+        assert_eq!(c.majority(0, 4), (0, 4));
+        assert_eq!(c.majority(5, 3), (1, 3));
+    }
+
+    #[test]
+    fn majority_across_blocks() {
+        let c = colors();
+        // Segment {2,3,4,5,6}: colors 0,0,1,1,1 → majority 1 with 3.
+        assert_eq!(c.majority(2, 5), (1, 3));
+    }
+
+    #[test]
+    fn majority_wraps() {
+        let c = colors();
+        // Segment {10,11,0,1,2}: colors 2,2,0,0,0 → majority 0 with 3.
+        assert_eq!(c.majority(10, 5), (0, 3));
+    }
+
+    #[test]
+    fn tie_breaks_to_lower_color() {
+        let c = colors();
+        // Segment {2,3,4,5}: two 0s, two 1s → color 0 wins the tie.
+        assert_eq!(c.majority(2, 4), (0, 2));
+    }
+
+    #[test]
+    fn is_mono_strictness() {
+        let c = colors();
+        // 4 of 4 same color: 4 > 0.99·4 ✓.
+        assert!(c.is_mono(0, 4, 0.99));
+        // Exactly half is NOT (1/2)-monochromatic (strict inequality).
+        assert!(!c.is_mono(2, 4, 0.5));
+        // 3 of 5 > 0.5·5 ✓.
+        assert!(c.is_mono(2, 5, 0.5));
+    }
+
+    #[test]
+    fn repeated_queries_reset_scratch() {
+        let c = colors();
+        for _ in 0..10 {
+            assert_eq!(c.majority(0, 12), (0, 4));
+        }
+    }
+}

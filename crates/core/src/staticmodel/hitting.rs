@@ -1,0 +1,272 @@
+//! The hitting game on the line (Section 4.1) — the static algorithm's
+//! building block, exposed standalone for experiment F1.
+//!
+//! A line of `k+1` nodes and `k` edges; we occupy one edge starting from
+//! the center. A request to our edge costs 1 (hit); moving costs the
+//! traveled distance. The **interval growing algorithm** keeps a growing
+//! window `I` around the start edge, plays the random edge
+//! `F⁻¹_{∇smin′(x_I)}(u)` inside it, and doubles the window whenever
+//! `min_{e∈I} x_e ≥ (1−δ̄)|I|` (Corollary 4.4: O(log k)-competitive
+//! against the optimal static position).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rdbp_smin::{grad_smin_scaled, Distribution, QuantileCoupling};
+
+/// Interval-growing randomized algorithm for the hitting game.
+#[derive(Debug)]
+pub struct HittingGame {
+    /// Number of edges `k` (nodes are `0..=k`).
+    num_edges: usize,
+    delta_bar: f64,
+    /// Per-edge request counts.
+    x: Vec<u64>,
+    /// Interval as a node range `[lo, hi]` (inclusive); its edges are
+    /// `lo..hi`.
+    lo: usize,
+    hi: usize,
+    start_edge: usize,
+    coupling: QuantileCoupling,
+    rng: StdRng,
+    /// Accumulated hitting cost.
+    pub cost_hit: u64,
+    /// Accumulated moving cost (line distance).
+    pub cost_move: u64,
+    phases: u32,
+}
+
+impl HittingGame {
+    /// Creates the game on `k ≥ 1` edges with growth threshold
+    /// parameter `δ̄ ∈ [1/2, 1)` and a seeded RNG.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `δ̄ ∉ [0.5, 1)`.
+    #[must_use]
+    pub fn new(k: usize, delta_bar: f64, seed: u64) -> Self {
+        assert!(k >= 1, "need at least one edge");
+        assert!(
+            (0.5..1.0).contains(&delta_bar),
+            "delta_bar must be in [0.5, 1)"
+        );
+        let start = k / 2;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dist = Distribution::point(0, 1);
+        let coupling = QuantileCoupling::new(&dist, &mut rng);
+        Self {
+            num_edges: k,
+            delta_bar,
+            x: vec![0; k],
+            lo: start,
+            hi: start + 1,
+            start_edge: start,
+            coupling,
+            rng,
+            cost_hit: 0,
+            cost_move: 0,
+            phases: 0,
+        }
+    }
+
+    /// Number of edges on the line.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Currently occupied (global) edge.
+    #[must_use]
+    pub fn position(&self) -> usize {
+        self.lo + self.coupling.state()
+    }
+
+    /// Current interval as a node range `[lo, hi]`.
+    #[must_use]
+    pub fn interval(&self) -> (usize, usize) {
+        (self.lo, self.hi)
+    }
+
+    /// Number of growth phases so far.
+    #[must_use]
+    pub fn phases(&self) -> u32 {
+        self.phases
+    }
+
+    /// Total cost so far.
+    #[must_use]
+    pub fn cost(&self) -> u64 {
+        self.cost_hit + self.cost_move
+    }
+
+    /// The optimal *static* strategy's cost on the requests so far:
+    /// `min_e ( d(start, e) + x_e )`.
+    #[must_use]
+    pub fn opt_static(&self) -> u64 {
+        (0..self.num_edges)
+            .map(|e| self.x[e] + e.abs_diff(self.start_edge) as u64)
+            .min()
+            .expect("at least one edge")
+    }
+
+    /// Serves one request.
+    pub fn request(&mut self, e: usize) {
+        assert!(e < self.num_edges, "edge {e} out of range");
+        self.x[e] += 1;
+        if e >= self.lo && e < self.hi {
+            let old = self.position();
+            let dist = self.distribution();
+            self.coupling.follow(&dist);
+            let new = self.position();
+            self.cost_move += old.abs_diff(new) as u64;
+            if new == e {
+                self.cost_hit += 1;
+            }
+        }
+        self.grow_loop();
+    }
+
+    fn num_interval_edges(&self) -> usize {
+        self.hi - self.lo
+    }
+
+    fn interval_len(&self) -> usize {
+        self.hi - self.lo + 1
+    }
+
+    fn distribution(&self) -> Distribution {
+        let xs: Vec<f64> = self.x[self.lo..self.hi].iter().map(|&v| v as f64).collect();
+        let c = (self.num_interval_edges().max(1)) as f64;
+        Distribution::new(grad_smin_scaled(&xs, c.max(1.0)))
+    }
+
+    fn grow_loop(&mut self) {
+        loop {
+            let len = self.interval_len();
+            if len >= self.num_edges + 1 {
+                return; // final interval: the whole line
+            }
+            let min = self.x[self.lo..self.hi].iter().min().copied().unwrap_or(0);
+            if (min as f64) < (1.0 - self.delta_bar) * len as f64 {
+                return;
+            }
+            // Double the node count, capped at the whole line, clamped
+            // to the line's ends (leftover growth spills to the other
+            // side).
+            let new_len = (2 * len).min(self.num_edges + 1);
+            let extra = new_len - len;
+            let mut left = extra / 2;
+            let mut right = extra - left;
+            let max_left = self.lo;
+            let max_right = self.num_edges - self.hi;
+            if left > max_left {
+                right += left - max_left;
+                left = max_left;
+            }
+            if right > max_right {
+                left = (left + (right - max_right)).min(max_left);
+                right = max_right;
+            }
+            let old_pos = self.position();
+            self.lo -= left;
+            self.hi += right;
+            self.phases += 1;
+            // Choose a fresh edge inside the grown interval.
+            let dist = self.distribution();
+            self.coupling.resample(&dist, &mut self.rng);
+            let new_pos = self.position();
+            self.cost_move += old_pos.abs_diff(new_pos) as u64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_centered_with_unit_interval() {
+        let g = HittingGame::new(16, 14.0 / 15.0, 1);
+        assert_eq!(g.position(), 8);
+        assert_eq!(g.interval(), (8, 9));
+        assert_eq!(g.cost(), 0);
+    }
+
+    #[test]
+    fn first_request_to_start_edge_triggers_growth() {
+        let mut g = HittingGame::new(16, 14.0 / 15.0, 2);
+        g.request(8);
+        assert!(g.phases() >= 1, "initial interval must grow immediately");
+        let (lo, hi) = g.interval();
+        assert!(hi - lo + 1 >= 4);
+    }
+
+    #[test]
+    fn requests_outside_interval_cost_nothing() {
+        let mut g = HittingGame::new(32, 14.0 / 15.0, 3);
+        g.request(0);
+        g.request(31);
+        assert_eq!(g.cost(), 0);
+        assert_eq!(g.position(), 16);
+    }
+
+    #[test]
+    fn interval_never_exceeds_line() {
+        let mut g = HittingGame::new(8, 14.0 / 15.0, 4);
+        for t in 0..2000 {
+            g.request(t % 8);
+        }
+        let (lo, hi) = g.interval();
+        assert!(hi <= 8);
+        assert_eq!((lo, hi), (0, 8), "saturation should reach the full line");
+    }
+
+    #[test]
+    fn position_always_inside_interval() {
+        let mut g = HittingGame::new(33, 14.0 / 15.0, 5);
+        for t in 0..500 {
+            g.request((t * 13) % 33);
+            let (lo, hi) = g.interval();
+            assert!(g.position() >= lo && g.position() < hi);
+        }
+    }
+
+    #[test]
+    fn opt_static_tracks_best_position() {
+        let mut g = HittingGame::new(9, 14.0 / 15.0, 6);
+        for _ in 0..5 {
+            g.request(4); // start edge: d(start,4)=0, x=5 → opt ≤ min(5, d to silent edge)
+        }
+        // The silent edge next to the start costs distance 1; the
+        // hammered start itself costs 5.
+        assert_eq!(g.opt_static(), 1);
+    }
+
+    #[test]
+    fn hammering_start_is_polylog_competitive() {
+        // Corollary 4.4 on the adversarial single-edge hammer.
+        let k = 64;
+        let mut g = HittingGame::new(k, 14.0 / 15.0, 7);
+        for _ in 0..(200 * k) {
+            g.request(k / 2);
+        }
+        let opt = g.opt_static();
+        let budget = 40.0 * (k as f64).ln() * opt as f64 + 4.0 * k as f64;
+        assert!(
+            (g.cost() as f64) < budget,
+            "cost {} vs budget {budget} (opt {opt})",
+            g.cost()
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = |seed| {
+            let mut g = HittingGame::new(17, 14.0 / 15.0, seed);
+            for t in 0..300 {
+                g.request((t * 5) % 17);
+            }
+            (g.cost_hit, g.cost_move, g.position())
+        };
+        assert_eq!(run(11), run(11));
+    }
+}

@@ -1,0 +1,761 @@
+//! Theorem 2.2: the static-model algorithm (Section 4).
+//!
+//! Three cooperating procedures, exactly as the paper structures them:
+//!
+//! 1. **Slicing** (Algorithm 1): one interval per initial cut edge, each
+//!    running the hitting-game machinery (growth by doubling at the
+//!    `(1−δ̄)|I|` threshold, cut-edge choice via `∇smin′(x_I)` with
+//!    quantile coupling). Intervals deactivate when they become
+//!    δ̄-monochromatic or dominated; their cut edge is removed, merging
+//!    the incident slices.
+//! 2. **Clustering**: slices grouped into per-color clusters and
+//!    singletons (the rules live in [`slices::SliceMap::reexamine`]).
+//! 3. **Scheduling**: clusters are packed onto servers; whenever a
+//!    server exceeds `(D+ε′)k` with `D = max(2, X/k)`, the rebalancing
+//!    procedure of Section 4.2 moves smallest clusters to underloaded
+//!    servers (Lemma 4.13: load never exceeds `(3+2ε′)k`).
+//!
+//! Cost decomposition (Section 4.5.2) is tracked per component:
+//! `cost_hit`, `cost_move`, `cost_merge`, `cost_mono`, `cost_bal`.
+
+pub mod colors;
+pub mod hitting;
+pub mod slices;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rdbp_model::{Edge, OnlineAlgorithm, Placement, RingInstance};
+use rdbp_smin::{grad_smin_scaled, Distribution, QuantileCoupling};
+
+use colors::InitialColors;
+use slices::{BoundaryId, ClusterKey, SliceMap};
+
+pub use hitting::HittingGame;
+
+/// Configuration for [`StaticPartitioner`].
+#[derive(Debug, Clone, Copy)]
+pub struct StaticConfig {
+    /// Augmentation slack `ε > 0`: the algorithm uses `3 + ε`-augmented
+    /// servers (Theorem 2.2).
+    pub epsilon: f64,
+    /// RNG seed for all randomized cut-edge choices.
+    pub seed: u64,
+}
+
+impl Default for StaticConfig {
+    fn default() -> Self {
+        Self {
+            epsilon: 1.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Cost decomposition of the static algorithm (Section 4.5.2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StaticCostBreakdown {
+    /// Communication charged on interval cut edges (`cost_hit`).
+    pub hit: u64,
+    /// Cut-edge movement distance (`cost_move`).
+    pub moved: u64,
+    /// Slice-merge cost (`cost_merge`).
+    pub merge: u64,
+    /// Monochromatic migration cost (`cost_mono`).
+    pub mono: u64,
+    /// Rebalancing cost (`cost_bal`).
+    pub rebalance: u64,
+}
+
+impl StaticCostBreakdown {
+    /// Sum of all components — the proxy the analysis bounds.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.hit + self.moved + self.merge + self.mono + self.rebalance
+    }
+}
+
+/// Why an interval stopped being active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntervalStatus {
+    /// Still maintaining a cut edge.
+    Active,
+    /// Became δ̄-monochromatic after a growth step.
+    Monochromatic,
+    /// Completely contained in another grown interval.
+    Dominated,
+}
+
+/// Per-interval statistics (for the Lemma 4.16 / 4.21 experiments).
+#[derive(Debug, Clone, Copy)]
+pub struct IntervalStat {
+    /// Vertex count of the interval.
+    pub len: u32,
+    /// Number of growth steps performed.
+    pub rank: u32,
+    /// Current status.
+    pub status: IntervalStatus,
+    /// Hits charged on this interval's cut edge.
+    pub hit: u64,
+    /// Cut-edge movement charged to this interval.
+    pub moved: u64,
+}
+
+#[derive(Debug)]
+struct Interval {
+    /// First vertex of the (wrapped) vertex range.
+    lo: u32,
+    /// Vertex count (2 ≤ len ≤ k+1).
+    len: u32,
+    status: IntervalStatus,
+    boundary: BoundaryId,
+    coupling: QuantileCoupling,
+    rank: u32,
+    hit: u64,
+    moved: u64,
+}
+
+/// The Theorem 2.2 online algorithm.
+#[derive(Debug)]
+pub struct StaticPartitioner {
+    instance: RingInstance,
+    colors: InitialColors,
+    eps_prime: f64,
+    delta_bar: f64,
+    /// Global per-edge request counts.
+    x: Vec<u64>,
+    intervals: Vec<Interval>,
+    slices: SliceMap,
+    placement: Placement,
+    rng: StdRng,
+    cost_hit: u64,
+    cost_move: u64,
+    cost_bal: u64,
+}
+
+impl StaticPartitioner {
+    /// Builds the algorithm from an arbitrary (capacity-feasible)
+    /// initial placement.
+    ///
+    /// # Panics
+    /// Panics if `ε ≤ 0` or the initial placement violates the
+    /// (unaugmented) capacity `k`.
+    #[must_use]
+    pub fn new(instance: &RingInstance, initial: &Placement, config: StaticConfig) -> Self {
+        assert!(
+            config.epsilon > 0.0 && config.epsilon.is_finite(),
+            "epsilon must be positive"
+        );
+        assert!(
+            initial.max_load() <= instance.capacity(),
+            "initial placement exceeds capacity k"
+        );
+        let eps_prime = (config.epsilon / 2.0).min(1.0);
+        let delta_bar = (2.0 / (2.0 + eps_prime)).max(14.0 / 15.0);
+        let colors = InitialColors::new(initial);
+        let (slices, bounds) = SliceMap::new(initial);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let n = instance.n();
+        let intervals = bounds
+            .iter()
+            .map(|&(b, e)| Interval {
+                lo: e,
+                len: 2,
+                status: IntervalStatus::Active,
+                boundary: b,
+                coupling: QuantileCoupling::new(&Distribution::point(0, 1), &mut rng),
+                rank: 0,
+                hit: 0,
+                moved: 0,
+            })
+            .collect();
+        let _ = n;
+        Self {
+            instance: *instance,
+            colors,
+            eps_prime,
+            delta_bar,
+            x: vec![0; instance.n() as usize],
+            intervals,
+            slices,
+            placement: initial.clone(),
+            rng,
+            cost_hit: 0,
+            cost_move: 0,
+            cost_bal: 0,
+        }
+    }
+
+    /// Convenience constructor starting from the canonical contiguous
+    /// placement.
+    #[must_use]
+    pub fn with_contiguous(instance: &RingInstance, config: StaticConfig) -> Self {
+        Self::new(instance, &Placement::contiguous(instance), config)
+    }
+
+    /// The effective `ε′ = min(ε/2, 1)`.
+    #[must_use]
+    pub fn epsilon_prime(&self) -> f64 {
+        self.eps_prime
+    }
+
+    /// The threshold `δ̄ = max(2/(2+ε′), 14/15)`.
+    #[must_use]
+    pub fn delta_bar(&self) -> f64 {
+        self.delta_bar
+    }
+
+    /// The guaranteed load bound `(3 + 2ε′)·k` (Lemma 4.13), rounded up.
+    #[must_use]
+    pub fn load_bound(&self) -> u32 {
+        ((3.0 + 2.0 * self.eps_prime) * f64::from(self.instance.capacity())).ceil() as u32
+    }
+
+    /// Cost decomposition so far.
+    #[must_use]
+    pub fn breakdown(&self) -> StaticCostBreakdown {
+        StaticCostBreakdown {
+            hit: self.cost_hit,
+            moved: self.cost_move,
+            merge: self.slices.cost_merge,
+            mono: self.slices.cost_mono,
+            rebalance: self.cost_bal,
+        }
+    }
+
+    /// Per-interval statistics.
+    #[must_use]
+    pub fn interval_stats(&self) -> Vec<IntervalStat> {
+        self.intervals
+            .iter()
+            .map(|i| IntervalStat {
+                len: i.len,
+                rank: i.rank,
+                status: i.status,
+                hit: i.hit,
+                moved: i.moved,
+            })
+            .collect()
+    }
+
+    /// Number of currently active intervals.
+    #[must_use]
+    pub fn active_intervals(&self) -> usize {
+        self.intervals
+            .iter()
+            .filter(|i| i.status == IntervalStatus::Active)
+            .count()
+    }
+
+    /// Read access to the slice machinery (tests, experiments).
+    #[must_use]
+    pub fn slices(&self) -> &SliceMap {
+        &self.slices
+    }
+
+    /// Whether ring edge `e` lies inside interval `i`.
+    fn contains_edge(&self, i: usize, e: u32) -> bool {
+        let iv = &self.intervals[i];
+        let off = (e + self.instance.n() - iv.lo) % self.instance.n();
+        off < iv.len - 1
+    }
+
+    /// Whether interval `j`'s vertex range is contained in `i`'s.
+    fn contains_interval(&self, i: usize, j: usize) -> bool {
+        let (a, b) = (&self.intervals[i], &self.intervals[j]);
+        let off = (b.lo + self.instance.n() - a.lo) % self.instance.n();
+        off + b.len <= a.len
+    }
+
+    /// The distribution `∇smin′(x_I)` over interval `i`'s edges.
+    fn distribution(&self, i: usize) -> Distribution {
+        let iv = &self.intervals[i];
+        let n = self.instance.n();
+        let m = (iv.len - 1) as usize;
+        let xs: Vec<f64> = (0..m)
+            .map(|j| self.x[((iv.lo + j as u32) % n) as usize] as f64)
+            .collect();
+        Distribution::new(grad_smin_scaled(&xs, (m as f64).max(1.0)))
+    }
+
+    /// Minimum request count over interval `i`'s edges.
+    fn min_count(&self, i: usize) -> u64 {
+        let iv = &self.intervals[i];
+        let n = self.instance.n();
+        (0..iv.len - 1)
+            .map(|j| self.x[((iv.lo + j) % n) as usize])
+            .min()
+            .expect("interval has at least one edge")
+    }
+
+    /// Updates interval `i`'s cut edge after a request to `e` inside it.
+    /// Returns migrations.
+    fn update_cut(&mut self, i: usize, e: u32) -> u64 {
+        let dist = self.distribution(i);
+        let old_state = self.intervals[i].coupling.state();
+        self.intervals[i].coupling.follow(&dist);
+        let new_state = self.intervals[i].coupling.state();
+        let n = self.instance.n();
+        let iv = &self.intervals[i];
+        let new_edge = (iv.lo + new_state as u32) % n;
+        if new_edge == e {
+            self.intervals[i].hit += 1;
+            self.cost_hit += 1;
+        }
+        if new_state == old_state {
+            return 0;
+        }
+        let steps = old_state.abs_diff(new_state) as u32;
+        let clockwise = new_state > old_state;
+        self.intervals[i].moved += u64::from(steps);
+        self.cost_move += u64::from(steps);
+        let b = self.intervals[i].boundary;
+        self.slices
+            .move_cut(b, steps, clockwise, &mut self.placement, &self.colors)
+    }
+
+    /// Grows interval `i` once (doubling, capped at `k+1` vertices) and
+    /// handles monochromatic/domination deactivations plus the fresh
+    /// cut-edge choice. Returns migrations.
+    fn grow(&mut self, i: usize) -> u64 {
+        let n = self.instance.n();
+        let k = self.instance.capacity();
+        let len = self.intervals[i].len;
+        let new_len = (2 * len).min(k + 1).min(n);
+        let extra = new_len - len;
+        let left = extra / 2;
+        self.intervals[i].lo = (self.intervals[i].lo + n - left) % n;
+        self.intervals[i].len = new_len;
+        self.intervals[i].rank += 1;
+
+        let mut migrations = 0;
+        if self
+            .colors
+            .is_mono(self.intervals[i].lo, new_len, self.delta_bar)
+        {
+            migrations += self.deactivate(i, IntervalStatus::Monochromatic);
+            return migrations;
+        }
+        // Deactivate dominated intervals.
+        let dominated: Vec<usize> = (0..self.intervals.len())
+            .filter(|&j| {
+                j != i
+                    && self.intervals[j].status == IntervalStatus::Active
+                    && self.contains_interval(i, j)
+            })
+            .collect();
+        for j in dominated {
+            migrations += self.deactivate(j, IntervalStatus::Dominated);
+        }
+        // Choose a fresh cut edge inside the grown interval.
+        let b = self.intervals[i].boundary;
+        let old_edge = self.slices.edge(b);
+        let dist = self.distribution(i);
+        {
+            let iv = &mut self.intervals[i];
+            iv.coupling.resample(&dist, &mut self.rng);
+        }
+        let new_state = self.intervals[i].coupling.state() as u32;
+        let new_edge = (self.intervals[i].lo + new_state) % n;
+        if new_edge != old_edge {
+            // Walk within the interval: offsets relative to lo.
+            let old_off = (old_edge + n - self.intervals[i].lo) % n;
+            let new_off = (new_edge + n - self.intervals[i].lo) % n;
+            let steps = old_off.abs_diff(new_off);
+            let clockwise = new_off > old_off;
+            self.intervals[i].moved += u64::from(steps);
+            self.cost_move += u64::from(steps);
+            migrations +=
+                self.slices
+                    .move_cut(b, steps, clockwise, &mut self.placement, &self.colors);
+        }
+        migrations
+    }
+
+    /// Deactivates interval `i`, removing its cut edge (slice merge).
+    fn deactivate(&mut self, i: usize, status: IntervalStatus) -> u64 {
+        debug_assert_eq!(self.intervals[i].status, IntervalStatus::Active);
+        self.intervals[i].status = status;
+        let b = self.intervals[i].boundary;
+        self.slices
+            .remove_boundary(b, &mut self.placement, &self.colors)
+    }
+
+    /// The scheduling procedure's rebalancing step (Section 4.2).
+    /// Returns migrations.
+    fn rebalance(&mut self) -> u64 {
+        let ell = self.instance.servers();
+        if ell < 2 {
+            return 0;
+        }
+        let k = f64::from(self.instance.capacity());
+        let mut moved = 0;
+        loop {
+            let x_max = self.slices.max_cluster_size() as f64;
+            let d = (x_max / k).max(2.0);
+            let limit = (d + self.eps_prime) * k;
+            let Some((s, load)) = (0..ell)
+                .map(|s| (s, self.placement.loads()[s as usize]))
+                .max_by_key(|&(_, l)| l)
+            else {
+                return moved;
+            };
+            if f64::from(load) <= limit {
+                return moved;
+            }
+            let mut guard = 0;
+            while f64::from(self.placement.loads()[s as usize]) > d * k {
+                guard += 1;
+                assert!(
+                    guard <= self.slices.num_boundaries() + ell as usize + 2,
+                    "rebalance loop failed to converge"
+                );
+                let Some(c) = self.smallest_cluster_on(s) else {
+                    break;
+                };
+                let size_c = self.slices.cluster(c).expect("cluster").size;
+                let Some(s1) = self.least_loaded_server(&[s]) else {
+                    break;
+                };
+                debug_assert!(
+                    self.placement.loads()[s1 as usize] <= self.instance.capacity(),
+                    "rebalance target must have load ≤ k"
+                );
+                moved += self.slices.move_cluster(c, s1, &mut self.placement);
+                self.cost_bal += size_c;
+                if size_c > u64::from(self.instance.capacity()) && ell >= 3 {
+                    // The big cluster displaced s1's previous content.
+                    if let Some(s2) = self.least_loaded_server(&[s, s1]) {
+                        let others: Vec<ClusterKey> = self
+                            .slices
+                            .clusters()
+                            .filter(|(key, cl)| cl.server == s1 && *key != c && cl.size > 0)
+                            .map(|(key, _)| key)
+                            .collect();
+                        for key in sorted_keys(others) {
+                            let sz = self.slices.cluster(key).expect("cluster").size;
+                            moved += self.slices.move_cluster(key, s2, &mut self.placement);
+                            self.cost_bal += sz;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Smallest non-empty cluster hosted on server `s` (deterministic
+    /// tie-breaking).
+    fn smallest_cluster_on(&self, s: u32) -> Option<ClusterKey> {
+        let mut best: Option<(u64, u64, ClusterKey)> = None;
+        for (key, c) in self.slices.clusters() {
+            if c.server != s || c.size == 0 {
+                continue;
+            }
+            let rank = key_rank(key);
+            if best.is_none() || (c.size, rank) < (best.unwrap().0, best.unwrap().1) {
+                best = Some((c.size, rank, key));
+            }
+        }
+        best.map(|(_, _, k)| k)
+    }
+
+    /// Least-loaded server excluding `exclude` (deterministic: lowest
+    /// index wins ties).
+    fn least_loaded_server(&self, exclude: &[u32]) -> Option<u32> {
+        (0..self.instance.servers())
+            .filter(|s| !exclude.contains(s))
+            .min_by_key(|&s| (self.placement.loads()[s as usize], s))
+    }
+}
+
+/// Total order on cluster keys for deterministic iteration.
+fn key_rank(key: ClusterKey) -> u64 {
+    match key {
+        ClusterKey::Color(c) => u64::from(c),
+        ClusterKey::Singleton(id) => (1 << 32) + id,
+    }
+}
+
+fn sorted_keys(mut keys: Vec<ClusterKey>) -> Vec<ClusterKey> {
+    keys.sort_by_key(|&k| key_rank(k));
+    keys
+}
+
+impl OnlineAlgorithm for StaticPartitioner {
+    fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    fn serve(&mut self, request: Edge) -> u64 {
+        let e = request.0;
+        self.x[e as usize] += 1;
+        let mut migrations = 0;
+
+        // Update the cut edge of every active interval containing e.
+        let containing: Vec<usize> = (0..self.intervals.len())
+            .filter(|&i| {
+                self.intervals[i].status == IntervalStatus::Active && self.contains_edge(i, e)
+            })
+            .collect();
+        let mut worklist = containing.clone();
+        for i in containing {
+            migrations += self.update_cut(i, e);
+        }
+
+        // Growth cascade (Algorithm 1's while-loop).
+        while let Some(i) = worklist.pop() {
+            if self.intervals[i].status != IntervalStatus::Active {
+                continue;
+            }
+            let len = self.intervals[i].len;
+            if len >= (self.instance.capacity() + 1).min(self.instance.n()) {
+                continue; // final interval
+            }
+            if self.min_count(i) as f64 >= (1.0 - self.delta_bar) * f64::from(len) {
+                migrations += self.grow(i);
+                worklist.push(i);
+            }
+        }
+
+        migrations += self.rebalance();
+        migrations
+    }
+
+    fn name(&self) -> &'static str {
+        "static-partitioner"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdbp_model::workload::{self, Workload};
+    use rdbp_model::{run, AuditLevel, Process, Server};
+
+    fn config(seed: u64) -> StaticConfig {
+        StaticConfig {
+            epsilon: 1.0,
+            seed,
+        }
+    }
+
+    #[test]
+    fn parameters_match_paper() {
+        let inst = RingInstance::packed(4, 8);
+        let alg = StaticPartitioner::with_contiguous(&inst, config(1));
+        assert!((alg.epsilon_prime() - 0.5).abs() < 1e-12);
+        assert!((alg.delta_bar() - 14.0 / 15.0).abs() < 1e-12, "14/15 > 2/2.5");
+        assert_eq!(alg.load_bound(), 32); // (3+1)·8
+        assert_eq!(alg.active_intervals(), 4);
+    }
+
+    #[test]
+    fn small_epsilon_uses_capacity_threshold() {
+        let inst = RingInstance::packed(4, 8);
+        let alg = StaticPartitioner::with_contiguous(
+            &inst,
+            StaticConfig {
+                epsilon: 0.05,
+                seed: 0,
+            },
+        );
+        // ε′ = 0.025 → 2/(2+ε′) ≈ 0.9877 > 14/15.
+        assert!(alg.delta_bar() > 14.0 / 15.0);
+    }
+
+    #[test]
+    fn first_request_grows_the_hit_interval() {
+        let inst = RingInstance::packed(3, 4); // cuts at 3, 7, 11
+        let mut alg = StaticPartitioner::with_contiguous(&inst, config(2));
+        alg.serve(Edge(3));
+        let stats = alg.interval_stats();
+        assert!(stats[0].rank >= 1, "hit interval must grow");
+        assert_eq!(stats[1].rank, 0);
+    }
+
+    #[test]
+    fn load_invariant_under_workloads() {
+        let inst = RingInstance::packed(4, 8);
+        let sources: Vec<Box<dyn Workload>> = vec![
+            Box::new(workload::Sequential::new()),
+            Box::new(workload::UniformRandom::new(1)),
+            Box::new(workload::Zipf::new(&inst, 1.1, 2)),
+            Box::new(workload::SlidingWindow::new(6, 5, 3)),
+            Box::new(workload::Bursty::new(0.9, 4)),
+            Box::new(workload::CutChaser::new()),
+        ];
+        for mut src in sources {
+            let mut alg = StaticPartitioner::with_contiguous(&inst, config(7));
+            let bound = alg.load_bound();
+            let report = run(
+                &mut alg,
+                src.as_mut(),
+                2500,
+                AuditLevel::Full { load_limit: bound },
+            );
+            assert_eq!(
+                report.capacity_violations, 0,
+                "{}: max load {} > {bound}",
+                src.name(),
+                report.max_load_seen
+            );
+            alg.slices().integrity_check(alg.placement());
+        }
+    }
+
+    #[test]
+    fn cluster_size_bounds_hold() {
+        // Lemma 4.12: color clusters ≤ 2k. Corollary 4.10: singleton ≤
+        // (3 + 2(1−δ̄)/δ̄)k.
+        let inst = RingInstance::packed(4, 8);
+        let k = 8.0;
+        let mut alg = StaticPartitioner::with_contiguous(&inst, config(3));
+        let mut w = workload::UniformRandom::new(9);
+        let _ = run(&mut alg, &mut w, 4000, AuditLevel::None);
+        let singleton_bound = (3.0 + 2.0 * (1.0 - alg.delta_bar()) / alg.delta_bar()) * k;
+        for (key, c) in alg.slices().clusters() {
+            match key {
+                ClusterKey::Color(_) => assert!(
+                    c.size as f64 <= 2.0 * k + 1e-9,
+                    "color cluster size {} > 2k",
+                    c.size
+                ),
+                ClusterKey::Singleton(_) => assert!(
+                    c.size as f64 <= singleton_bound + 1e-9,
+                    "singleton size {} > bound {singleton_bound}",
+                    c.size
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn interval_membership_bound_lemma_4_21() {
+        let inst = RingInstance::packed(4, 16);
+        let mut alg = StaticPartitioner::with_contiguous(&inst, config(5));
+        let mut w = workload::UniformRandom::new(4);
+        let _ = run(&mut alg, &mut w, 6000, AuditLevel::None);
+        let k = f64::from(inst.capacity());
+        let budget = 8.0 * (k.log2() + 1.0) + 8.0;
+        for p in 0..inst.n() {
+            let count = (0..alg.intervals.len())
+                .filter(|&i| {
+                    let iv = &alg.intervals[i];
+                    let off = (p + inst.n() - iv.lo) % inst.n();
+                    off < iv.len
+                })
+                .count();
+            assert!(
+                (count as f64) <= budget,
+                "process {p} in {count} intervals (budget {budget})"
+            );
+        }
+    }
+
+    #[test]
+    fn non_contiguous_initial_placement_works() {
+        // Scattered initial placement: alternating server stripes of
+        // width 2 → many initial cut edges → domination/mono paths get
+        // exercised.
+        let inst = RingInstance::new(16, 4, 4);
+        let assignment: Vec<u32> = (0..16).map(|p| (p / 2) % 4).collect();
+        let initial = Placement::from_assignment(&inst, assignment);
+        let mut alg = StaticPartitioner::new(&inst, &initial, config(11));
+        assert_eq!(alg.active_intervals(), 8);
+        let mut w = workload::UniformRandom::new(13);
+        let bound = alg.load_bound();
+        let report = run(
+            &mut alg,
+            &mut w,
+            3000,
+            AuditLevel::Full { load_limit: bound },
+        );
+        assert_eq!(report.capacity_violations, 0);
+        let deactivated = alg
+            .interval_stats()
+            .iter()
+            .filter(|s| s.status != IntervalStatus::Active)
+            .count();
+        assert!(
+            deactivated > 0,
+            "scattered placement should trigger deactivations"
+        );
+        alg.slices().integrity_check(alg.placement());
+    }
+
+    #[test]
+    fn hammering_one_cut_is_sublinear() {
+        // The single-edge hammer: the interval grows, the cut-edge
+        // distribution spreads, and the total cost stays far below T.
+        let inst = RingInstance::packed(2, 32);
+        let mut alg = StaticPartitioner::with_contiguous(&inst, config(6));
+        let steps = 8000u64;
+        let mut w = workload::Replay::new(vec![Edge(31)]);
+        let report = run(&mut alg, &mut w, steps, AuditLevel::None);
+        assert!(
+            report.ledger.total() < steps / 4,
+            "cost {} on a {steps}-step hammer",
+            report.ledger.total()
+        );
+    }
+
+    #[test]
+    fn breakdown_components_accumulate() {
+        let inst = RingInstance::packed(4, 8);
+        let mut alg = StaticPartitioner::with_contiguous(&inst, config(8));
+        let mut w = workload::UniformRandom::new(21);
+        let _ = run(&mut alg, &mut w, 3000, AuditLevel::None);
+        let b = alg.breakdown();
+        assert!(b.hit > 0);
+        assert!(b.moved > 0);
+        assert_eq!(
+            b.total(),
+            b.hit + b.moved + b.merge + b.mono + b.rebalance
+        );
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let inst = RingInstance::packed(3, 8);
+        let run_once = |seed: u64| {
+            let mut alg = StaticPartitioner::with_contiguous(&inst, config(seed));
+            let mut w = workload::UniformRandom::new(17);
+            let r = run(&mut alg, &mut w, 1000, AuditLevel::None);
+            (r.ledger, alg.placement().assignment().to_vec())
+        };
+        assert_eq!(run_once(5), run_once(5));
+    }
+
+    #[test]
+    fn single_server_is_trivial() {
+        let inst = RingInstance::new(8, 1, 8);
+        let mut alg = StaticPartitioner::with_contiguous(&inst, config(1));
+        let mut w = workload::UniformRandom::new(2);
+        let report = run(&mut alg, &mut w, 200, AuditLevel::None);
+        assert_eq!(report.ledger.total(), 0);
+    }
+
+    #[test]
+    fn rebalancing_respects_cluster_atomicity() {
+        // After any run, every cluster's processes share a server.
+        let inst = RingInstance::packed(4, 6);
+        let mut alg = StaticPartitioner::with_contiguous(&inst, config(9));
+        let mut w = workload::SlidingWindow::new(8, 3, 5);
+        let _ = run(&mut alg, &mut w, 4000, AuditLevel::None);
+        alg.slices().integrity_check(alg.placement());
+        let _ = (Process(0), Server(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn rejects_bad_epsilon() {
+        let inst = RingInstance::packed(2, 4);
+        let _ = StaticPartitioner::with_contiguous(
+            &inst,
+            StaticConfig {
+                epsilon: -1.0,
+                seed: 0,
+            },
+        );
+    }
+}

@@ -1,0 +1,878 @@
+//! Boundary → slice → cluster machinery for the static-model algorithm.
+//!
+//! The slicing procedure maintains a set of **cut edges** (one per
+//! active interval) that partition the ring into **slices**; the
+//! clustering procedure groups slices into **clusters** (one special
+//! cluster per color plus singleton clusters); the scheduling procedure
+//! assigns clusters to servers. This module owns all three layers below
+//! the intervals:
+//!
+//! * a circular doubly-linked list of boundaries (cut edges) in ring
+//!   order, with *zero-length slices allowed* — two active intervals may
+//!   legitimately park their cuts on the same ring edge, and a moving
+//!   cut may slide past a coincident one (handled by swapping the two
+//!   boundaries together with their slice payloads);
+//! * per-slice cluster membership with the paper's reassignment rules
+//!   (¾-monochromatic → color cluster; majority-color stickiness;
+//!   otherwise singleton);
+//! * cluster bookkeeping (sizes, members, host server) and the actual
+//!   process migrations on the [`Placement`] — every process always
+//!   sits on its cluster's server.
+//!
+//! Slice lengths are stored **explicitly** (not derived from edge
+//! positions): with coincident boundaries the positional difference
+//! `(e_next − e_b) mod n` cannot distinguish an empty slice from the
+//! whole ring. Explicit lengths always sum to `n` by construction; the
+//! invariant `(e_b + len) ≡ e_next (mod n)` is verified by
+//! [`SliceMap::integrity_check`].
+//!
+//! Cost counters ([`SliceMap::cost_merge`], [`SliceMap::cost_mono`])
+//! follow Section 4.5.2's definitions; real migrations are returned to
+//! the caller per operation so the simulator can audit them.
+
+use std::collections::{HashMap, HashSet};
+
+use rdbp_model::{Placement, Process, Server};
+
+use super::colors::InitialColors;
+
+/// Stable identifier of a boundary (= a cut edge, owning the slice that
+/// follows it clockwise).
+pub type BoundaryId = usize;
+
+/// Cluster identity: the per-color special cluster or a singleton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClusterKey {
+    /// The color-`c` cluster ("slices that almost exclusively contain
+    /// processes with initial color `c`").
+    Color(u32),
+    /// A singleton cluster holding exactly one slice.
+    Singleton(u64),
+}
+
+impl ClusterKey {
+    /// Whether this is a singleton cluster.
+    #[must_use]
+    pub fn is_singleton(&self) -> bool {
+        matches!(self, ClusterKey::Singleton(_))
+    }
+}
+
+/// A cluster's bookkeeping record.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// Server currently hosting every process of the cluster.
+    pub server: u32,
+    /// Total processes over all member slices.
+    pub size: u64,
+    /// Member slices (by their left boundary).
+    pub members: HashSet<BoundaryId>,
+}
+
+#[derive(Debug, Clone)]
+struct BoundaryNode {
+    edge: u32,
+    /// Length of the slice following this boundary (may be 0; may be
+    /// `n` when this is the only boundary).
+    len: u32,
+    next: usize,
+    prev: usize,
+    cluster: ClusterKey,
+    alive: bool,
+}
+
+/// The slice/cluster state machine (see module docs).
+#[derive(Debug)]
+pub struct SliceMap {
+    n: u32,
+    nodes: Vec<BoundaryNode>,
+    head: Option<usize>,
+    live: usize,
+    clusters: HashMap<ClusterKey, Cluster>,
+    next_singleton: u64,
+    /// When every boundary has been removed, the single whole-ring
+    /// slice's cluster.
+    whole_ring: Option<ClusterKey>,
+    /// Accumulated merge cost (Section 4.5.2: `min(|Sₛ|,|Sₗ|)` per
+    /// cross-cluster merge).
+    pub cost_merge: u64,
+    /// Accumulated monochromatic cost (`|S|` per entry into a color
+    /// cluster).
+    pub cost_mono: u64,
+}
+
+impl SliceMap {
+    /// Builds the initial slice structure from the initial placement:
+    /// one boundary per initial cut edge, each slice 1-monochromatic
+    /// and assigned to its color's cluster (which starts on the server
+    /// of the same index).
+    ///
+    /// Returns the map plus `(boundary id, cut edge)` pairs in ring
+    /// order for the caller to attach intervals to.
+    #[must_use]
+    pub fn new(initial: &Placement) -> (Self, Vec<(BoundaryId, u32)>) {
+        let n = initial.instance().n();
+        let cuts: Vec<u32> = initial.cut_edges().map(|e| e.0).collect();
+        let mut map = Self {
+            n,
+            nodes: Vec::with_capacity(cuts.len()),
+            head: None,
+            live: 0,
+            clusters: HashMap::new(),
+            next_singleton: 0,
+            whole_ring: None,
+            cost_merge: 0,
+            cost_mono: 0,
+        };
+        if cuts.is_empty() {
+            // Everything on one server: a single whole-ring slice.
+            let color = initial.server(Process(0)).0;
+            let key = ClusterKey::Color(color);
+            map.clusters.insert(
+                key,
+                Cluster {
+                    server: color,
+                    size: u64::from(n),
+                    members: HashSet::new(),
+                },
+            );
+            map.whole_ring = Some(key);
+            return (map, Vec::new());
+        }
+        let m = cuts.len();
+        let mut out = Vec::with_capacity(m);
+        for (i, &e) in cuts.iter().enumerate() {
+            let id = map.nodes.len();
+            let slice_start = (e + 1) % n;
+            let color = initial.server(Process(slice_start)).0;
+            let next_edge = cuts[(i + 1) % m];
+            let len = if m == 1 {
+                n
+            } else {
+                (next_edge + n - e) % n
+            };
+            let key = ClusterKey::Color(color);
+            let entry = map.clusters.entry(key).or_insert(Cluster {
+                server: color,
+                size: 0,
+                members: HashSet::new(),
+            });
+            entry.size += u64::from(len);
+            entry.members.insert(id);
+            map.nodes.push(BoundaryNode {
+                edge: e,
+                len,
+                next: (i + 1) % m,
+                prev: (i + m - 1) % m,
+                cluster: key,
+                alive: true,
+            });
+            out.push((id, e));
+        }
+        map.head = Some(0);
+        map.live = m;
+        (map, out)
+    }
+
+    /// Ring size.
+    #[must_use]
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of live boundaries (= active cut edges).
+    #[must_use]
+    pub fn num_boundaries(&self) -> usize {
+        self.live
+    }
+
+    /// Current cut-edge position of boundary `b`.
+    ///
+    /// # Panics
+    /// Panics if `b` is dead.
+    #[must_use]
+    pub fn edge(&self, b: BoundaryId) -> u32 {
+        assert!(self.nodes[b].alive, "boundary {b} is dead");
+        self.nodes[b].edge
+    }
+
+    /// Length of the slice following boundary `b`.
+    #[must_use]
+    pub fn slice_len(&self, b: BoundaryId) -> u32 {
+        debug_assert!(self.nodes[b].alive);
+        self.nodes[b].len
+    }
+
+    /// First process of the slice following `b`.
+    #[must_use]
+    pub fn slice_start(&self, b: BoundaryId) -> u32 {
+        (self.nodes[b].edge + 1) % self.n
+    }
+
+    /// Cluster of the slice following `b`.
+    #[must_use]
+    pub fn cluster_of(&self, b: BoundaryId) -> ClusterKey {
+        self.nodes[b].cluster
+    }
+
+    /// Cluster registry access.
+    #[must_use]
+    pub fn cluster(&self, key: ClusterKey) -> Option<&Cluster> {
+        self.clusters.get(&key)
+    }
+
+    /// All clusters (key, record).
+    pub fn clusters(&self) -> impl Iterator<Item = (ClusterKey, &Cluster)> + '_ {
+        self.clusters.iter().map(|(k, c)| (*k, c))
+    }
+
+    /// Size of the largest cluster (the `X` of the scheduling
+    /// procedure).
+    #[must_use]
+    pub fn max_cluster_size(&self) -> u64 {
+        self.clusters.values().map(|c| c.size).max().unwrap_or(0)
+    }
+
+    /// Moves the cut of boundary `b` by `steps` unit moves (clockwise if
+    /// `clockwise`), transferring one process between adjacent slices
+    /// per step and migrating it to its new cluster's server.
+    ///
+    /// Returns actual process migrations (≤ `steps`). Re-examines every
+    /// touched slice against the clustering rules afterwards.
+    pub fn move_cut(
+        &mut self,
+        b: BoundaryId,
+        steps: u32,
+        clockwise: bool,
+        placement: &mut Placement,
+        colors: &InitialColors,
+    ) -> u64 {
+        assert!(self.nodes[b].alive, "moving a dead boundary");
+        let mut moved = 0;
+        let mut touched: Vec<BoundaryId> = vec![b];
+        for _ in 0..steps {
+            moved += if clockwise {
+                self.unit_cw(b, placement, &mut touched)
+            } else {
+                self.unit_ccw(b, placement, &mut touched)
+            };
+        }
+        touched.push(self.nodes[b].prev);
+        touched.sort_unstable();
+        touched.dedup();
+        for t in touched {
+            if self.nodes[t].alive {
+                moved += self.reexamine(t, placement, colors);
+            }
+        }
+        moved
+    }
+
+    /// One clockwise unit step of boundary `b`.
+    fn unit_cw(
+        &mut self,
+        b: BoundaryId,
+        placement: &mut Placement,
+        touched: &mut Vec<BoundaryId>,
+    ) -> u64 {
+        // Slide past coincident boundaries directly ahead.
+        while self.live > 1 && self.nodes[b].len == 0 {
+            let v = self.nodes[b].next;
+            self.swap_payloads(b, v);
+            self.relink_swap(b, v);
+            touched.push(v);
+        }
+        let e = self.nodes[b].edge;
+        self.nodes[b].edge = (e + 1) % self.n;
+        if self.live == 1 {
+            return 0; // whole-ring slice: nothing changes hands
+        }
+        // Process e+1 leaves slice(b) and joins slice(prev(b)).
+        let p = Process((e + 1) % self.n);
+        let prev = self.nodes[b].prev;
+        self.nodes[b].len -= 1;
+        self.nodes[prev].len += 1;
+        let from = self.nodes[b].cluster;
+        let to = self.nodes[prev].cluster;
+        self.transfer_one(from, to);
+        let target = Server(self.clusters[&to].server);
+        u64::from(placement.migrate(p, target))
+    }
+
+    /// One counter-clockwise unit step of boundary `b`.
+    fn unit_ccw(
+        &mut self,
+        b: BoundaryId,
+        placement: &mut Placement,
+        touched: &mut Vec<BoundaryId>,
+    ) -> u64 {
+        // Slide past coincident boundaries directly behind.
+        while self.live > 1 && {
+            let u = self.nodes[b].prev;
+            self.nodes[u].len == 0
+        } {
+            let u = self.nodes[b].prev;
+            self.swap_payloads(u, b);
+            self.relink_swap(u, b);
+            touched.push(u);
+        }
+        let e = self.nodes[b].edge;
+        self.nodes[b].edge = (e + self.n - 1) % self.n;
+        if self.live == 1 {
+            return 0;
+        }
+        // Process e leaves slice(prev(b)) and joins slice(b).
+        let p = Process(e);
+        let prev = self.nodes[b].prev;
+        self.nodes[prev].len -= 1;
+        self.nodes[b].len += 1;
+        let from = self.nodes[prev].cluster;
+        let to = self.nodes[b].cluster;
+        self.transfer_one(from, to);
+        let target = Server(self.clusters[&to].server);
+        u64::from(placement.migrate(p, target))
+    }
+
+    /// Swaps the slice payloads `(cluster, len)` of two boundaries —
+    /// used when a moving boundary slides past a coincident one, so
+    /// that process sets keep their clusters. Cluster **sizes** are
+    /// unchanged (the sets don't change, only which boundary fronts
+    /// them); memberships are re-pointed.
+    fn swap_payloads(&mut self, a: BoundaryId, v: BoundaryId) {
+        let ka = self.nodes[a].cluster;
+        let kv = self.nodes[v].cluster;
+        if ka != kv {
+            {
+                let ca = self.clusters.get_mut(&ka).expect("cluster of a");
+                ca.members.remove(&a);
+                ca.members.insert(v);
+            }
+            {
+                let cv = self.clusters.get_mut(&kv).expect("cluster of v");
+                cv.members.remove(&v);
+                cv.members.insert(a);
+            }
+        }
+        self.nodes.swap(a, v);
+        // swap() exchanged everything; restore the link fields and edge
+        // positions, which belong to the *boundary*, not the payload.
+        let (na, nv) = (self.nodes[a].clone(), self.nodes[v].clone());
+        self.nodes[a].next = nv.next;
+        self.nodes[a].prev = nv.prev;
+        self.nodes[a].edge = nv.edge;
+        self.nodes[a].alive = nv.alive;
+        self.nodes[v].next = na.next;
+        self.nodes[v].prev = na.prev;
+        self.nodes[v].edge = na.edge;
+        self.nodes[v].alive = na.alive;
+    }
+
+    /// Relinks `[.., u, v, ..]` to `[.., v, u, ..]` (u and v adjacent).
+    fn relink_swap(&mut self, u: BoundaryId, v: BoundaryId) {
+        debug_assert_eq!(self.nodes[u].next, v);
+        debug_assert_eq!(self.nodes[v].prev, u);
+        let p = self.nodes[u].prev;
+        let w = self.nodes[v].next;
+        if p == v {
+            // Two-element list: topologically a no-op.
+            return;
+        }
+        self.nodes[p].next = v;
+        self.nodes[v].prev = p;
+        self.nodes[v].next = u;
+        self.nodes[u].prev = v;
+        self.nodes[u].next = w;
+        self.nodes[w].prev = u;
+    }
+
+    /// Moves one unit of size between clusters (membership sets are
+    /// unchanged — slice identities stay put, only lengths shift).
+    fn transfer_one(&mut self, from: ClusterKey, to: ClusterKey) {
+        if from == to {
+            return;
+        }
+        self.clusters
+            .get_mut(&from)
+            .expect("transfer source cluster")
+            .size -= 1;
+        self.clusters
+            .get_mut(&to)
+            .expect("transfer target cluster")
+            .size += 1;
+    }
+
+    /// Removes boundary `v` (its interval was deactivated), merging its
+    /// slice into the predecessor's per the clustering rules. Returns
+    /// actual migrations.
+    pub fn remove_boundary(
+        &mut self,
+        v: BoundaryId,
+        placement: &mut Placement,
+        colors: &InitialColors,
+    ) -> u64 {
+        assert!(self.nodes[v].alive, "removing a dead boundary");
+        let q = self.nodes[v].cluster;
+        if self.live == 1 {
+            // Removing the last cut: the whole ring becomes one slice.
+            let c = self.clusters.get_mut(&q).expect("last cluster");
+            c.members.remove(&v);
+            c.size = u64::from(self.n);
+            self.whole_ring = Some(q);
+            self.nodes[v].alive = false;
+            self.head = None;
+            self.live = 0;
+            return 0;
+        }
+        let u = self.nodes[v].prev;
+        let p = self.nodes[u].cluster;
+        let ap = u64::from(self.nodes[u].len);
+        let bq = u64::from(self.nodes[v].len);
+        let v_start = self.slice_start(v);
+        let u_start = self.slice_start(u);
+
+        // Unlink v.
+        let w = self.nodes[v].next;
+        self.nodes[u].next = w;
+        self.nodes[w].prev = u;
+        self.nodes[v].alive = false;
+        if self.head == Some(v) {
+            self.head = Some(u);
+        }
+        self.live -= 1;
+        self.nodes[u].len += bq as u32;
+
+        // v's slice leaves cluster q entirely.
+        {
+            let cq = self.clusters.get_mut(&q).expect("cluster q");
+            cq.size -= bq;
+            cq.members.remove(&v);
+        }
+
+        let mut moved = 0;
+        if p == q || ap >= bq {
+            // Union keeps label p; v's processes (the smaller side when
+            // p ≠ q) move over.
+            self.clusters.get_mut(&p).expect("cluster p").size += bq;
+            if p != q {
+                self.cost_merge += bq;
+                moved += self.migrate_range(v_start, bq as u32, p, placement);
+                self.drop_if_dead_singleton(q);
+            }
+        } else {
+            // Union takes label q; u's (smaller) processes move over.
+            {
+                let cp = self.clusters.get_mut(&p).expect("cluster p");
+                cp.size -= ap;
+                cp.members.remove(&u);
+            }
+            {
+                let cq = self.clusters.get_mut(&q).expect("cluster q");
+                cq.size += ap + bq;
+                cq.members.insert(u);
+            }
+            self.nodes[u].cluster = q;
+            self.cost_merge += ap;
+            moved += self.migrate_range(u_start, ap as u32, q, placement);
+            self.drop_if_dead_singleton(p);
+        }
+        moved += self.reexamine(u, placement, colors);
+        moved
+    }
+
+    /// Applies the clustering-procedure rules to the (changed) slice of
+    /// boundary `b`; migrates it into a color cluster when it became
+    /// ¾-monochromatic. Returns migrations.
+    pub fn reexamine(
+        &mut self,
+        b: BoundaryId,
+        placement: &mut Placement,
+        colors: &InitialColors,
+    ) -> u64 {
+        let len = self.nodes[b].len;
+        if len == 0 {
+            return 0;
+        }
+        let (maj, cnt) = colors.majority(self.slice_start(b), len);
+        let cur = self.nodes[b].cluster;
+        if 2 * cnt <= len {
+            // No majority color → singleton.
+            if !cur.is_singleton() {
+                self.make_singleton(b);
+            }
+            0
+        } else if 4 * cnt > 3 * len {
+            // ¾-monochromatic → color cluster.
+            if cur == ClusterKey::Color(maj) {
+                return 0;
+            }
+            self.cost_mono += u64::from(len);
+            self.assign_to_color(b, maj, placement)
+        } else {
+            // Majority but not ¾: sticky iff already in that color's
+            // cluster; otherwise singleton.
+            match cur {
+                ClusterKey::Color(c) if c == maj => 0,
+                ClusterKey::Singleton(_) => 0,
+                ClusterKey::Color(_) => {
+                    self.make_singleton(b);
+                    0
+                }
+            }
+        }
+    }
+
+    /// Detaches slice `b` into a fresh singleton cluster on its current
+    /// server (no migrations — the paper charges nothing for leaving a
+    /// color cluster).
+    fn make_singleton(&mut self, b: BoundaryId) {
+        let cur = self.nodes[b].cluster;
+        let len = u64::from(self.nodes[b].len);
+        let server = self.clusters[&cur].server;
+        self.detach_member(cur, b);
+        let key = ClusterKey::Singleton(self.next_singleton);
+        self.next_singleton += 1;
+        self.clusters.insert(
+            key,
+            Cluster {
+                server,
+                size: len,
+                members: HashSet::from([b]),
+            },
+        );
+        self.nodes[b].cluster = key;
+    }
+
+    /// Assigns slice `b` to the color cluster `c`, migrating its
+    /// processes to the cluster's server. Returns migrations.
+    fn assign_to_color(&mut self, b: BoundaryId, c: u32, placement: &mut Placement) -> u64 {
+        let cur = self.nodes[b].cluster;
+        let len = self.nodes[b].len;
+        self.detach_member(cur, b);
+        let key = ClusterKey::Color(c);
+        let entry = self.clusters.entry(key).or_insert(Cluster {
+            server: c,
+            size: 0,
+            members: HashSet::new(),
+        });
+        entry.size += u64::from(len);
+        entry.members.insert(b);
+        self.nodes[b].cluster = key;
+        let start = self.slice_start(b);
+        self.migrate_range(start, len, key, placement)
+    }
+
+    /// Removes slice `b` from cluster `key`, dropping dead singletons.
+    fn detach_member(&mut self, key: ClusterKey, b: BoundaryId) {
+        let len = u64::from(self.nodes[b].len);
+        let c = self.clusters.get_mut(&key).expect("detach cluster");
+        c.size -= len;
+        c.members.remove(&b);
+        self.drop_if_dead_singleton(key);
+    }
+
+    fn drop_if_dead_singleton(&mut self, key: ClusterKey) {
+        if key.is_singleton() {
+            if let Some(c) = self.clusters.get(&key) {
+                if c.members.is_empty() && c.size == 0 {
+                    self.clusters.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// Migrates the `len` processes starting at `start` to cluster
+    /// `key`'s server. Returns actual migrations.
+    fn migrate_range(
+        &mut self,
+        start: u32,
+        len: u32,
+        key: ClusterKey,
+        placement: &mut Placement,
+    ) -> u64 {
+        let server = Server(self.clusters[&key].server);
+        let mut moved = 0;
+        for i in 0..len {
+            let p = Process((start + i) % self.n);
+            if placement.migrate(p, server) {
+                moved += 1;
+            }
+        }
+        moved
+    }
+
+    /// Moves an entire cluster to `server` (scheduling procedure).
+    /// Returns actual migrations.
+    pub fn move_cluster(
+        &mut self,
+        key: ClusterKey,
+        server: u32,
+        placement: &mut Placement,
+    ) -> u64 {
+        let members: Vec<BoundaryId> = self.clusters[&key].members.iter().copied().collect();
+        self.clusters.get_mut(&key).expect("cluster").server = server;
+        let mut moved = 0;
+        for b in members {
+            let start = self.slice_start(b);
+            let len = self.nodes[b].len;
+            moved += self.migrate_range(start, len, key, placement);
+        }
+        if self.whole_ring == Some(key) {
+            moved += self.migrate_range(0, self.n, key, placement);
+        }
+        moved
+    }
+
+    /// Exhaustive consistency check, for tests: list order, slice
+    /// lengths summing to `n` and consistent with edge positions,
+    /// cluster sizes, and placement agreement.
+    ///
+    /// # Panics
+    /// Panics (with a description) on any inconsistency.
+    pub fn integrity_check(&self, placement: &Placement) {
+        if self.live == 0 {
+            let key = self.whole_ring.expect("whole-ring cluster set");
+            let c = &self.clusters[&key];
+            assert_eq!(c.size, u64::from(self.n), "whole-ring size");
+            for p in 0..self.n {
+                assert_eq!(
+                    placement.server(Process(p)).0,
+                    c.server,
+                    "process {p} off its whole-ring server"
+                );
+            }
+            return;
+        }
+        let head = self.head.expect("head set when live > 0");
+        let mut total = 0u64;
+        let mut seen = 0usize;
+        let mut b = head;
+        let mut sizes: HashMap<ClusterKey, u64> = HashMap::new();
+        loop {
+            assert!(self.nodes[b].alive, "dead node {b} in list");
+            let len = self.nodes[b].len;
+            let e = self.nodes[b].edge;
+            let e_next = self.nodes[self.nodes[b].next].edge;
+            assert_eq!(
+                (e + len) % self.n,
+                e_next % self.n,
+                "slice {b}: edge {e} + len {len} inconsistent with next edge {e_next}"
+            );
+            total += u64::from(len);
+            let key = self.nodes[b].cluster;
+            *sizes.entry(key).or_insert(0) += u64::from(len);
+            assert!(
+                self.clusters[&key].members.contains(&b),
+                "slice {b} missing from its cluster's member set"
+            );
+            let server = self.clusters[&key].server;
+            for i in 0..len {
+                let p = Process((self.slice_start(b) + i) % self.n);
+                assert_eq!(
+                    placement.server(p).0,
+                    server,
+                    "process {} off its cluster server",
+                    p.0
+                );
+            }
+            seen += 1;
+            b = self.nodes[b].next;
+            if b == head {
+                break;
+            }
+        }
+        assert_eq!(seen, self.live, "live count mismatch");
+        assert_eq!(total, u64::from(self.n), "slice lengths must cover the ring");
+        for (key, c) in &self.clusters {
+            let expect = sizes.get(key).copied().unwrap_or(0);
+            assert_eq!(
+                c.size, expect,
+                "cluster {key:?} size {} != sum of member slices {expect}",
+                c.size
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdbp_model::RingInstance;
+
+    fn setup() -> (SliceMap, Vec<(BoundaryId, u32)>, Placement, InitialColors) {
+        let inst = RingInstance::new(12, 3, 4);
+        let placement = Placement::contiguous(&inst);
+        let colors = InitialColors::new(&placement);
+        let (map, bs) = SliceMap::new(&placement);
+        (map, bs, placement, colors)
+    }
+
+    #[test]
+    fn initial_structure_matches_blocks() {
+        let (map, bs, placement, _) = setup();
+        assert_eq!(bs.len(), 3);
+        assert_eq!(map.num_boundaries(), 3);
+        let edges: Vec<u32> = bs.iter().map(|&(b, _)| map.edge(b)).collect();
+        assert_eq!(edges, vec![3, 7, 11]);
+        for &(b, _) in &bs {
+            assert_eq!(map.slice_len(b), 4);
+            assert!(!map.cluster_of(b).is_singleton());
+        }
+        map.integrity_check(&placement);
+    }
+
+    #[test]
+    fn move_cut_transfers_processes() {
+        let (mut map, bs, mut placement, colors) = setup();
+        let b = bs[0].0; // cut at edge 3: slice after = {4..7} (color 1)
+        let moved = map.move_cut(b, 2, true, &mut placement, &colors);
+        // Boundary 3 → 5: processes 4, 5 join the slice before b (color
+        // 0 cluster on server 0).
+        assert_eq!(map.edge(b), 5);
+        assert_eq!(moved, 2);
+        assert_eq!(placement.server(Process(4)).0, 0);
+        assert_eq!(placement.server(Process(5)).0, 0);
+        map.integrity_check(&placement);
+    }
+
+    #[test]
+    fn move_cut_ccw_transfers_back() {
+        let (mut map, bs, mut placement, colors) = setup();
+        let b = bs[0].0;
+        map.move_cut(b, 2, true, &mut placement, &colors);
+        let moved = map.move_cut(b, 2, false, &mut placement, &colors);
+        assert_eq!(map.edge(b), 3);
+        assert_eq!(moved, 2);
+        assert_eq!(placement.server(Process(4)).0, 1);
+        map.integrity_check(&placement);
+    }
+
+    #[test]
+    fn cut_slides_past_coincident_boundary() {
+        let (mut map, bs, mut placement, colors) = setup();
+        let b0 = bs[0].0; // at 3
+        map.move_cut(b0, 4, true, &mut placement, &colors);
+        assert_eq!(map.edge(b0), 7);
+        assert_eq!(map.slice_len(b0), 0);
+        map.integrity_check(&placement);
+        map.move_cut(b0, 1, true, &mut placement, &colors);
+        assert_eq!(map.edge(b0), 8);
+        map.integrity_check(&placement);
+    }
+
+    #[test]
+    fn remove_boundary_merges_and_charges_smaller_side() {
+        let (mut map, bs, mut placement, colors) = setup();
+        let b0 = bs[0].0;
+        map.move_cut(b0, 2, true, &mut placement, &colors);
+        let b1 = bs[1].0;
+        let before_merge = map.cost_merge;
+        map.remove_boundary(b1, &mut placement, &colors);
+        assert_eq!(map.num_boundaries(), 2);
+        // slice(b0) now spans {6..11}: 2 color-1 + 4 color-2 processes.
+        assert_eq!(map.slice_len(b0), 6);
+        assert_eq!(map.cost_merge, before_merge + 2);
+        map.integrity_check(&placement);
+    }
+
+    #[test]
+    fn merge_smaller_left_side_adopts_right_cluster() {
+        let inst = RingInstance::new(8, 4, 2);
+        let initial = Placement::contiguous(&inst); // 00112233
+        let colors = InitialColors::new(&initial);
+        let mut placement = initial.clone();
+        let (mut map, bs) = SliceMap::new(&initial);
+        // Slices: after b0(e=1) {2,3}, b1(e=3) {4,5}, b2(e=5) {6,7},
+        // b3(e=7) {0,1}. Removing b1 merges {2,3} (left, color 1) with
+        // {4,5} (right, color 2): equal sizes → left label kept, cost 2.
+        let before = map.cost_merge;
+        map.remove_boundary(bs[1].0, &mut placement, &colors);
+        assert_eq!(map.cost_merge, before + 2);
+        assert_eq!(map.slice_len(bs[0].0), 4);
+        map.integrity_check(&placement);
+    }
+
+    #[test]
+    fn non_mono_merge_without_majority_becomes_singleton() {
+        let inst = RingInstance::new(8, 4, 2);
+        let initial = Placement::contiguous(&inst); // colors 00112233
+        let colors = InitialColors::new(&initial);
+        let mut placement = initial.clone();
+        let (mut map, bs) = SliceMap::new(&initial);
+        // Merge {2,3}(c1) with {4,5}(c2): union has no strict majority
+        // (2 vs 2) → singleton.
+        map.remove_boundary(bs[1].0, &mut placement, &colors);
+        assert!(map.cluster_of(bs[0].0).is_singleton());
+        map.integrity_check(&placement);
+    }
+
+    #[test]
+    fn losing_majority_creates_singleton() {
+        let inst = RingInstance::new(8, 2, 4);
+        let initial = Placement::contiguous(&inst); // 00001111
+        let colors = InitialColors::new(&initial);
+        let mut placement = initial.clone();
+        let (mut map, bs) = SliceMap::new(&initial);
+        let b0 = bs[0].0; // at 3; slice {4..7} color 1
+        map.move_cut(b0, 3, false, &mut placement, &colors);
+        assert!(!map.cluster_of(b0).is_singleton());
+        let b1 = bs[1].0; // at 7; slice {0..3}… after b0's move: {1..7}?
+        map.move_cut(b1, 3, false, &mut placement, &colors);
+        assert!(
+            map.cluster_of(b0).is_singleton(),
+            "slice with flipped majority must detach into a singleton"
+        );
+        map.integrity_check(&placement);
+    }
+
+    #[test]
+    fn move_cluster_relocates_all_members() {
+        let (mut map, bs, mut placement, _colors) = setup();
+        let key = map.cluster_of(bs[0].0);
+        let moved = map.move_cluster(key, 0, &mut placement);
+        assert_eq!(moved, 4);
+        for p in 4..8 {
+            assert_eq!(placement.server(Process(p)).0, 0);
+        }
+        map.integrity_check(&placement);
+    }
+
+    #[test]
+    fn removing_all_boundaries_leaves_whole_ring() {
+        let (mut map, bs, mut placement, colors) = setup();
+        for &(b, _) in &bs {
+            map.remove_boundary(b, &mut placement, &colors);
+        }
+        assert_eq!(map.num_boundaries(), 0);
+        map.integrity_check(&placement);
+    }
+
+    #[test]
+    fn long_random_walk_preserves_integrity() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let inst = RingInstance::new(24, 4, 6);
+        let initial = Placement::contiguous(&inst);
+        let colors = InitialColors::new(&initial);
+        let mut placement = initial.clone();
+        let (mut map, bs) = SliceMap::new(&initial);
+        let mut rng = StdRng::seed_from_u64(7);
+        let ids: Vec<BoundaryId> = bs.iter().map(|&(b, _)| b).collect();
+        let mut alive: Vec<BoundaryId> = ids.clone();
+        for step in 0..500 {
+            let pick = alive[rng.random_range(0..alive.len())];
+            match rng.random_range(0..10u8) {
+                0 if alive.len() > 1 => {
+                    map.remove_boundary(pick, &mut placement, &colors);
+                    alive.retain(|&x| x != pick);
+                }
+                _ => {
+                    let steps = rng.random_range(0..4u32);
+                    let cw = rng.random_range(0..2u8) == 0;
+                    map.move_cut(pick, steps, cw, &mut placement, &colors);
+                }
+            }
+            map.integrity_check(&placement);
+            let _ = step;
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests for the core algorithms: the dynamic server mapping
+//! against its reference implementation, load invariants under random
+//! traces, and slice-machinery integrity under random operation soups.
+
+use proptest::prelude::*;
+use rdbp_core::staticmodel::{StaticConfig, StaticPartitioner};
+use rdbp_core::{DynamicConfig, DynamicPartitioner};
+use rdbp_model::{run_trace, AuditLevel, Edge, OnlineAlgorithm, Placement, RingInstance};
+use rdbp_mts::PolicyKind;
+
+fn instances() -> impl Strategy<Value = RingInstance> {
+    (2u32..6, 3u32..9).prop_map(|(ell, k)| RingInstance::packed(ell, k))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The dynamic partitioner's load invariant (Lemma 3.1) and
+    /// migration audit hold on arbitrary request traces, all policies.
+    #[test]
+    fn dynamic_invariants_on_random_traces(
+        inst in instances(),
+        reqs in proptest::collection::vec(0u64..10_000, 1..300),
+        seed in 0u64..100,
+        policy_pick in 0u8..3,
+    ) {
+        let policy = [PolicyKind::WorkFunction, PolicyKind::SminGradient, PolicyKind::HstHedge][policy_pick as usize];
+        let trace: Vec<Edge> = reqs.iter().map(|&r| inst.edge(r)).collect();
+        let mut alg = DynamicPartitioner::new(
+            &inst,
+            DynamicConfig { epsilon: 0.5, policy, seed, shift: None },
+        );
+        let bound = alg.load_bound();
+        let report = run_trace(&mut alg, &trace, AuditLevel::Full { load_limit: bound });
+        prop_assert_eq!(report.capacity_violations, 0);
+        // Observation 3.2 (adjusted): comm ≤ hits + moves; mig ≤ moves.
+        let hits: u64 = alg.interval_hits().iter().sum();
+        let moves: u64 = alg.interval_moves().iter().sum();
+        prop_assert!(report.ledger.communication <= hits + moves);
+        prop_assert!(report.ledger.migration <= moves);
+    }
+
+    /// The static partitioner's load invariant (Lemma 4.13), slice
+    /// integrity and cluster-size bounds hold on arbitrary traces from
+    /// arbitrary (feasible) initial placements.
+    #[test]
+    fn static_invariants_on_random_traces(
+        inst in instances(),
+        reqs in proptest::collection::vec(0u64..10_000, 1..300),
+        seed in 0u64..100,
+        shuffle in 0u64..50,
+    ) {
+        // Initial placement: contiguous blocks rotated by a random
+        // offset, or striped (both capacity-exact).
+        let n = inst.n();
+        let k = inst.capacity();
+        let assignment: Vec<u32> = if shuffle % 2 == 0 {
+            (0..n).map(|p| ((p + shuffle as u32) % n) / k).collect()
+        } else {
+            (0..n).map(|p| (p / 2.max(k / 2)) % inst.servers()).collect()
+        };
+        let initial = Placement::from_assignment(&inst, assignment);
+        prop_assume!(initial.max_load() <= k);
+        let trace: Vec<Edge> = reqs.iter().map(|&r| inst.edge(r)).collect();
+        let mut alg = StaticPartitioner::new(
+            &inst,
+            &initial,
+            StaticConfig { epsilon: 1.0, seed },
+        );
+        let bound = alg.load_bound();
+        let report = run_trace(&mut alg, &trace, AuditLevel::Full { load_limit: bound });
+        prop_assert_eq!(report.capacity_violations, 0);
+        alg.slices().integrity_check(alg.placement());
+        // Lemma 4.12: color clusters never exceed 2k.
+        for (key, c) in alg.slices().clusters() {
+            if !key.is_singleton() {
+                prop_assert!(c.size <= 2 * u64::from(k), "color cluster {} > 2k", c.size);
+            }
+        }
+    }
+
+    /// Determinism: identical seeds and traces give identical final
+    /// placements and ledgers for both algorithms.
+    #[test]
+    fn both_algorithms_are_deterministic(
+        inst in instances(),
+        reqs in proptest::collection::vec(0u64..10_000, 1..120),
+        seed in 0u64..50,
+    ) {
+        let trace: Vec<Edge> = reqs.iter().map(|&r| inst.edge(r)).collect();
+        let dyn_run = |seed| {
+            let mut alg = DynamicPartitioner::new(
+                &inst,
+                DynamicConfig { epsilon: 0.5, policy: PolicyKind::HstHedge, seed, shift: None },
+            );
+            let r = run_trace(&mut alg, &trace, AuditLevel::None);
+            (r.ledger, alg.placement().assignment().to_vec())
+        };
+        prop_assert_eq!(dyn_run(seed), dyn_run(seed));
+        let stat_run = |seed| {
+            let mut alg = StaticPartitioner::with_contiguous(
+                &inst,
+                StaticConfig { epsilon: 1.0, seed },
+            );
+            let r = run_trace(&mut alg, &trace, AuditLevel::None);
+            (r.ledger, alg.placement().assignment().to_vec())
+        };
+        prop_assert_eq!(stat_run(seed), stat_run(seed));
+    }
+}

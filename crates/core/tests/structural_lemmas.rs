@@ -1,0 +1,194 @@
+//! Property tests for the paper's structural lemmas — statements about
+//! monochromatic segments and interval costs that can be checked
+//! directly, independent of any algorithm run.
+
+use proptest::prelude::*;
+use rdbp_core::staticmodel::{IntervalStatus, StaticConfig, StaticPartitioner};
+use rdbp_model::workload::UniformRandom;
+use rdbp_model::{run, AuditLevel, Placement, RingInstance};
+
+/// Random balanced-ish placements on a ring of `n` processes over
+/// `ell` colors.
+fn placements(n: u32, ell: u32) -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(0..ell, n as usize..=n as usize)
+}
+
+/// A wrapped segment's per-color counts.
+fn count(colors: &[u32], start: usize, len: usize, c: u32) -> usize {
+    (0..len)
+        .filter(|&i| colors[(start + i) % colors.len()] == c)
+        .count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Lemma 4.5: two overlapping δ-monochromatic segments with
+    /// |I∩J| ≥ α·max(|I|,|J|) and δ ≥ 1 − α/2 share their majority
+    /// color.
+    #[test]
+    fn lemma_4_5_overlap_forces_same_color(
+        assignment in placements(30, 3),
+        a_start in 0usize..30,
+        a_len in 4usize..12,
+        overlap in 2usize..6,
+        b_len in 4usize..12,
+    ) {
+        let n = 30usize;
+        // Construct overlapping segments: B starts inside A so that
+        // |A∩B| = overlap (clamped).
+        let overlap = overlap.min(a_len).min(b_len);
+        let b_start = (a_start + a_len - overlap) % n;
+        let alpha = overlap as f64 / a_len.max(b_len) as f64;
+        let delta = 1.0 - alpha / 2.0;
+
+        // Find each segment's majority color and check
+        // δ-monochromaticity (strict).
+        let maj = |s: usize, l: usize| {
+            (0..3u32)
+                .map(|c| (count(&assignment, s, l, c), c))
+                .max()
+                .map(|(cnt, c)| (c, cnt))
+                .unwrap()
+        };
+        let (ca, cnt_a) = maj(a_start, a_len);
+        let (cb, cnt_b) = maj(b_start, b_len);
+        let a_mono = cnt_a as f64 > delta * a_len as f64;
+        let b_mono = cnt_b as f64 > delta * b_len as f64;
+        if a_mono && b_mono {
+            prop_assert_eq!(
+                ca, cb,
+                "Lemma 4.5 violated: overlap {} of ({},{}) with δ={}",
+                overlap, a_len, b_len, delta
+            );
+        }
+    }
+
+    /// Lemma 4.6: a union of same-majority δ-monochromatic segments
+    /// forming one contiguous run is δ/(2−δ)-monochromatic.
+    #[test]
+    fn lemma_4_6_union_stays_monochromatic(
+        assignment in placements(30, 2),
+        start in 0usize..30,
+        lens in proptest::collection::vec(3usize..8, 2..4),
+        overlaps in proptest::collection::vec(1usize..3, 2..4),
+    ) {
+        let n = 30usize;
+        let delta = 0.8f64;
+        // Build a chain of segments, each overlapping the previous.
+        let mut segs: Vec<(usize, usize)> = Vec::new();
+        let mut cur = start;
+        for (i, &len) in lens.iter().enumerate() {
+            segs.push((cur, len));
+            let ov = overlaps[i % overlaps.len()].min(len - 1);
+            cur = (cur + len - ov) % n;
+        }
+        let total_span = {
+            let last = segs.last().unwrap();
+            let end = (last.0 + last.1 + n - start) % n;
+            if end == 0 { n } else { end }
+        };
+        if total_span >= n {
+            return Ok(()); // wrapped all the way: not a single segment
+        }
+        // All segments must be δ-mono for the same color c.
+        let mut color = None;
+        let mut all_mono = true;
+        for &(s, l) in &segs {
+            let best = (0..2u32)
+                .map(|c| (count(&assignment, s, l, c), c))
+                .max()
+                .unwrap();
+            if (best.0 as f64) <= delta * l as f64 {
+                all_mono = false;
+                break;
+            }
+            match color {
+                None => color = Some(best.1),
+                Some(c) if c == best.1 => {}
+                _ => {
+                    all_mono = false;
+                    break;
+                }
+            }
+        }
+        if all_mono {
+            let c = color.unwrap();
+            let union_cnt = count(&assignment, start, total_span, c);
+            let bound = delta / (2.0 - delta) * total_span as f64;
+            prop_assert!(
+                union_cnt as f64 >= bound - 1e-9,
+                "Lemma 4.6 violated: union count {} < {} over span {}",
+                union_cnt, bound, total_span
+            );
+        }
+    }
+}
+
+/// Lemma 4.16 empirically: every interval's accumulated cost stays
+/// within O(log k)·|I| (+O(1)), using Lemma 4.15's lower bound
+/// OPT(I) ≥ (1−δ̄)|I|/2 for non-initial intervals.
+#[test]
+fn lemma_4_16_interval_cost_bounded() {
+    let inst = RingInstance::packed(4, 32);
+    let mut alg = StaticPartitioner::with_contiguous(
+        &inst,
+        StaticConfig {
+            epsilon: 1.0,
+            seed: 3,
+        },
+    );
+    let mut w = UniformRandom::new(8);
+    let _ = run(&mut alg, &mut w, 20_000, AuditLevel::None);
+    let k = f64::from(inst.capacity());
+    let delta_bar = alg.delta_bar();
+    for (i, stat) in alg.interval_stats().iter().enumerate() {
+        if stat.rank == 0 {
+            continue; // initial interval: Observation 4.14 (cost may be
+                      // the single growth trigger's hit only)
+        }
+        let cost = (stat.hit + stat.moved) as f64;
+        let opt_lb = (1.0 - delta_bar) * f64::from(stat.len) / 2.0;
+        // Corollary 4.4 constant, generously: O(1/(1−δ̄)·log k)·OPT(I).
+        let budget = 40.0 / (1.0 - delta_bar) * k.ln() * opt_lb + 10.0 * k.ln() * k;
+        assert!(
+            cost <= budget,
+            "interval {i}: cost {cost} exceeds budget {budget} (len {})",
+            stat.len
+        );
+    }
+}
+
+/// Deactivated intervals never hold a cut edge again: their stats
+/// freeze.
+#[test]
+fn deactivated_intervals_freeze() {
+    let inst = RingInstance::new(16, 4, 4);
+    let stripes: Vec<u32> = (0..16).map(|p| (p / 2) % 4).collect();
+    let initial = Placement::from_assignment(&inst, stripes);
+    let mut alg = StaticPartitioner::new(
+        &inst,
+        &initial,
+        StaticConfig {
+            epsilon: 1.0,
+            seed: 4,
+        },
+    );
+    let mut w = UniformRandom::new(5);
+    let _ = run(&mut alg, &mut w, 1500, AuditLevel::None);
+    let snapshot: Vec<_> = alg
+        .interval_stats()
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.status != IntervalStatus::Active)
+        .map(|(i, s)| (i, s.hit, s.moved, s.len))
+        .collect();
+    assert!(!snapshot.is_empty(), "expected deactivations");
+    let _ = run(&mut alg, &mut w, 1500, AuditLevel::None);
+    for (i, hit, moved, len) in snapshot {
+        let now = alg.interval_stats()[i];
+        assert_eq!(now.hit, hit, "interval {i} hit changed after deactivation");
+        assert_eq!(now.moved, moved);
+        assert_eq!(now.len, len);
+    }
+}

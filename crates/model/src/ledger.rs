@@ -1,0 +1,98 @@
+//! Cost accounting for the online partitioning model.
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulated costs of an algorithm run, split exactly as the model
+/// defines them (Section 2): communication cost (1 per request whose
+/// endpoints sit on different servers at request time) and migration
+/// cost (1 per process move).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostLedger {
+    /// Total communication cost.
+    pub communication: u64,
+    /// Total migration cost.
+    pub migration: u64,
+}
+
+impl CostLedger {
+    /// A zeroed ledger.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total cost `communication + migration` — the objective the
+    /// competitive ratio is measured on.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.communication + self.migration
+    }
+
+    /// Adds another ledger's costs into this one.
+    pub fn absorb(&mut self, other: &CostLedger) {
+        self.communication += other.communication;
+        self.migration += other.migration;
+    }
+}
+
+impl core::ops::Add for CostLedger {
+    type Output = CostLedger;
+
+    fn add(self, rhs: CostLedger) -> CostLedger {
+        CostLedger {
+            communication: self.communication + rhs.communication,
+            migration: self.migration + rhs.migration,
+        }
+    }
+}
+
+impl core::fmt::Display for CostLedger {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "total={} (comm={}, mig={})",
+            self.total(),
+            self.communication,
+            self.migration
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_is_sum() {
+        let l = CostLedger {
+            communication: 5,
+            migration: 7,
+        };
+        assert_eq!(l.total(), 12);
+    }
+
+    #[test]
+    fn absorb_and_add_agree() {
+        let a = CostLedger {
+            communication: 1,
+            migration: 2,
+        };
+        let b = CostLedger {
+            communication: 10,
+            migration: 20,
+        };
+        let mut c = a;
+        c.absorb(&b);
+        assert_eq!(c, a + b);
+        assert_eq!(c.total(), 33);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let l = CostLedger {
+            communication: 3,
+            migration: 4,
+        };
+        assert_eq!(format!("{l}"), "total=7 (comm=3, mig=4)");
+    }
+}

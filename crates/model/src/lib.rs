@@ -1,0 +1,35 @@
+//! Ring-demand balanced graph partitioning: the problem substrate.
+//!
+//! This crate implements Section 2 (model) of Räcke, Schmid & Zabrodin,
+//! *"Polylog-Competitive Algorithms for Dynamic Balanced Graph
+//! Partitioning for Ring Demands"* (SPAA 2023), plus everything a
+//! simulation study needs around it:
+//!
+//! * [`RingInstance`] — `n` processes on a cycle, `ℓ` servers of
+//!   capacity `k`, with all modular index arithmetic in one place.
+//! * [`Placement`] — a process→server assignment with incrementally
+//!   maintained server loads, cut-edge queries and migration distance.
+//! * [`CostLedger`] — communication + migration cost accounting exactly
+//!   as the model defines it (a request costs 1 iff its endpoints are on
+//!   different servers *at request time*; each process move costs 1).
+//! * [`OnlineAlgorithm`] / [`run`] — the simulation driver. The driver —
+//!   not the algorithm — charges costs and audits capacity, so cost
+//!   accounting cannot be gamed by an algorithm implementation.
+//! * [`workload`] — request generators: the ML ring-allreduce pattern the
+//!   paper's introduction motivates, plus Zipf, sliding windows, bursts,
+//!   rotating hotspots, random walks, and *adaptive adversaries* (the
+//!   cut-chaser used in the Ω(k) lower-bound experiments).
+//! * [`trace`] — (de)serialization of recorded request traces.
+
+mod instance;
+mod ledger;
+mod placement;
+mod sim;
+pub mod trace;
+pub mod workload;
+
+pub use instance::{Edge, Process, RingInstance, Segment, Server};
+pub use ledger::CostLedger;
+pub use placement::Placement;
+pub use sim::{run, run_trace, AuditLevel, OnlineAlgorithm, RunReport};
+pub use workload::Workload;

@@ -1,0 +1,237 @@
+//! Process→server assignments with incrementally maintained loads.
+
+use crate::{Edge, Process, RingInstance, Segment, Server};
+
+/// An assignment of every process to a server, with server loads kept
+/// incrementally (O(1) per move, O(ℓ) max-load query).
+///
+/// A placement does **not** enforce capacity — the simulation driver
+/// audits loads against the augmented capacity `α·k`, because online and
+/// offline algorithms are held to different limits (resource
+/// augmentation, Section 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    servers_of: Vec<u32>,
+    loads: Vec<u32>,
+    instance: RingInstance,
+}
+
+impl Placement {
+    /// The canonical initial placement: process `pᵢ` on server
+    /// `⌊i/k⌋` — contiguous segments of length `k`, the "initial
+    /// distribution" both the paper's algorithms assume.
+    ///
+    /// # Panics
+    /// Panics if `⌊i/k⌋` would exceed `ℓ-1` for some process (cannot
+    /// happen when `n ≤ ℓ·k`, which [`RingInstance`] guarantees).
+    #[must_use]
+    pub fn contiguous(instance: &RingInstance) -> Self {
+        let k = instance.capacity();
+        let servers_of: Vec<u32> = (0..instance.n()).map(|i| i / k).collect();
+        Self::from_assignment(instance, servers_of)
+    }
+
+    /// Builds a placement from an explicit assignment vector.
+    ///
+    /// # Panics
+    /// Panics if the vector length differs from `n` or a server index is
+    /// out of range.
+    #[must_use]
+    pub fn from_assignment(instance: &RingInstance, servers_of: Vec<u32>) -> Self {
+        assert_eq!(
+            servers_of.len(),
+            instance.n() as usize,
+            "assignment length must equal n"
+        );
+        let mut loads = vec![0u32; instance.servers() as usize];
+        for &s in &servers_of {
+            assert!(s < instance.servers(), "server index {s} out of range");
+            loads[s as usize] += 1;
+        }
+        Self {
+            servers_of,
+            loads,
+            instance: *instance,
+        }
+    }
+
+    /// The instance this placement belongs to.
+    #[must_use]
+    pub fn instance(&self) -> &RingInstance {
+        &self.instance
+    }
+
+    /// Server currently hosting process `p`.
+    #[must_use]
+    pub fn server(&self, p: Process) -> Server {
+        Server(self.servers_of[p.0 as usize])
+    }
+
+    /// Moves process `p` to server `s`. Returns `true` if this was an
+    /// actual migration (different server), which costs 1 in the model.
+    ///
+    /// # Panics
+    /// Panics if `s` is out of range.
+    pub fn migrate(&mut self, p: Process, s: Server) -> bool {
+        assert!(s.0 < self.instance.servers(), "server out of range");
+        let old = self.servers_of[p.0 as usize];
+        if old == s.0 {
+            return false;
+        }
+        self.loads[old as usize] -= 1;
+        self.loads[s.0 as usize] += 1;
+        self.servers_of[p.0 as usize] = s.0;
+        true
+    }
+
+    /// Moves a whole segment to server `s`, returning the number of
+    /// actual migrations.
+    pub fn migrate_segment(&mut self, seg: &Segment, s: Server) -> u64 {
+        let mut moved = 0;
+        for p in seg.iter() {
+            if self.migrate(p, s) {
+                moved += 1;
+            }
+        }
+        moved
+    }
+
+    /// Current load of server `s`.
+    #[must_use]
+    pub fn load(&self, s: Server) -> u32 {
+        self.loads[s.0 as usize]
+    }
+
+    /// Maximum load over all servers.
+    #[must_use]
+    pub fn max_load(&self) -> u32 {
+        self.loads.iter().copied().max().unwrap_or(0)
+    }
+
+    /// All server loads.
+    #[must_use]
+    pub fn loads(&self) -> &[u32] {
+        &self.loads
+    }
+
+    /// Whether the endpoints of ring edge `e` sit on different servers
+    /// (such an edge is a *cut edge*; a request to it costs 1).
+    #[must_use]
+    pub fn is_cut(&self, e: Edge) -> bool {
+        let (a, b) = self.instance.endpoints(e);
+        self.servers_of[a.0 as usize] != self.servers_of[b.0 as usize]
+    }
+
+    /// Iterator over all current cut edges in ring order.
+    pub fn cut_edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.instance.edges().filter(|&e| self.is_cut(e))
+    }
+
+    /// Number of processes placed differently in `other` — the migration
+    /// cost of jumping from `self` to `other` in one step.
+    ///
+    /// # Panics
+    /// Panics if the placements belong to different-sized instances.
+    #[must_use]
+    pub fn migration_distance(&self, other: &Self) -> u64 {
+        assert_eq!(
+            self.servers_of.len(),
+            other.servers_of.len(),
+            "placements over different instances"
+        );
+        self.servers_of
+            .iter()
+            .zip(&other.servers_of)
+            .filter(|(a, b)| a != b)
+            .count() as u64
+    }
+
+    /// Raw assignment vector (`servers_of[p] = server index`).
+    #[must_use]
+    pub fn assignment(&self) -> &[u32] {
+        &self.servers_of
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst() -> RingInstance {
+        RingInstance::new(12, 3, 4)
+    }
+
+    #[test]
+    fn contiguous_initial_loads_are_k() {
+        let p = Placement::contiguous(&inst());
+        for s in 0..3 {
+            assert_eq!(p.load(Server(s)), 4);
+        }
+        assert_eq!(p.max_load(), 4);
+    }
+
+    #[test]
+    fn contiguous_cut_edges_every_k() {
+        let p = Placement::contiguous(&inst());
+        let cuts: Vec<_> = p.cut_edges().collect();
+        assert_eq!(cuts, vec![Edge(3), Edge(7), Edge(11)]);
+    }
+
+    #[test]
+    fn migrate_updates_loads_incrementally() {
+        let mut p = Placement::contiguous(&inst());
+        assert!(p.migrate(Process(0), Server(2)));
+        assert_eq!(p.load(Server(0)), 3);
+        assert_eq!(p.load(Server(2)), 5);
+        assert_eq!(p.max_load(), 5);
+        // Same-server "move" is free.
+        assert!(!p.migrate(Process(0), Server(2)));
+        assert_eq!(p.load(Server(2)), 5);
+    }
+
+    #[test]
+    fn migrate_segment_counts_only_real_moves() {
+        let i = inst();
+        let mut p = Placement::contiguous(&i);
+        // Segment {2,3,4}: processes 2,3 on server 0; 4 on server 1.
+        let seg = Segment::new(&i, 2, 3);
+        let moved = p.migrate_segment(&seg, Server(1));
+        assert_eq!(moved, 2);
+        assert_eq!(p.server(Process(2)), Server(1));
+        assert_eq!(p.server(Process(4)), Server(1));
+    }
+
+    #[test]
+    fn is_cut_detects_boundaries() {
+        let p = Placement::contiguous(&inst());
+        assert!(!p.is_cut(Edge(0)));
+        assert!(p.is_cut(Edge(3)));
+        assert!(p.is_cut(Edge(11))); // wraps: p11 (server 2) — p0 (server 0)
+    }
+
+    #[test]
+    fn migration_distance_is_hamming() {
+        let i = inst();
+        let a = Placement::contiguous(&i);
+        let mut b = a.clone();
+        b.migrate(Process(1), Server(1));
+        b.migrate(Process(2), Server(2));
+        assert_eq!(a.migration_distance(&b), 2);
+        assert_eq!(b.migration_distance(&a), 2);
+        assert_eq!(a.migration_distance(&a), 0);
+    }
+
+    #[test]
+    fn from_assignment_validates() {
+        let i = inst();
+        let p = Placement::from_assignment(&i, vec![0; 12]);
+        assert_eq!(p.load(Server(0)), 12);
+        assert_eq!(p.cut_edges().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "server index")]
+    fn from_assignment_rejects_bad_server() {
+        let _ = Placement::from_assignment(&inst(), vec![7; 12]);
+    }
+}

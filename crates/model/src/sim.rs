@@ -1,0 +1,267 @@
+//! The simulation driver: charges costs, audits invariants.
+//!
+//! The driver — not the algorithm — is the source of truth for cost
+//! accounting. For every request it
+//!
+//! 1. charges communication cost from the *current* placement ("serving
+//!    a communication request incurs cost of exactly 1, if both
+//!    requested processes are located on different servers"),
+//! 2. lets the algorithm react (migrations happen here),
+//! 3. charges the migrations the algorithm reports and, in
+//!    [`AuditLevel::Full`], cross-checks them against the actual
+//!    placement diff,
+//! 4. audits the capacity constraint `max load ≤ limit`.
+
+use crate::workload::Workload;
+use crate::{CostLedger, Edge, Placement};
+
+/// An online algorithm for ring-demand balanced partitioning.
+///
+/// Implementations maintain their own [`Placement`] and react to one
+/// request at a time. They must report the number of migrations each
+/// request triggered; the driver verifies the report in
+/// [`AuditLevel::Full`] runs.
+pub trait OnlineAlgorithm {
+    /// The algorithm's current placement of processes onto servers.
+    fn placement(&self) -> &Placement;
+
+    /// Serves one communication request and returns the number of
+    /// process migrations performed while serving it.
+    fn serve(&mut self, request: Edge) -> u64;
+
+    /// Human-readable name (for reports).
+    fn name(&self) -> &'static str {
+        "online"
+    }
+}
+
+/// How strictly the driver validates each step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditLevel {
+    /// Verify reported migrations against a placement diff (O(n)/step)
+    /// and check the capacity limit after every step.
+    Full {
+        /// Maximum allowed server load, typically `⌈α·k⌉` for the
+        /// algorithm's resource-augmentation factor `α`.
+        load_limit: u32,
+    },
+    /// Charge costs only; no per-step invariant checks (for throughput
+    /// benchmarks).
+    None,
+}
+
+/// Outcome of a simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunReport {
+    /// Total communication + migration costs.
+    pub ledger: CostLedger,
+    /// Requests served.
+    pub steps: u64,
+    /// Largest server load ever observed (after serving each request).
+    pub max_load_seen: u32,
+    /// Steps on which the load limit was exceeded (only counted under
+    /// [`AuditLevel::Full`]).
+    pub capacity_violations: u64,
+}
+
+impl RunReport {
+    fn new() -> Self {
+        Self {
+            ledger: CostLedger::new(),
+            steps: 0,
+            max_load_seen: 0,
+            capacity_violations: 0,
+        }
+    }
+}
+
+/// Runs `algorithm` against `workload` for `steps` requests.
+///
+/// # Panics
+/// Panics under [`AuditLevel::Full`] if the algorithm under-reports its
+/// migrations (reported < actual placement diff).
+pub fn run<A, W>(algorithm: &mut A, workload: &mut W, steps: u64, audit: AuditLevel) -> RunReport
+where
+    A: OnlineAlgorithm + ?Sized,
+    W: Workload + ?Sized,
+{
+    let mut report = RunReport::new();
+    let mut before: Option<Placement> = None;
+    for _ in 0..steps {
+        let request = workload.next_request(algorithm.placement());
+        step(algorithm, request, audit, &mut report, &mut before);
+    }
+    report
+}
+
+/// Replays a fixed request trace against `algorithm`.
+///
+/// # Panics
+/// Same contract as [`run`].
+pub fn run_trace<A>(algorithm: &mut A, requests: &[Edge], audit: AuditLevel) -> RunReport
+where
+    A: OnlineAlgorithm + ?Sized,
+{
+    let mut report = RunReport::new();
+    let mut before: Option<Placement> = None;
+    for &request in requests {
+        step(algorithm, request, audit, &mut report, &mut before);
+    }
+    report
+}
+
+fn step<A>(
+    algorithm: &mut A,
+    request: Edge,
+    audit: AuditLevel,
+    report: &mut RunReport,
+    scratch: &mut Option<Placement>,
+) where
+    A: OnlineAlgorithm + ?Sized,
+{
+    if algorithm.placement().is_cut(request) {
+        report.ledger.communication += 1;
+    }
+    if let AuditLevel::Full { .. } = audit {
+        // Reuse the scratch placement to avoid an allocation per step.
+        match scratch {
+            Some(prev) => prev.clone_from(algorithm.placement()),
+            None => *scratch = Some(algorithm.placement().clone()),
+        }
+    }
+    let reported = algorithm.serve(request);
+    report.ledger.migration += reported;
+    report.steps += 1;
+
+    let max_load = algorithm.placement().max_load();
+    report.max_load_seen = report.max_load_seen.max(max_load);
+
+    if let AuditLevel::Full { load_limit } = audit {
+        let actual = scratch
+            .as_ref()
+            .expect("scratch placement set above")
+            .migration_distance(algorithm.placement());
+        assert!(
+            reported >= actual,
+            "algorithm under-reported migrations: reported {reported}, actual {actual}"
+        );
+        if max_load > load_limit {
+            report.capacity_violations += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Sequential;
+    use crate::{Process, RingInstance, Server};
+
+    /// A do-nothing algorithm that keeps the initial placement.
+    struct Lazy {
+        placement: Placement,
+    }
+
+    impl OnlineAlgorithm for Lazy {
+        fn placement(&self) -> &Placement {
+            &self.placement
+        }
+
+        fn serve(&mut self, _request: Edge) -> u64 {
+            0
+        }
+
+        fn name(&self) -> &'static str {
+            "lazy"
+        }
+    }
+
+    /// Collocates the endpoints of every requested cut edge by moving
+    /// the counter-clockwise endpoint (deliberately ignores capacity).
+    struct GreedyPull {
+        placement: Placement,
+    }
+
+    impl OnlineAlgorithm for GreedyPull {
+        fn placement(&self) -> &Placement {
+            &self.placement
+        }
+
+        fn serve(&mut self, request: Edge) -> u64 {
+            let (a, b) = self.placement.instance().endpoints(request);
+            if self.placement.server(a) != self.placement.server(b) {
+                let target = self.placement.server(b);
+                u64::from(self.placement.migrate(a, target))
+            } else {
+                0
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_pays_communication_only() {
+        let inst = RingInstance::new(12, 3, 4);
+        let mut alg = Lazy {
+            placement: Placement::contiguous(&inst),
+        };
+        // One full ring pass: hits the 3 cut edges exactly once each.
+        let mut w = Sequential::new();
+        let report = run(&mut alg, &mut w, 12, AuditLevel::Full { load_limit: 4 });
+        assert_eq!(report.ledger.communication, 3);
+        assert_eq!(report.ledger.migration, 0);
+        assert_eq!(report.capacity_violations, 0);
+        assert_eq!(report.max_load_seen, 4);
+    }
+
+    #[test]
+    fn greedy_migrations_are_charged_and_audited() {
+        let inst = RingInstance::new(12, 3, 4);
+        let mut alg = GreedyPull {
+            placement: Placement::contiguous(&inst),
+        };
+        let trace = vec![Edge(3), Edge(3), Edge(2)];
+        let report = run_trace(&mut alg, &trace, AuditLevel::Full { load_limit: 12 });
+        // First request to edge 3 is cut (comm 1) and pulls p3 over
+        // (mig 1). Second request: no longer cut. Third request edge 2 is
+        // now cut (p2 on server 0, p3 on server 1): comm 1, mig 1.
+        assert_eq!(report.ledger.communication, 2);
+        assert_eq!(report.ledger.migration, 2);
+        assert_eq!(report.steps, 3);
+    }
+
+    #[test]
+    fn capacity_violations_are_counted() {
+        let inst = RingInstance::new(6, 3, 2);
+        let mut p = Placement::contiguous(&inst);
+        // Overload server 0 from the start.
+        p.migrate(Process(2), Server(0));
+        p.migrate(Process(3), Server(0));
+        let mut alg = Lazy { placement: p };
+        let mut w = Sequential::new();
+        let report = run(&mut alg, &mut w, 5, AuditLevel::Full { load_limit: 3 });
+        assert_eq!(report.capacity_violations, 5);
+        assert_eq!(report.max_load_seen, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "under-reported")]
+    fn under_reporting_is_caught() {
+        struct Cheater {
+            placement: Placement,
+        }
+        impl OnlineAlgorithm for Cheater {
+            fn placement(&self) -> &Placement {
+                &self.placement
+            }
+            fn serve(&mut self, _r: Edge) -> u64 {
+                self.placement.migrate(Process(0), Server(1));
+                0 // lies
+            }
+        }
+        let inst = RingInstance::new(6, 3, 2);
+        let mut alg = Cheater {
+            placement: Placement::contiguous(&inst),
+        };
+        let _ = run_trace(&mut alg, &[Edge(0)], AuditLevel::Full { load_limit: 10 });
+    }
+}

@@ -1,0 +1,141 @@
+//! Recorded request traces: a portable, human-inspectable JSON format.
+//!
+//! Traces pin down an instance, the workload that generated them and the
+//! exact request sequence, so experiments can be replayed bit-for-bit
+//! across machines and the offline optima can be computed on the same
+//! input the online algorithm saw.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Edge, RingInstance};
+
+/// A recorded request sequence together with its provenance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    /// The instance the trace was generated for.
+    pub instance: RingInstance,
+    /// Name of the generating workload.
+    pub workload: String,
+    /// RNG seed used by the workload (0 for deterministic workloads).
+    pub seed: u64,
+    /// The requested edges, in order.
+    pub requests: Vec<Edge>,
+}
+
+impl Trace {
+    /// Creates a trace after validating every request against the
+    /// instance.
+    ///
+    /// # Panics
+    /// Panics if any request is not a valid edge of the instance.
+    #[must_use]
+    pub fn new(
+        instance: RingInstance,
+        workload: impl Into<String>,
+        seed: u64,
+        requests: Vec<Edge>,
+    ) -> Self {
+        for e in &requests {
+            assert!(e.0 < instance.n(), "request {} out of range", e.0);
+        }
+        Self {
+            instance,
+            workload: workload.into(),
+            seed,
+            requests,
+        }
+    }
+
+    /// Number of requests.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Per-edge request counts (the weight vector `w_e` the offline
+    /// static optimum is computed from).
+    #[must_use]
+    pub fn edge_weights(&self) -> Vec<u64> {
+        let mut w = vec![0u64; self.instance.n() as usize];
+        for e in &self.requests {
+            w[e.0 as usize] += 1;
+        }
+        w
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Errors
+    /// Returns any underlying I/O or serialization error.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let file = File::create(path)?;
+        let mut writer = BufWriter::new(file);
+        serde_json::to_writer(&mut writer, self)?;
+        writer.flush()
+    }
+
+    /// Deserializes from JSON.
+    ///
+    /// # Errors
+    /// Returns any underlying I/O or parse error.
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        let file = File::open(path)?;
+        let reader = BufReader::new(file);
+        Ok(serde_json::from_reader(reader)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{record, UniformRandom};
+    use crate::Placement;
+
+    #[test]
+    fn edge_weights_count_requests() {
+        let inst = RingInstance::new(4, 2, 2);
+        let t = Trace::new(
+            inst,
+            "manual",
+            0,
+            vec![Edge(0), Edge(1), Edge(1), Edge(3)],
+        );
+        assert_eq!(t.edge_weights(), vec![1, 2, 0, 1]);
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let inst = RingInstance::new(16, 4, 4);
+        let placement = Placement::contiguous(&inst);
+        let mut w = UniformRandom::new(99);
+        let requests = record(&mut w, &placement, 64);
+        let t = Trace::new(inst, "uniform", 99, requests);
+
+        let dir = std::env::temp_dir().join("rdbp-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        t.save(&path).unwrap();
+        let back = Trace::load(&path).unwrap();
+        assert_eq!(t, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_invalid_requests() {
+        let inst = RingInstance::new(4, 2, 2);
+        let _ = Trace::new(inst, "bad", 0, vec![Edge(9)]);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property tests for the ring substrate: modular arithmetic, segment
+//! algebra, placement accounting, workload contracts.
+
+use proptest::prelude::*;
+use rdbp_model::workload::{record, Workload};
+use rdbp_model::{Edge, Placement, Process, RingInstance, Segment, Server};
+
+fn instances() -> impl Strategy<Value = RingInstance> {
+    (2u32..6, 2u32..9).prop_map(|(ell, k)| RingInstance::packed(ell, k))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Edge distance is a metric on the cycle: symmetric, triangle
+    /// inequality, bounded by n/2.
+    #[test]
+    fn edge_distance_is_a_metric(inst in instances(), a in 0u64..500, b in 0u64..500, c in 0u64..500) {
+        let (a, b, c) = (inst.edge(a), inst.edge(b), inst.edge(c));
+        let d = |x, y| inst.edge_distance(x, y);
+        prop_assert_eq!(d(a, b), d(b, a));
+        prop_assert!(d(a, c) <= d(a, b) + d(b, c));
+        prop_assert!(d(a, b) <= inst.n() / 2);
+        prop_assert_eq!(d(a, a), 0);
+    }
+
+    /// Clockwise offsets compose modulo n.
+    #[test]
+    fn clockwise_offsets_compose(inst in instances(), a in 0u64..500, b in 0u64..500, c in 0u64..500) {
+        let (a, b, c) = (inst.edge(a), inst.edge(b), inst.edge(c));
+        let o = |x, y| inst.clockwise_offset(x, y);
+        prop_assert_eq!((o(a, b) + o(b, c)) % inst.n(), o(a, c));
+    }
+
+    /// A segment contains exactly the processes its iterator yields,
+    /// and `len` matches.
+    #[test]
+    fn segment_iter_matches_contains(inst in instances(), start in 0u64..500, len_frac in 0.0f64..=1.0) {
+        let start = inst.process(start).0;
+        let len = (len_frac * f64::from(inst.n())) as u32;
+        let seg = Segment::new(&inst, start, len);
+        let members: std::collections::HashSet<Process> = seg.iter().collect();
+        prop_assert_eq!(members.len() as u32, seg.len());
+        for p in inst.processes() {
+            prop_assert_eq!(seg.contains(p), members.contains(&p));
+        }
+    }
+
+    /// slice_between(a, b) and slice_between(b, a) partition the ring
+    /// (for a ≠ b).
+    #[test]
+    fn complementary_slices_partition(inst in instances(), a in 0u64..500, b in 0u64..500) {
+        let (a, b) = (inst.edge(a), inst.edge(b));
+        prop_assume!(a != b);
+        let s1 = inst.slice_between(a, b);
+        let s2 = inst.slice_between(b, a);
+        prop_assert_eq!(s1.len() + s2.len(), inst.n());
+        for p in inst.processes() {
+            prop_assert!(s1.contains(p) ^ s2.contains(p));
+        }
+    }
+
+    /// Migration distance is a metric over placements, and migrating a
+    /// segment changes exactly the off-target members.
+    #[test]
+    fn placement_migrations_account(inst in instances(), moves in proptest::collection::vec((0u64..500, 0u32..6), 0..20)) {
+        let mut p = Placement::contiguous(&inst);
+        let q = Placement::contiguous(&inst);
+        let mut reported = 0u64;
+        for (proc_, srv) in moves {
+            let proc_ = inst.process(proc_);
+            let srv = Server(srv % inst.servers());
+            if p.migrate(proc_, srv) {
+                reported += 1;
+            }
+        }
+        // Hamming distance never exceeds the number of performed moves.
+        prop_assert!(p.migration_distance(&q) <= reported);
+        // Loads always sum to n.
+        prop_assert_eq!(p.loads().iter().sum::<u32>(), inst.n());
+        // Cut edges count equals the number of color changes around the
+        // ring (walking all edges).
+        let cuts = p.cut_edges().count();
+        let changes = inst
+            .edges()
+            .filter(|&e| {
+                let (u, v) = inst.endpoints(e);
+                p.server(u) != p.server(v)
+            })
+            .count();
+        prop_assert_eq!(cuts, changes);
+    }
+
+    /// Every oblivious workload yields in-range edges and is
+    /// seed-deterministic.
+    #[test]
+    fn workloads_are_deterministic(inst in instances(), seed in 0u64..1000) {
+        use rdbp_model::workload as w;
+        let placement = Placement::contiguous(&inst);
+        let build = |seed: u64| -> Vec<Box<dyn Workload>> {
+            vec![
+                Box::new(w::Sequential::new()),
+                Box::new(w::UniformRandom::new(seed)),
+                Box::new(w::Zipf::new(&inst, 1.1, seed)),
+                Box::new(w::SlidingWindow::new(2, 3, seed)),
+                Box::new(w::RotatingHotspot::new(0.7, 2, 5, seed)),
+                Box::new(w::Bursty::new(0.8, seed)),
+                Box::new(w::RandomWalk::new(0, seed)),
+            ]
+        };
+        let mut first = build(seed);
+        let mut second = build(seed);
+        for (a, b) in first.iter_mut().zip(second.iter_mut()) {
+            let ta = record(a.as_mut(), &placement, 50);
+            let tb = record(b.as_mut(), &placement, 50);
+            prop_assert_eq!(&ta, &tb, "workload {} not deterministic", a.name());
+            prop_assert!(ta.iter().all(|e| e.0 < inst.n()));
+        }
+    }
+
+    /// The cut-chaser always requests a current cut edge (when any
+    /// exists).
+    #[test]
+    fn cut_chaser_requests_cuts(inst in instances(), rounds in 1usize..40) {
+        use rdbp_model::workload::CutChaser;
+        let placement = Placement::contiguous(&inst);
+        let mut chaser = CutChaser::new();
+        for _ in 0..rounds {
+            let e = chaser.next_request(&placement);
+            prop_assert!(placement.is_cut(e));
+        }
+    }
+
+    /// run_trace charges communication exactly per the placement at
+    /// request time (lazy algorithm oracle).
+    #[test]
+    fn lazy_costs_match_weights(inst in instances(), reqs in proptest::collection::vec(0u64..500, 1..100)) {
+        struct Lazy(Placement);
+        impl rdbp_model::OnlineAlgorithm for Lazy {
+            fn placement(&self) -> &Placement {
+                &self.0
+            }
+            fn serve(&mut self, _e: Edge) -> u64 {
+                0
+            }
+        }
+        let placement = Placement::contiguous(&inst);
+        let trace: Vec<Edge> = reqs.iter().map(|&r| inst.edge(r)).collect();
+        let expected: u64 = trace.iter().map(|&e| u64::from(placement.is_cut(e))).sum();
+        let mut alg = Lazy(placement);
+        let report = rdbp_model::run_trace(&mut alg, &trace, rdbp_model::AuditLevel::Full { load_limit: inst.capacity() });
+        prop_assert_eq!(report.ledger.communication, expected);
+        prop_assert_eq!(report.ledger.migration, 0);
+    }
+}

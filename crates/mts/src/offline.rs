@@ -1,0 +1,257 @@
+//! Exact offline optimum for MTS on the line.
+//!
+//! `OPT_MTS(I)` from Lemma 3.3: the cheapest way to process a task
+//! sequence when the whole sequence is known in advance. On a line
+//! metric the Bellman update
+//! `opt_t(x) = T_t(x) + min_y ( opt_{t-1}(y) + |y − x| )`
+//! is a min-plus convolution with unit slopes, computable with one
+//! forward and one backward sweep — O(N) per task.
+
+/// Exact optimum cost for serving `tasks` starting from state `initial`
+/// (the start state incurs no placement cost, matching the online
+/// policies' convention).
+///
+/// # Panics
+/// Panics if `num_states == 0`, `initial` is out of range, or any task
+/// has wrong arity / negative cost.
+#[must_use]
+pub fn optimum(num_states: usize, initial: usize, tasks: &[Vec<f64>]) -> f64 {
+    let (cost, _) = solve(num_states, initial, tasks, false);
+    cost
+}
+
+/// Exact optimum together with one optimal state trajectory
+/// (`trajectory[t]` = state after serving task `t`).
+///
+/// Uses O(T·N) memory for backpointers — fine for analysis runs, avoid
+/// for very long sequences.
+///
+/// # Panics
+/// Same contract as [`optimum`].
+#[must_use]
+pub fn optimum_with_trajectory(
+    num_states: usize,
+    initial: usize,
+    tasks: &[Vec<f64>],
+) -> (f64, Vec<usize>) {
+    let (cost, traj) = solve(num_states, initial, tasks, true);
+    (cost, traj.expect("trajectory requested"))
+}
+
+#[allow(clippy::too_many_lines)]
+fn solve(
+    num_states: usize,
+    initial: usize,
+    tasks: &[Vec<f64>],
+    want_trajectory: bool,
+) -> (f64, Option<Vec<usize>>) {
+    assert!(num_states > 0, "need at least one state");
+    assert!(initial < num_states, "initial state out of range");
+
+    // opt[x] = cheapest cost so far ending in state x.
+    let mut opt: Vec<f64> = (0..num_states)
+        .map(|x| x.abs_diff(initial) as f64)
+        .collect();
+
+    // Backpointers: for each step, from[x] = state occupied *before*
+    // moving to x (the argmin of the min-plus convolution).
+    let mut from_steps: Vec<Vec<u32>> = Vec::new();
+
+    let mut scratch_from: Vec<u32> = (0..num_states as u32).collect();
+    for task in tasks {
+        assert_eq!(task.len(), num_states, "task arity mismatch");
+        for &c in task {
+            assert!(c.is_finite() && c >= 0.0, "invalid task cost {c}");
+        }
+        // Min-plus with |y − x|: forward then backward sweep, tracking
+        // the argmin origin.
+        if want_trajectory {
+            for (x, f) in scratch_from.iter_mut().enumerate() {
+                *f = x as u32;
+            }
+            let mut best = f64::INFINITY;
+            let mut best_from = 0u32;
+            for x in 0..num_states {
+                if opt[x] < best + 1.0 {
+                    best = opt[x];
+                    best_from = x as u32;
+                } else {
+                    best += 1.0;
+                }
+                opt[x] = best;
+                scratch_from[x] = best_from;
+            }
+            let mut best = f64::INFINITY;
+            let mut best_from = 0u32;
+            for x in (0..num_states).rev() {
+                if opt[x] < best + 1.0 {
+                    best = opt[x];
+                    best_from = scratch_from[x];
+                } else {
+                    best += 1.0;
+                }
+                if best < opt[x] {
+                    opt[x] = best;
+                    scratch_from[x] = best_from;
+                }
+            }
+            from_steps.push(scratch_from.clone());
+        } else {
+            let mut best = f64::INFINITY;
+            for x in 0..num_states {
+                best = (best + 1.0).min(opt[x]);
+                opt[x] = best;
+            }
+            let mut best = f64::INFINITY;
+            for x in (0..num_states).rev() {
+                best = (best + 1.0).min(opt[x]);
+                opt[x] = best;
+            }
+        }
+        for (o, &c) in opt.iter_mut().zip(task) {
+            *o += c;
+        }
+    }
+
+    let (mut arg, mut val) = (0usize, f64::INFINITY);
+    for (x, &v) in opt.iter().enumerate() {
+        if v < val {
+            val = v;
+            arg = x;
+        }
+    }
+
+    if !want_trajectory {
+        return (val, None);
+    }
+
+    let mut trajectory = vec![0usize; tasks.len()];
+    let mut cur = arg;
+    for (t, from) in from_steps.iter().enumerate().rev() {
+        trajectory[t] = cur;
+        cur = from[cur] as usize;
+    }
+    (val, Some(trajectory))
+}
+
+/// Brute-force optimum by explicit O(N²)-per-task Bellman — the
+/// reference implementation the sweeps are property-tested against.
+#[must_use]
+pub fn optimum_bruteforce(num_states: usize, initial: usize, tasks: &[Vec<f64>]) -> f64 {
+    assert!(num_states > 0 && initial < num_states);
+    let mut opt: Vec<f64> = (0..num_states)
+        .map(|x| x.abs_diff(initial) as f64)
+        .collect();
+    for task in tasks {
+        let prev = opt.clone();
+        for x in 0..num_states {
+            let mut best = f64::INFINITY;
+            for (y, &py) in prev.iter().enumerate() {
+                best = best.min(py + x.abs_diff(y) as f64);
+            }
+            opt[x] = best + task[x];
+        }
+    }
+    opt.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(n: usize, i: usize) -> Vec<f64> {
+        let mut v = vec![0.0; n];
+        v[i] = 1.0;
+        v
+    }
+
+    #[test]
+    fn empty_sequence_costs_nothing() {
+        assert_eq!(optimum(5, 2, &[]), 0.0);
+    }
+
+    #[test]
+    fn single_hot_state_is_dodged() {
+        // Hammering state 2: OPT moves one step once (cost 1) and pays
+        // nothing more.
+        let n = 5;
+        let tasks: Vec<_> = (0..10).map(|_| unit(n, 2)).collect();
+        let opt = optimum(n, 2, &tasks);
+        assert!((opt - 1.0).abs() < 1e-9, "opt={opt}");
+    }
+
+    #[test]
+    fn alternating_far_requests_force_payment() {
+        // States 0 and 4 alternate; staying in the middle costs 0 but
+        // OPT never gets hit... requests hit only 0 and 4, so parking at
+        // 2 forever costs 0 movement and 0 hits.
+        let n = 5;
+        let tasks: Vec<_> = (0..8)
+            .map(|t| if t % 2 == 0 { unit(n, 0) } else { unit(n, 4) })
+            .collect();
+        let opt = optimum(n, 2, &tasks);
+        assert!(opt.abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_states_hammered_forces_hits() {
+        let n = 3;
+        let tasks: Vec<_> = (0..6).map(|_| vec![1.0; n]).collect();
+        let opt = optimum(n, 1, &tasks);
+        assert!((opt - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweeps_match_bruteforce_on_fixed_cases() {
+        let n = 7;
+        let tasks: Vec<Vec<f64>> = vec![
+            unit(n, 3),
+            unit(n, 3),
+            vec![0.5; n],
+            unit(n, 0),
+            unit(n, 6),
+            unit(n, 3),
+        ];
+        for init in 0..n {
+            let a = optimum(n, init, &tasks);
+            let b = optimum_bruteforce(n, init, &tasks);
+            assert!((a - b).abs() < 1e-9, "init {init}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn trajectory_cost_matches_reported_optimum() {
+        let n = 6;
+        let tasks: Vec<Vec<f64>> = vec![
+            unit(n, 2),
+            unit(n, 2),
+            unit(n, 5),
+            unit(n, 5),
+            unit(n, 0),
+            unit(n, 2),
+            unit(n, 2),
+        ];
+        let init = 2;
+        let (opt, traj) = optimum_with_trajectory(n, init, &tasks);
+        assert_eq!(traj.len(), tasks.len());
+        let mut cost = 0.0;
+        let mut cur = init;
+        for (t, task) in tasks.iter().enumerate() {
+            cost += cur.abs_diff(traj[t]) as f64;
+            cur = traj[t];
+            cost += task[cur];
+        }
+        assert!(
+            (cost - opt).abs() < 1e-9,
+            "trajectory cost {cost} vs optimum {opt}"
+        );
+    }
+
+    #[test]
+    fn trajectory_is_feasible_states() {
+        let n = 4;
+        let tasks: Vec<Vec<f64>> = (0..12).map(|t| unit(n, t % n)).collect();
+        let (_, traj) = optimum_with_trajectory(n, 0, &tasks);
+        assert!(traj.iter().all(|&s| s < n));
+    }
+}

@@ -1,0 +1,178 @@
+//! The policy interface and the MTS cost model.
+
+/// An online policy for a metrical task system on the **line metric**
+/// with states `0..num_states` and `d(i,j) = |i−j|`.
+///
+/// Protocol per task: the caller presents a cost vector `T`; the policy
+/// moves to a (possibly unchanged) state `s` and the caller charges
+/// `d(s_prev, s) + T[s]` — movement plus service in the *new* state,
+/// exactly the MTS cost model of Section 3.1.
+pub trait MtsPolicy {
+    /// Number of states `N`.
+    fn num_states(&self) -> usize;
+
+    /// The currently occupied state.
+    fn state(&self) -> usize;
+
+    /// Processes one task; returns the new state.
+    ///
+    /// # Panics
+    /// Implementations panic if `costs.len() != num_states()` or any
+    /// cost is negative/NaN.
+    fn serve(&mut self, costs: &[f64]) -> usize;
+
+    /// Human-readable name (for reports).
+    fn name(&self) -> &'static str;
+}
+
+/// Which MTS policy to instantiate inside higher-level algorithms.
+///
+/// The dynamic partitioner (Theorem 2.1) is parameterized by this —
+/// ablation A1 in EXPERIMENTS.md compares the choices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Deterministic work-function algorithm.
+    WorkFunction,
+    /// Randomized smin-gradient (share-style) policy.
+    SminGradient,
+    /// Randomized hierarchical Hedge with phase resets.
+    HstHedge,
+}
+
+impl PolicyKind {
+    /// Builds a boxed policy over `num_states` line states starting at
+    /// `initial`, seeding any internal randomness from `seed`.
+    ///
+    /// # Panics
+    /// Panics if `num_states == 0` or `initial >= num_states`.
+    #[must_use]
+    pub fn build(self, num_states: usize, initial: usize, seed: u64) -> Box<dyn MtsPolicy> {
+        match self {
+            PolicyKind::WorkFunction => {
+                Box::new(crate::WorkFunction::new(num_states, initial))
+            }
+            PolicyKind::SminGradient => {
+                Box::new(crate::SminGradient::new(num_states, initial, seed))
+            }
+            PolicyKind::HstHedge => Box::new(crate::HstHedge::new(num_states, initial, seed)),
+        }
+    }
+
+    /// Stable label for file names and reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::WorkFunction => "wfa",
+            PolicyKind::SminGradient => "smin",
+            PolicyKind::HstHedge => "hst-hedge",
+        }
+    }
+}
+
+/// Accumulated MTS costs of a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MtsCosts {
+    /// Σ `T_t(s_t)` — cost of serving each task in the chosen state.
+    pub service: f64,
+    /// Σ `d(s_{t-1}, s_t)` — total line distance traveled.
+    pub movement: u64,
+}
+
+impl MtsCosts {
+    /// `service + movement` — the MTS objective.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.service + self.movement as f64
+    }
+}
+
+/// Runs a policy over a task sequence, charging costs per the MTS
+/// protocol.
+///
+/// # Panics
+/// Panics if any task has the wrong arity (propagated from the policy).
+pub fn run_policy<P: MtsPolicy + ?Sized>(policy: &mut P, tasks: &[Vec<f64>]) -> MtsCosts {
+    let mut costs = MtsCosts::default();
+    for task in tasks {
+        let prev = policy.state();
+        let next = policy.serve(task);
+        costs.movement += prev.abs_diff(next) as u64;
+        costs.service += task[next];
+    }
+    costs
+}
+
+/// Validates a cost vector: correct arity, finite, non-negative.
+///
+/// # Panics
+/// Panics when the contract is violated; shared by all policy
+/// implementations.
+pub(crate) fn validate_costs(costs: &[f64], num_states: usize) {
+    assert_eq!(
+        costs.len(),
+        num_states,
+        "cost vector arity {} != number of states {num_states}",
+        costs.len()
+    );
+    for &c in costs {
+        assert!(c.is_finite() && c >= 0.0, "invalid task cost {c}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A policy that never moves.
+    struct Sitter {
+        n: usize,
+        s: usize,
+    }
+
+    impl MtsPolicy for Sitter {
+        fn num_states(&self) -> usize {
+            self.n
+        }
+        fn state(&self) -> usize {
+            self.s
+        }
+        fn serve(&mut self, costs: &[f64]) -> usize {
+            validate_costs(costs, self.n);
+            self.s
+        }
+        fn name(&self) -> &'static str {
+            "sitter"
+        }
+    }
+
+    #[test]
+    fn run_policy_charges_service_in_new_state() {
+        let mut p = Sitter { n: 3, s: 1 };
+        let tasks = vec![vec![0.0, 2.0, 0.0], vec![5.0, 0.5, 0.0]];
+        let c = run_policy(&mut p, &tasks);
+        assert_eq!(c.movement, 0);
+        assert!((c.service - 2.5).abs() < 1e-12);
+        assert!((c.total() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn policy_kind_builds_each_variant() {
+        for kind in [
+            PolicyKind::WorkFunction,
+            PolicyKind::SminGradient,
+            PolicyKind::HstHedge,
+        ] {
+            let p = kind.build(8, 3, 42);
+            assert_eq!(p.num_states(), 8);
+            assert_eq!(p.state(), 3);
+            assert!(!kind.label().is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn wrong_arity_panics() {
+        let mut p = Sitter { n: 3, s: 0 };
+        let _ = p.serve(&[1.0, 2.0]);
+    }
+}

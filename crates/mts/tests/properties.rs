@@ -1,0 +1,118 @@
+//! Cross-module property tests for the MTS crate: exactness of the
+//! offline DP, competitiveness sanity of each online policy.
+
+use proptest::prelude::*;
+use rdbp_mts::{offline, run_policy, PolicyKind};
+
+/// Random unit-task sequences (the only task shape the partitioning
+/// reduction produces).
+fn unit_tasks(n: usize, len: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(0..n, 1..=len).prop_map(move |hits| {
+        hits.into_iter()
+            .map(|h| {
+                let mut v = vec![0.0; n];
+                v[h] = 1.0;
+                v
+            })
+            .collect()
+    })
+}
+
+/// Random dense task sequences with fractional costs.
+fn dense_tasks(n: usize, len: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(proptest::collection::vec(0.0f64..2.0, n..=n), 1..=len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The O(N)-per-task sweep DP equals the O(N²) brute force.
+    #[test]
+    fn offline_sweeps_match_bruteforce(tasks in dense_tasks(6, 12), init in 0usize..6) {
+        let fast = offline::optimum(6, init, &tasks);
+        let slow = offline::optimum_bruteforce(6, init, &tasks);
+        prop_assert!((fast - slow).abs() < 1e-9, "{fast} vs {slow}");
+    }
+
+    /// The reconstructed trajectory achieves exactly the optimum value.
+    #[test]
+    fn offline_trajectory_is_optimal(tasks in unit_tasks(5, 15), init in 0usize..5) {
+        let (opt, traj) = offline::optimum_with_trajectory(5, init, &tasks);
+        let mut cost = 0.0;
+        let mut cur = init;
+        for (t, task) in tasks.iter().enumerate() {
+            cost += cur.abs_diff(traj[t]) as f64;
+            cur = traj[t];
+            cost += task[cur];
+        }
+        prop_assert!((cost - opt).abs() < 1e-9, "traj {cost} vs opt {opt}");
+    }
+
+    /// Every online policy is weakly worse than the offline optimum,
+    /// and the work function algorithm respects its (2N−1) guarantee
+    /// with a +N slack for the finite horizon.
+    #[test]
+    fn online_policies_dominate_offline(tasks in unit_tasks(8, 40), init in 0usize..8) {
+        let n = 8;
+        let opt = offline::optimum(n, init, &tasks);
+        for kind in [PolicyKind::WorkFunction, PolicyKind::SminGradient, PolicyKind::HstHedge] {
+            let mut p = kind.build(n, init, 7);
+            let c = run_policy(p.as_mut(), &tasks);
+            prop_assert!(
+                c.total() >= opt - 1e-9,
+                "{}: online {} below optimum {opt}",
+                kind.label(),
+                c.total()
+            );
+        }
+        // WFA guarantee: cost ≤ (2N−1)·OPT + additive (bounded by the
+        // diameter for the finite prefix).
+        let mut wfa = PolicyKind::WorkFunction.build(n, init, 0);
+        let c = run_policy(wfa.as_mut(), &tasks);
+        let bound = (2 * n - 1) as f64 * opt + 2.0 * n as f64;
+        prop_assert!(c.total() <= bound + 1e-9, "WFA {} > bound {bound}", c.total());
+    }
+
+    /// Policies never step outside the state space and report the state
+    /// they moved to.
+    #[test]
+    fn policies_stay_in_range(tasks in unit_tasks(9, 30), seed in 0u64..1000) {
+        for kind in [PolicyKind::WorkFunction, PolicyKind::SminGradient, PolicyKind::HstHedge] {
+            let mut p = kind.build(9, 4, seed);
+            for task in &tasks {
+                let s = p.serve(task);
+                prop_assert!(s < 9);
+                prop_assert_eq!(s, p.state());
+            }
+        }
+    }
+}
+
+/// Deterministic spot-check: on a long single-state hammer, all three
+/// policies end far from linear cost while a sitter pays every step.
+#[test]
+fn all_policies_beat_sitting_under_hammer() {
+    let n = 16;
+    let hot = 7;
+    let tasks: Vec<Vec<f64>> = (0..800)
+        .map(|_| {
+            let mut v = vec![0.0; n];
+            v[hot] = 1.0;
+            v
+        })
+        .collect();
+    for kind in [
+        PolicyKind::WorkFunction,
+        PolicyKind::SminGradient,
+        PolicyKind::HstHedge,
+    ] {
+        let mut p = kind.build(n, hot, 13);
+        let c = run_policy(p.as_mut(), &tasks);
+        assert!(
+            c.total() < 400.0,
+            "{} paid {} on an 800-step hammer",
+            kind.label(),
+            c.total()
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Adversarial request builders for the lower-bound experiments.
+
+/// Outcome of chasing a deterministic line strategy (Lemma 4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaseReport {
+    /// Total online cost (hits + movement).
+    pub online: u64,
+    /// Optimal static cost on the generated sequence:
+    /// `min_e (d(start, e) + x_e)`.
+    pub opt_static: u64,
+    /// Requests issued.
+    pub steps: u64,
+}
+
+/// Drives a deterministic hitting strategy on a line of `k` edges with
+/// the position-chasing adversary of Lemma 4.1: every request targets
+/// the strategy's current edge.
+///
+/// `strategy` receives `(requested edge, per-edge request counts)` and
+/// returns the strategy's next position; hits and movement are charged
+/// per the hitting-game rules. Any deterministic strategy ends with
+/// `online ≥ Ω(k) · opt_static` as `steps → ∞`.
+///
+/// # Panics
+/// Panics if the strategy returns an out-of-range position or `k == 0`.
+pub fn chase_line_strategy(
+    k: usize,
+    start: usize,
+    steps: u64,
+    mut strategy: impl FnMut(usize, &[u64]) -> usize,
+) -> ChaseReport {
+    assert!(k > 0, "need at least one edge");
+    assert!(start < k, "start out of range");
+    let mut x = vec![0u64; k];
+    let mut pos = start;
+    let mut online = 0u64;
+    for _ in 0..steps {
+        let request = pos;
+        x[request] += 1;
+        let next = strategy(request, &x);
+        assert!(next < k, "strategy left the line");
+        if next == request {
+            online += 1; // hit
+        }
+        online += pos.abs_diff(next) as u64;
+        pos = next;
+    }
+    let opt_static = (0..k)
+        .map(|e| x[e] + e.abs_diff(start) as u64)
+        .min()
+        .expect("nonempty line");
+    ChaseReport {
+        online,
+        opt_static,
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stay_put_pays_every_step() {
+        let r = chase_line_strategy(8, 4, 100, |req, _| req);
+        assert_eq!(r.online, 100);
+        // OPT slips one edge over: distance 1, zero hits.
+        assert_eq!(r.opt_static, 1);
+    }
+
+    #[test]
+    fn flee_to_least_hit_edge_still_pays_travel() {
+        let k = 16;
+        let r = chase_line_strategy(k, 8, 2000, |_, x| {
+            (0..k).min_by_key(|&e| x[e]).unwrap()
+        });
+        // The adversary forces Ω(k)·OPT: the ratio must be large.
+        assert!(
+            r.online as f64 >= 0.5 * k as f64 * r.opt_static.max(1) as f64,
+            "online {} opt {}",
+            r.online,
+            r.opt_static
+        );
+    }
+
+    #[test]
+    fn ratio_grows_linearly_in_k() {
+        // Lemma 4.1 empirically: deterministic ratio scales with k.
+        let ratio = |k: usize| {
+            let r = chase_line_strategy(k, k / 2, (k * k * 4) as u64, |_, x| {
+                (0..k).min_by_key(|&e| x[e]).unwrap()
+            });
+            r.online as f64 / r.opt_static.max(1) as f64
+        };
+        let r8 = ratio(8);
+        let r32 = ratio(32);
+        assert!(
+            r32 > 2.0 * r8,
+            "ratio must grow with k: r8={r8:.1} r32={r32:.1}"
+        );
+    }
+}

@@ -1,0 +1,279 @@
+//! Exact optimal *dynamic* offline cost for tiny instances.
+//!
+//! The true comparator of Theorem 2.1. Configurations are balanced
+//! assignments quotiented by server relabeling (an unlabeled partition
+//! of the processes into ≤ ℓ groups of ≤ k); the transition cost
+//! between two configurations is the minimum number of process moves
+//! over all label matchings. A forward DP over the request sequence
+//! then yields the exact optimum. Exponential in `n` — intended for
+//! `n ≤ 12` cross-validation runs (experiment F4), guarded by
+//! assertions.
+
+use std::collections::HashMap;
+
+use rdbp_model::{Edge, Placement, RingInstance};
+
+/// Exact optimal dynamic cost for serving `requests` starting from
+/// `initial` (the model: communication is charged on the current
+/// configuration, then migrations may happen).
+///
+/// # Panics
+/// Panics if `n > 12` or `ℓ > 5` (state space too large), or if the
+/// initial placement violates capacity.
+#[must_use]
+pub fn dynamic_opt(instance: &RingInstance, initial: &Placement, requests: &[Edge]) -> u64 {
+    let n = instance.n() as usize;
+    let ell = instance.servers() as usize;
+    let k = instance.capacity();
+    assert!(n <= 12, "dynamic OPT brute force limited to n ≤ 12");
+    assert!(ell <= 5, "dynamic OPT brute force limited to ℓ ≤ 5");
+    assert!(initial.max_load() <= k, "initial placement violates capacity");
+
+    let states = enumerate_partitions(n, ell, k as usize);
+    let index: HashMap<Vec<u8>, usize> = states
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.clone(), i))
+        .collect();
+
+    let initial_canon = canonicalize(
+        &initial
+            .assignment()
+            .iter()
+            .map(|&s| s as u8)
+            .collect::<Vec<u8>>(),
+    );
+    let start = *index
+        .get(&initial_canon)
+        .expect("initial placement must be a feasible state");
+
+    // Pairwise minimum-relabeling transition costs.
+    let m = states.len();
+    let mut trans = vec![0u32; m * m];
+    for a in 0..m {
+        for b in a..m {
+            let c = min_moves(&states[a], &states[b], ell);
+            trans[a * m + b] = c;
+            trans[b * m + a] = c;
+        }
+    }
+
+    // cost[s] = cheapest way to *be in configuration s after the
+    // migrations of the previous step*. Communication is charged on the
+    // pre-migration configuration ("after the communication an online
+    // algorithm may decide to perform migrations" — the same ordering
+    // binds the offline optimum).
+    let mut cost = vec![u64::MAX; m];
+    cost[start] = 0;
+    for &Edge(e) in requests {
+        let (u, v) = {
+            let (a, b) = instance.endpoints(Edge(e));
+            (a.0 as usize, b.0 as usize)
+        };
+        let mut next = vec![u64::MAX; m];
+        for (p, &cp) in cost.iter().enumerate() {
+            if cp == u64::MAX {
+                continue;
+            }
+            let comm = u64::from(states[p][u] != states[p][v]);
+            let base = cp + comm;
+            for (s, nx) in next.iter_mut().enumerate() {
+                let c = base + u64::from(trans[p * m + s]);
+                if c < *nx {
+                    *nx = c;
+                }
+            }
+        }
+        cost = next;
+    }
+    cost.into_iter().min().expect("nonempty state space")
+}
+
+/// All canonical partitions of `n` processes into ≤ `ell` groups of
+/// size ≤ `k` (canonical = group labels in order of first appearance).
+fn enumerate_partitions(n: usize, ell: usize, k: usize) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    let mut cur = vec![0u8; n];
+    let mut loads = vec![0usize; ell];
+    fn rec(
+        p: usize,
+        n: usize,
+        ell: usize,
+        k: usize,
+        used: usize,
+        cur: &mut Vec<u8>,
+        loads: &mut Vec<usize>,
+        out: &mut Vec<Vec<u8>>,
+    ) {
+        if p == n {
+            out.push(cur.clone());
+            return;
+        }
+        let limit = (used + 1).min(ell);
+        for g in 0..limit {
+            if loads[g] == k {
+                continue;
+            }
+            cur[p] = g as u8;
+            loads[g] += 1;
+            rec(
+                p + 1,
+                n,
+                ell,
+                k,
+                used.max(g + 1),
+                cur,
+                loads,
+                out,
+            );
+            loads[g] -= 1;
+        }
+    }
+    rec(0, n, ell, k, 0, &mut cur, &mut loads, &mut out);
+    out
+}
+
+/// Canonical form: relabel groups in order of first appearance.
+fn canonicalize(assignment: &[u8]) -> Vec<u8> {
+    let mut map: HashMap<u8, u8> = HashMap::new();
+    let mut next = 0u8;
+    assignment
+        .iter()
+        .map(|&g| {
+            *map.entry(g).or_insert_with(|| {
+                let v = next;
+                next += 1;
+                v
+            })
+        })
+        .collect()
+}
+
+/// Minimum process moves to go from partition `a` to partition `b`,
+/// over all relabelings of `b`'s groups (brute-force permutations over
+/// ≤ 5 groups).
+fn min_moves(a: &[u8], b: &[u8], ell: usize) -> u32 {
+    let n = a.len();
+    // overlap[i][j] = |a-group i ∩ b-group j|
+    let mut overlap = vec![vec![0u32; ell]; ell];
+    for p in 0..n {
+        overlap[a[p] as usize][b[p] as usize] += 1;
+    }
+    // Maximize matched overlap over permutations π: b-group j ↦ a-group
+    // π(j).
+    let mut perm: Vec<usize> = (0..ell).collect();
+    let mut best = 0u32;
+    permute(&mut perm, 0, &mut |perm| {
+        let matched: u32 = (0..ell).map(|j| overlap[perm[j]][j]).sum();
+        if matched > best {
+            best = matched;
+        }
+    });
+    n as u32 - best
+}
+
+fn permute(perm: &mut Vec<usize>, i: usize, f: &mut impl FnMut(&[usize])) {
+    if i == perm.len() {
+        f(perm);
+        return;
+    }
+    for j in i..perm.len() {
+        perm.swap(i, j);
+        permute(perm, i + 1, f);
+        perm.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst() -> RingInstance {
+        RingInstance::new(6, 2, 3)
+    }
+
+    #[test]
+    fn empty_sequence_costs_nothing() {
+        let i = inst();
+        let p = Placement::contiguous(&i);
+        assert_eq!(dynamic_opt(&i, &p, &[]), 0);
+    }
+
+    #[test]
+    fn single_request_on_cut_edge_costs_one() {
+        // Initial: 000111, request edge (2,3). OPT pays the request (1)
+        // or migrates (also ≥ 1); either way exactly 1, because the
+        // model charges communication before migration.
+        let i = inst();
+        let p = Placement::contiguous(&i);
+        assert_eq!(dynamic_opt(&i, &p, &[Edge(2)]), 1);
+    }
+
+    #[test]
+    fn repeated_cut_requests_favor_one_migration() {
+        // Hammer edge (2,3) 10 times: pay 1 (first request), migrate one
+        // process across (1) and swap another back to stay balanced (1),
+        // total 3 — much better than paying 10.
+        let i = inst();
+        let p = Placement::contiguous(&i);
+        let reqs = vec![Edge(2); 10];
+        let opt = dynamic_opt(&i, &p, &reqs);
+        assert_eq!(opt, 3);
+    }
+
+    #[test]
+    fn uncut_requests_are_free() {
+        let i = inst();
+        let p = Placement::contiguous(&i);
+        let reqs = vec![Edge(0), Edge(1), Edge(3), Edge(4)];
+        assert_eq!(dynamic_opt(&i, &p, &reqs), 0);
+    }
+
+    #[test]
+    fn rotating_demand_forces_repeated_cost() {
+        // Request every edge once per lap: any balanced partition of a
+        // 6-ring into two triples has 2 cut edges, so OPT pays ≥ 2 per
+        // lap or migrates.
+        let i = inst();
+        let p = Placement::contiguous(&i);
+        let reqs: Vec<Edge> = (0..18u32).map(|t| Edge(t % 6)).collect();
+        let opt = dynamic_opt(&i, &p, &reqs);
+        assert!(opt >= 6, "3 laps × 2 cuts, got {opt}");
+        assert!(opt <= 6, "staying put costs exactly 6, got {opt}");
+    }
+
+    #[test]
+    fn opt_never_exceeds_lazy_cost() {
+        use rdbp_model::workload::{record, UniformRandom, Workload};
+        let i = inst();
+        let p = Placement::contiguous(&i);
+        let mut w = UniformRandom::new(3);
+        let reqs = record(&mut w, &p, 60);
+        let opt = dynamic_opt(&i, &p, &reqs);
+        let lazy: u64 = reqs.iter().map(|&e| u64::from(p.is_cut(e))).sum();
+        assert!(opt <= lazy, "opt {opt} > lazy {lazy}");
+        let _ = w.name();
+    }
+
+    #[test]
+    fn canonicalization_merges_relabelings() {
+        assert_eq!(canonicalize(&[1, 1, 0, 0]), vec![0, 0, 1, 1]);
+        assert_eq!(canonicalize(&[2, 0, 2, 1]), vec![0, 1, 0, 2]);
+    }
+
+    #[test]
+    fn min_moves_finds_best_matching() {
+        // 000111 → 111000 is free after relabeling.
+        assert_eq!(min_moves(&[0, 0, 0, 1, 1, 1], &[1, 1, 1, 0, 0, 0], 2), 0);
+        // One process swapped across.
+        assert_eq!(min_moves(&[0, 0, 0, 1, 1, 1], &[0, 0, 1, 0, 1, 1], 2), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "n ≤ 12")]
+    fn rejects_large_instances() {
+        let i = RingInstance::new(16, 2, 8);
+        let p = Placement::contiguous(&i);
+        let _ = dynamic_opt(&i, &p, &[]);
+    }
+}

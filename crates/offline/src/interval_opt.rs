@@ -1,0 +1,171 @@
+//! Exact interval-based optimum `OPT_R` (Lemma 3.3's comparator).
+//!
+//! The dynamic-model analysis compares the online algorithm to the
+//! optimal *interval-based strategy*: independently for each interval,
+//! the cheapest way to maintain a cut edge against the requests that
+//! fall inside it — which is exactly the offline line-MTS optimum on
+//! the interval's edges. This module rebuilds the interval geometry of
+//! `rdbp_core::dynamic` (same `k′`, `ℓ′`, shift `R`; kept dependency-
+//! free by re-deriving the ~20 lines of arithmetic — a cross-crate
+//! consistency test in `tests/` pins the two implementations together)
+//! and evaluates `OPT_R = Σ_I OPT_MTS(I)` exactly.
+
+use rdbp_model::{Edge, RingInstance};
+use rdbp_mts::offline;
+
+/// The interval geometry of the dynamic-model algorithm.
+#[derive(Debug, Clone, Copy)]
+pub struct IntervalLayout {
+    /// Ring size `n`.
+    pub n: u32,
+    /// Interval width `k′ = ⌈(1+ε)k⌉`.
+    pub k_prime: u32,
+    /// Number of intervals `ℓ′ = ⌈n/k′⌉`.
+    pub ell_prime: u32,
+    /// Shift `R ∈ {0,…,k′−1}`.
+    pub shift: u32,
+}
+
+impl IntervalLayout {
+    /// Derives the layout for an instance and augmentation ε, matching
+    /// `rdbp_core::dynamic::DynamicPartitioner::new`.
+    ///
+    /// # Panics
+    /// Panics if `ε ≤ 0` or `shift ≥ k′`.
+    #[must_use]
+    pub fn new(instance: &RingInstance, epsilon: f64, shift: u32) -> Self {
+        assert!(epsilon > 0.0 && epsilon.is_finite(), "epsilon must be positive");
+        let k_prime =
+            (((1.0 + epsilon) * f64::from(instance.capacity())).ceil() as u32).max(1);
+        assert!(shift < k_prime, "shift out of range");
+        Self {
+            n: instance.n(),
+            k_prime,
+            ell_prime: instance.n().div_ceil(k_prime),
+            shift,
+        }
+    }
+
+    /// The intervals containing edge `e` as `(interval, local state)`
+    /// pairs: the body interval plus, in the wrap region, the tail of
+    /// the last interval.
+    #[must_use]
+    pub fn locate(&self, e: Edge) -> Vec<(u32, u32)> {
+        let n = u64::from(self.n);
+        let kp = u64::from(self.k_prime);
+        // `shift % n`: when k′ > n the shift can exceed the ring size.
+        let o = (u64::from(e.0) + n - u64::from(self.shift) % n) % n;
+        let mut out = Vec::with_capacity(2);
+        let i1 = o / kp;
+        out.push((i1 as u32, (o - i1 * kp) as u32));
+        let last = u64::from(self.ell_prime) - 1;
+        if o + n < u64::from(self.ell_prime) * kp && i1 != last {
+            out.push((last as u32, (o + n - last * kp) as u32));
+        }
+        out
+    }
+}
+
+/// Per-interval and total `OPT_R` for a request trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalOpt {
+    /// Exact line-MTS optimum per interval.
+    pub per_interval: Vec<f64>,
+    /// `Σ_I OPT_MTS(I)`.
+    pub total: f64,
+}
+
+/// Computes `OPT_R` exactly: for every interval, collect the requests
+/// that fall inside it as unit tasks over its `k′` edge-states and run
+/// the exact line-MTS DP (initial state = middle, matching the online
+/// algorithm's convention).
+#[must_use]
+pub fn interval_opt(layout: &IntervalLayout, requests: &[Edge]) -> IntervalOpt {
+    let states = layout.k_prime as usize;
+    let mut tasks: Vec<Vec<Vec<f64>>> = vec![Vec::new(); layout.ell_prime as usize];
+    for &e in requests {
+        for (i, local) in layout.locate(e) {
+            let mut t = vec![0.0; states];
+            t[local as usize] = 1.0;
+            tasks[i as usize].push(t);
+        }
+    }
+    let per_interval: Vec<f64> = tasks
+        .iter()
+        .map(|ts| offline::optimum(states, states / 2, ts))
+        .collect();
+    let total = per_interval.iter().sum();
+    IntervalOpt {
+        per_interval,
+        total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> IntervalLayout {
+        // n=32, k=8, ε=0.5 → k′=12, ℓ′=3.
+        IntervalLayout::new(&RingInstance::packed(4, 8), 0.5, 0)
+    }
+
+    #[test]
+    fn geometry_matches_dynamic_partitioner_docs() {
+        let l = layout();
+        assert_eq!(l.k_prime, 12);
+        assert_eq!(l.ell_prime, 3);
+    }
+
+    #[test]
+    fn body_edges_land_in_one_interval() {
+        let l = layout();
+        assert_eq!(l.locate(Edge(5)), vec![(0, 5)]);
+        assert_eq!(l.locate(Edge(13)), vec![(1, 1)]);
+        assert_eq!(l.locate(Edge(24)), vec![(2, 0)]);
+    }
+
+    #[test]
+    fn wrap_region_lands_in_two_intervals() {
+        // ℓ′k′ = 36 > n = 32: offsets 0..3 are also the last interval's
+        // tail states 8..11.
+        let l = layout();
+        assert_eq!(l.locate(Edge(0)), vec![(0, 0), (2, 8)]);
+        assert_eq!(l.locate(Edge(3)), vec![(0, 3), (2, 11)]);
+        assert_eq!(l.locate(Edge(4)), vec![(0, 4)]);
+    }
+
+    #[test]
+    fn shifted_layout_moves_the_wrap() {
+        let l = IntervalLayout::new(&RingInstance::packed(4, 8), 0.5, 5);
+        assert_eq!(l.locate(Edge(5)), vec![(0, 0), (2, 8)]);
+        assert_eq!(l.locate(Edge(4)), vec![(2, 7)]);
+    }
+
+    #[test]
+    fn opt_r_of_empty_trace_is_zero() {
+        let got = interval_opt(&layout(), &[]);
+        assert_eq!(got.total, 0.0);
+        assert_eq!(got.per_interval.len(), 3);
+    }
+
+    #[test]
+    fn opt_r_dodges_a_hammered_edge() {
+        // Hammer one edge: per affected interval, OPT_MTS pays ≤ the
+        // distance to sidestep once.
+        let l = layout();
+        let reqs = vec![Edge(13); 200];
+        let got = interval_opt(&l, &reqs);
+        assert!(got.total <= 2.0, "OPT_R should sidestep, got {}", got.total);
+    }
+
+    #[test]
+    fn opt_r_grows_with_spread_demand() {
+        let l = layout();
+        let reqs: Vec<Edge> = (0..240u32).map(|t| Edge(t % 32)).collect();
+        let got = interval_opt(&l, &reqs);
+        assert!(got.total > 0.0);
+        // Never worse than paying every request in both intervals.
+        assert!(got.total <= 2.0 * reqs.len() as f64);
+    }
+}

@@ -1,0 +1,294 @@
+//! Exact optimal static partition on the cycle.
+//!
+//! A static algorithm chooses one balanced placement up front; its
+//! communication cost is the total request weight on its cut edges (the
+//! ring edges whose endpoints sit on different servers). Minimizing over
+//! placements therefore reduces to choosing a **cut set** on the cycle
+//! such that every arc between consecutive cuts has at most `k`
+//! processes and the arcs can be packed into `ℓ` servers of capacity
+//! `k`.
+//!
+//! We solve the relaxation that drops the packing constraint (arcs ≤ k
+//! only) exactly with a cycle DP, which is a certified **lower bound**
+//! on the optimal static cost — ratios computed against it are upper
+//! bounds on the true competitive ratio, i.e. conservative. A first-fit
+//! decreasing pack of the optimal relaxed arcs then certifies, when it
+//! succeeds, that the bound is **tight** (the relaxed solution is a
+//! feasible placement). Initial migration cost is excluded (a static
+//! algorithm pays it once; excluding it again only makes reported
+//! ratios conservative). See DESIGN.md §1.
+
+/// Result of the static-OPT computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticOpt {
+    /// Minimum total weight of a cut set with all arcs ≤ k (certified
+    /// lower bound on the optimal static communication cost).
+    pub weight: u64,
+    /// The optimal cut set (edge indices, ascending).
+    pub cuts: Vec<u32>,
+    /// Whether the optimal arcs pack into `ℓ` bins of capacity `k`
+    /// under first-fit decreasing — if `true`, `weight` is exactly the
+    /// optimal static communication cost.
+    pub packable: bool,
+}
+
+/// Computes the optimal static cut set for per-edge request weights
+/// `w` on a cycle of `n = w.len()` processes with `ℓ` servers of
+/// capacity `k`.
+///
+/// Runs in O(n·min(k,n)) time via a sliding-window-minimum DP anchored
+/// at each possible "first cut" within one capacity window.
+///
+/// # Panics
+/// Panics if `w` is empty, `k == 0`, or `ℓ·k < n`.
+#[must_use]
+pub fn static_opt(w: &[u64], servers: u32, k: u32) -> StaticOpt {
+    let n = w.len();
+    assert!(n > 0, "empty weight vector");
+    assert!(k > 0, "capacity must be positive");
+    assert!(
+        u64::from(servers) * u64::from(k) >= n as u64,
+        "instance infeasible"
+    );
+    if n as u64 <= u64::from(k) {
+        // Everything fits on one server: no cut needed.
+        return StaticOpt {
+            weight: 0,
+            cuts: Vec::new(),
+            packable: true,
+        };
+    }
+    let k = k as usize;
+
+    let mut best: Option<(u64, Vec<u32>)> = None;
+    // Some cut must lie within any window of k consecutive edges; anchor
+    // on each candidate first cut in edges 0..k.
+    for first in 0..k.min(n) {
+        if let Some((cost, cuts)) = anchored_dp(w, n, k, first) {
+            if best.as_ref().is_none_or(|(b, _)| cost < *b) {
+                best = Some((cost, cuts));
+            }
+        }
+    }
+    let (weight, cuts) = best.expect("at least one anchored solution exists");
+    let packable = ffd_packs(&cuts, n as u32, servers, k as u32);
+    StaticOpt {
+        weight,
+        cuts,
+        packable,
+    }
+}
+
+/// DP with a forced cut at edge `first`: positions walk the cycle from
+/// `first`, every consecutive pair of cuts at distance ≤ k, and the
+/// wrap-around gap back to `first` also ≤ k.
+fn anchored_dp(w: &[u64], n: usize, k: usize, first: usize) -> Option<(u64, Vec<u32>)> {
+    // dp[j] = min weight of cuts among positions first..=first+j (cyclic)
+    // with a cut at offset j (and at offset 0), gaps ≤ k.
+    let mut dp = vec![u64::MAX; n];
+    let mut parent = vec![usize::MAX; n];
+    dp[0] = w[first];
+    // Monotonic deque over the sliding window of the last k offsets.
+    let mut deque: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    deque.push_back(0);
+    for j in 1..n {
+        while let Some(&front) = deque.front() {
+            if front + k < j {
+                deque.pop_front();
+            } else {
+                break;
+            }
+        }
+        let q = *deque.front()?;
+        if dp[q] == u64::MAX {
+            return None;
+        }
+        dp[j] = dp[q] + w[(first + j) % n];
+        parent[j] = q;
+        while let Some(&back) = deque.back() {
+            if dp[back] >= dp[j] {
+                deque.pop_back();
+            } else {
+                break;
+            }
+        }
+        deque.push_back(j);
+    }
+    // Close the cycle: last cut at offset j with j + gap back to first
+    // (= n − j) ≤ k.
+    let mut best: Option<(u64, usize)> = None;
+    for j in n.saturating_sub(k)..n {
+        if dp[j] != u64::MAX && best.is_none_or(|(b, _)| dp[j] < b) {
+            best = Some((dp[j], j));
+        }
+    }
+    let (cost, mut j) = best?;
+    let mut cuts = Vec::new();
+    while j != usize::MAX {
+        cuts.push(((first + j) % n) as u32);
+        if j == 0 {
+            break;
+        }
+        j = parent[j];
+    }
+    cuts.sort_unstable();
+    Some((cost, cuts))
+}
+
+/// First-fit-decreasing pack of the arcs induced by `cuts` into
+/// `servers` bins of capacity `k`.
+fn ffd_packs(cuts: &[u32], n: u32, servers: u32, k: u32) -> bool {
+    if cuts.is_empty() {
+        return n <= k;
+    }
+    let mut arcs: Vec<u32> = cuts
+        .windows(2)
+        .map(|p| p[1] - p[0])
+        .chain(std::iter::once(cuts[0] + n - cuts[cuts.len() - 1]))
+        .collect();
+    arcs.sort_unstable_by(|a, b| b.cmp(a));
+    let mut bins = vec![0u32; servers as usize];
+    'outer: for arc in arcs {
+        for b in &mut bins {
+            if *b + arc <= k {
+                *b += arc;
+                continue 'outer;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Brute-force reference: enumerate all cut subsets (tiny `n` only),
+/// with gaps ≤ k; returns the minimum weight (the same relaxation the
+/// DP solves).
+///
+/// # Panics
+/// Panics if `n > 20` (subset enumeration explodes).
+#[must_use]
+pub fn static_opt_bruteforce(w: &[u64], k: u32) -> u64 {
+    let n = w.len();
+    assert!(n <= 20, "brute force limited to tiny instances");
+    if n as u64 <= u64::from(k) {
+        return 0;
+    }
+    let mut best = u64::MAX;
+    for mask in 1u32..(1 << n) {
+        let cuts: Vec<usize> = (0..n).filter(|&i| mask & (1 << i) != 0).collect();
+        let mut ok = true;
+        for i in 0..cuts.len() {
+            let next = cuts[(i + 1) % cuts.len()];
+            let gap = if i + 1 == cuts.len() {
+                next + n - cuts[i]
+            } else {
+                next - cuts[i]
+            };
+            if gap as u64 > u64::from(k) {
+                ok = false;
+                break;
+            }
+        }
+        if !ok {
+            continue;
+        }
+        let weight: u64 = cuts.iter().map(|&i| w[i]).sum();
+        best = best.min(weight);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_server_needs_no_cuts() {
+        let opt = static_opt(&[5, 5, 5, 5], 1, 4);
+        assert_eq!(opt.weight, 0);
+        assert!(opt.cuts.is_empty());
+        assert!(opt.packable);
+    }
+
+    #[test]
+    fn picks_the_lightest_feasible_cuts() {
+        // n=6, k=3: need cuts with gaps ≤ 3. Weights favor edges 1 and 4.
+        let w = [10, 0, 10, 10, 0, 10];
+        let opt = static_opt(&w, 2, 3);
+        assert_eq!(opt.weight, 0);
+        assert_eq!(opt.cuts, vec![1, 4]);
+        assert!(opt.packable);
+    }
+
+    #[test]
+    fn forced_expensive_cut() {
+        // All edges heavy: with n=4, k=2, ℓ=2 the best is the two
+        // lightest opposite edges.
+        let w = [7, 3, 9, 4];
+        let opt = static_opt(&w, 2, 2);
+        assert_eq!(opt.weight, 3 + 4);
+        assert_eq!(opt.cuts, vec![1, 3]);
+    }
+
+    #[test]
+    fn gap_constraint_forces_extra_cuts() {
+        // One very cheap edge is not enough: gaps must stay ≤ k.
+        let w = [0, 100, 100, 100, 100, 100];
+        let opt = static_opt(&w, 3, 2);
+        // Cuts every ≤2 edges: at least 3 cuts; cheapest includes edge 0.
+        assert!(opt.cuts.contains(&0));
+        assert_eq!(opt.cuts.len(), 3);
+        assert_eq!(opt.weight, 200);
+    }
+
+    #[test]
+    fn matches_bruteforce_on_small_cases() {
+        let cases: Vec<(Vec<u64>, u32)> = vec![
+            (vec![1, 2, 3, 4, 5, 6], 2),
+            (vec![9, 1, 1, 9, 9, 1, 1, 9], 3),
+            (vec![0, 0, 0, 0], 1),
+            (vec![5, 4, 3, 2, 1, 0, 1, 2, 3, 4], 4),
+            (vec![1; 12], 3),
+        ];
+        for (w, k) in cases {
+            let servers = (w.len() as u32).div_ceil(k).max(1) + 1;
+            let fast = static_opt(&w, servers, k).weight;
+            let slow = static_opt_bruteforce(&w, k);
+            assert_eq!(fast, slow, "w={w:?} k={k}");
+        }
+    }
+
+    #[test]
+    fn cuts_reconstruction_is_consistent() {
+        let w = [3, 1, 4, 1, 5, 9, 2, 6, 5, 3];
+        let opt = static_opt(&w, 4, 3);
+        let total: u64 = opt.cuts.iter().map(|&c| w[c as usize]).sum();
+        assert_eq!(total, opt.weight);
+        // All gaps ≤ k.
+        let n = w.len() as u32;
+        for i in 0..opt.cuts.len() {
+            let a = opt.cuts[i];
+            let b = opt.cuts[(i + 1) % opt.cuts.len()];
+            let gap = if i + 1 == opt.cuts.len() {
+                b + n - a
+            } else {
+                b - a
+            };
+            assert!(gap <= 3, "gap {gap} > k");
+        }
+    }
+
+    #[test]
+    fn packing_certificate_detects_balanced_arcs() {
+        let w = [1u64; 8];
+        let opt = static_opt(&w, 2, 4);
+        assert!(opt.packable);
+        assert_eq!(opt.cuts.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible")]
+    fn rejects_infeasible_instance() {
+        let _ = static_opt(&[1, 1, 1, 1], 1, 3);
+    }
+}

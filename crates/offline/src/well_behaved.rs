@@ -1,0 +1,473 @@
+//! Executable well-behaved clustering strategy (Lemma 3.4).
+//!
+//! The dynamic-model analysis shows that *some* strategy maintaining
+//! cut edges `E_W ⊆ E_O` (a subset of the reference algorithm's cut
+//! edges) pays, amortized against the potential
+//!
+//! ```text
+//! Φ = (1+ε)/ε · ln(k′) · M  +  Σ_S |S| · ln(k′/|S|),   k′ = (1+ε)k
+//! ```
+//!
+//! at most `(1+ε)/ε · ln(k′) · o_t` per step, where `o_t` is the number
+//! of processes the reference moved and `M` counts marked processes.
+//! This module *runs* that strategy against any reference trace and
+//! verifies the per-step amortized inequality and all three invariants
+//! (IH: `E_W ⊆ E_O`; IM: segments δ-monochromatic for `δ = 1/(1+ε)`;
+//! IS: non-majority processes marked) — Lemma 3.4 as a property test.
+
+use std::collections::BTreeSet;
+
+use rdbp_model::{Edge, Placement, RingInstance};
+
+/// Outcome of one simulated step.
+#[derive(Debug, Clone, Copy)]
+pub struct WbStep {
+    /// Adjustment (moving) cost paid this step.
+    pub moving_cost: u64,
+    /// Change in potential.
+    pub delta_phi: f64,
+    /// Processes the reference moved this step (`o_t`).
+    pub reference_moves: u64,
+    /// Whether the request hit a W cut edge.
+    pub hit: bool,
+    /// Whether the amortized bound
+    /// `moving_cost + ΔΦ ≤ (1+ε)/ε·ln(k′)·o_t` held.
+    pub amortized_ok: bool,
+}
+
+/// The well-behaved strategy simulator (see module docs).
+#[derive(Debug)]
+pub struct WellBehaved {
+    n: u32,
+    epsilon: f64,
+    k_prime: f64,
+    delta: f64,
+    cuts: BTreeSet<u32>,
+    marked: Vec<bool>,
+    reference: Vec<u32>,
+    /// Accumulated hitting cost.
+    pub hitting: u64,
+    /// Accumulated moving (adjustment) cost.
+    pub moving: u64,
+    phi: f64,
+    /// Φ at construction (the additive term of Lemma 3.4).
+    pub phi_initial: f64,
+}
+
+impl WellBehaved {
+    /// Creates the strategy from the reference algorithm's initial
+    /// placement: `E_W = E_O`, no marks.
+    ///
+    /// # Panics
+    /// Panics if `ε ≤ 0`.
+    #[must_use]
+    pub fn new(instance: &RingInstance, initial_reference: &Placement, epsilon: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon.is_finite(), "epsilon must be positive");
+        let n = instance.n();
+        let cuts: BTreeSet<u32> = initial_reference.cut_edges().map(|e| e.0).collect();
+        let mut wb = Self {
+            n,
+            epsilon,
+            k_prime: (1.0 + epsilon) * f64::from(instance.capacity()),
+            delta: 1.0 / (1.0 + epsilon),
+            cuts,
+            marked: vec![false; n as usize],
+            reference: initial_reference.assignment().to_vec(),
+            hitting: 0,
+            moving: 0,
+            phi: 0.0,
+            phi_initial: 0.0,
+        };
+        wb.phi = wb.potential();
+        wb.phi_initial = wb.phi;
+        wb
+    }
+
+    /// Current cut set `E_W`.
+    #[must_use]
+    pub fn cuts(&self) -> &BTreeSet<u32> {
+        &self.cuts
+    }
+
+    /// Simulates one step: the request is served (hit accounting), the
+    /// reference's post-step placement is diffed (marks), and the
+    /// merge/move/cut-out/split adjustments restore the invariants.
+    pub fn step(&mut self, request: Edge, reference_after: &Placement) -> WbStep {
+        // Hitting: request on a W cut edge. IH guarantees this is also a
+        // reference cut (checked below before the reference moves).
+        let hit = self.cuts.contains(&request.0);
+        if hit {
+            self.hitting += 1;
+            debug_assert!(
+                self.is_reference_cut(request.0),
+                "IH violated: W cut {} not a reference cut",
+                request.0
+            );
+        }
+
+        // Mark the reference's migrations.
+        let mut o_t = 0;
+        for p in 0..self.n as usize {
+            let now = reference_after.assignment()[p];
+            if now != self.reference[p] {
+                self.reference[p] = now;
+                if !self.marked[p] {
+                    self.marked[p] = true;
+                }
+                o_t += 1;
+            }
+        }
+
+        let phi_before = self.phi;
+        let mut moving_cost = 0;
+
+        // Restore IH: handle every W cut that is no longer a reference
+        // cut.
+        loop {
+            let Some(stale) = self
+                .cuts
+                .iter()
+                .copied()
+                .find(|&e| !self.is_reference_cut(e))
+            else {
+                break;
+            };
+            moving_cost += self.fix_stale_cut(stale);
+        }
+
+        // Restore IM: full split of non-δ-monochromatic segments.
+        self.split_all();
+
+        self.phi = self.potential();
+        let delta_phi = self.phi - phi_before;
+        let bound = (1.0 + self.epsilon) / self.epsilon * self.k_prime.ln() * o_t as f64;
+        let amortized_ok = moving_cost as f64 + delta_phi <= bound + 1e-6;
+        self.moving += moving_cost;
+        WbStep {
+            moving_cost,
+            delta_phi,
+            reference_moves: o_t,
+            hit,
+            amortized_ok,
+        }
+    }
+
+    /// Verifies invariants IH, IM, IS and the segment-size bound.
+    ///
+    /// # Panics
+    /// Panics on violation.
+    pub fn check_invariants(&self) {
+        for &e in &self.cuts {
+            assert!(self.is_reference_cut(e), "IH: stale W cut {e}");
+        }
+        for (start, len) in self.segments() {
+            assert!(
+                f64::from(len) <= self.k_prime + 1e-9,
+                "segment of {len} exceeds (1+ε)k = {}",
+                self.k_prime
+            );
+            let (maj, cnt) = self.majority(start, len);
+            assert!(
+                f64::from(cnt) >= self.delta * f64::from(len) - 1e-9,
+                "IM: segment [{start},+{len}) not δ-monochromatic"
+            );
+            for i in 0..len {
+                let p = ((start + i) % self.n) as usize;
+                if self.reference[p] != maj {
+                    assert!(
+                        self.marked[p],
+                        "IS: non-majority process {p} unmarked"
+                    );
+                }
+            }
+        }
+    }
+
+    fn is_reference_cut(&self, e: u32) -> bool {
+        let a = self.reference[e as usize];
+        let b = self.reference[((e + 1) % self.n) as usize];
+        a != b
+    }
+
+    /// Handles one W cut `e_j ∉ E_O` via merge / move / cut-out.
+    fn fix_stale_cut(&mut self, ej: u32) -> u64 {
+        let (left_cut, right_cut) = self.neighbors(ej);
+        let l_len = (ej + self.n - left_cut) % self.n;
+        let r_len = (right_cut + self.n - ej) % self.n;
+        let (l_len, r_len) = (
+            if self.cuts.len() == 1 { self.n } else { l_len },
+            if self.cuts.len() == 1 { self.n } else { r_len },
+        );
+        let (c_l, _) = self.majority((left_cut + 1) % self.n, l_len.max(1));
+        let (c_r, _) = self.majority((ej + 1) % self.n, r_len.max(1));
+
+        if c_l == c_r {
+            // Merge: drop e_j, pay the smaller side.
+            self.cuts.remove(&ej);
+            return u64::from(l_len.min(r_len));
+        }
+        // Nearest reference cuts around e_j: F = (el, er] is
+        // single-colored by construction.
+        let el = self.nearest_reference_cut_left(ej);
+        let er = self.nearest_reference_cut_right(ej);
+        let c = self.reference[((ej + 1) % self.n) as usize];
+        debug_assert_eq!(self.reference[ej as usize], c, "F must be single-colored");
+
+        let d_left = (ej + self.n - el) % self.n;
+        let d_right = (er + self.n - ej) % self.n;
+        if c_l == c {
+            // Move e_j → er; unmark F ∩ R = (e_j, er].
+            self.cuts.remove(&ej);
+            self.cuts.insert(er);
+            self.unmark_range((ej + 1) % self.n, d_right);
+            u64::from(d_right)
+        } else if c_r == c {
+            // Move e_j → el; unmark F ∩ L = (el, e_j].
+            self.cuts.remove(&ej);
+            self.cuts.insert(el);
+            self.unmark_range((el + 1) % self.n, d_left);
+            u64::from(d_left)
+        } else {
+            // Cut-out: move e_j to the nearer of el/er and split at the
+            // other; F becomes a 1-monochromatic segment; unmark F.
+            self.cuts.remove(&ej);
+            self.cuts.insert(el);
+            self.cuts.insert(er);
+            let f_len = (er + self.n - el) % self.n;
+            self.unmark_range((el + 1) % self.n, f_len);
+            u64::from(d_left.min(d_right))
+        }
+    }
+
+    /// Splits every non-δ-monochromatic segment along all reference
+    /// cuts inside it, unmarking its processes.
+    fn split_all(&mut self) {
+        loop {
+            let mut to_split: Option<(u32, u32)> = None;
+            for (start, len) in self.segments() {
+                let (_, cnt) = self.majority(start, len);
+                if f64::from(cnt) <= self.delta * f64::from(len) - 1e-12
+                    || f64::from(len) > self.k_prime
+                {
+                    to_split = Some((start, len));
+                    break;
+                }
+            }
+            let Some((start, len)) = to_split else {
+                return;
+            };
+            let mut inserted = false;
+            for i in 0..len {
+                let e = (start + i) % self.n;
+                if self.is_reference_cut(e) && !self.cuts.contains(&e) {
+                    self.cuts.insert(e);
+                    inserted = true;
+                }
+            }
+            for i in 0..len {
+                self.marked[((start + i) % self.n) as usize] = false;
+            }
+            assert!(
+                inserted,
+                "split of segment [{start},+{len}) found no reference cut — \
+                 the reference itself violates capacity"
+            );
+        }
+    }
+
+    /// Segments `(start, len)` between consecutive W cuts.
+    fn segments(&self) -> Vec<(u32, u32)> {
+        let cuts: Vec<u32> = self.cuts.iter().copied().collect();
+        if cuts.is_empty() {
+            return vec![(0, self.n)];
+        }
+        let m = cuts.len();
+        (0..m)
+            .map(|i| {
+                let start = (cuts[i] + 1) % self.n;
+                let len = if m == 1 {
+                    self.n
+                } else {
+                    (cuts[(i + 1) % m] + self.n - cuts[i]) % self.n
+                };
+                (start, len)
+            })
+            .collect()
+    }
+
+    /// Neighboring W cuts around `e` (predecessor, successor).
+    fn neighbors(&self, e: u32) -> (u32, u32) {
+        let prev = self
+            .cuts
+            .range(..e)
+            .next_back()
+            .or_else(|| self.cuts.iter().next_back())
+            .copied()
+            .expect("cuts nonempty");
+        let next = self
+            .cuts
+            .range(e + 1..)
+            .next()
+            .or_else(|| self.cuts.iter().next())
+            .copied()
+            .expect("cuts nonempty");
+        (prev, next)
+    }
+
+    fn nearest_reference_cut_left(&self, e: u32) -> u32 {
+        for d in 1..=self.n {
+            let cand = (e + self.n - d) % self.n;
+            if self.is_reference_cut(cand) {
+                return cand;
+            }
+        }
+        unreachable!("reference has at least one cut when W does");
+    }
+
+    fn nearest_reference_cut_right(&self, e: u32) -> u32 {
+        for d in 1..=self.n {
+            let cand = (e + d) % self.n;
+            if self.is_reference_cut(cand) {
+                return cand;
+            }
+        }
+        unreachable!("reference has at least one cut when W does");
+    }
+
+    fn unmark_range(&mut self, start: u32, len: u32) {
+        for i in 0..len {
+            self.marked[((start + i) % self.n) as usize] = false;
+        }
+    }
+
+    /// Majority color of a segment under the *current* reference
+    /// colors.
+    fn majority(&self, start: u32, len: u32) -> (u32, u32) {
+        let mut counts: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        let mut best = (u32::MAX, 0);
+        for i in 0..len {
+            let c = self.reference[((start + i) % self.n) as usize];
+            let e = counts.entry(c).or_insert(0);
+            *e += 1;
+            if *e > best.1 || (*e == best.1 && c < best.0) {
+                best = (c, *e);
+            }
+        }
+        best
+    }
+
+    fn potential(&self) -> f64 {
+        let marks = self.marked.iter().filter(|&&m| m).count() as f64;
+        let mark_term =
+            (1.0 + self.epsilon) / self.epsilon * self.k_prime.ln() * marks;
+        let seg_term: f64 = self
+            .segments()
+            .iter()
+            .map(|&(_, len)| {
+                if len == 0 {
+                    0.0
+                } else {
+                    f64::from(len) * (self.k_prime / f64::from(len)).ln()
+                }
+            })
+            .sum();
+        mark_term + seg_term
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdbp_model::Process;
+    use rdbp_model::Server;
+
+    fn setup() -> (RingInstance, Placement) {
+        let inst = RingInstance::new(12, 3, 4);
+        (inst, Placement::contiguous(&inst))
+    }
+
+    #[test]
+    fn starts_with_reference_cuts_and_zero_marks() {
+        let (inst, p) = setup();
+        let wb = WellBehaved::new(&inst, &p, 0.25);
+        assert_eq!(wb.cuts().len(), 3);
+        wb.check_invariants();
+        assert!(wb.phi_initial > 0.0);
+    }
+
+    #[test]
+    fn static_reference_only_accrues_hits() {
+        let (inst, p) = setup();
+        let mut wb = WellBehaved::new(&inst, &p, 0.25);
+        for t in 0..48u32 {
+            let s = wb.step(Edge(t % 12), &p);
+            assert_eq!(s.reference_moves, 0);
+            assert_eq!(s.moving_cost, 0);
+            assert!(s.amortized_ok);
+        }
+        assert_eq!(wb.hitting, 4 * 3, "3 cuts hit once per lap × 4 laps");
+        assert_eq!(wb.moving, 0);
+        wb.check_invariants();
+    }
+
+    #[test]
+    fn reference_migration_marks_and_adjusts() {
+        let (inst, p) = setup();
+        let mut wb = WellBehaved::new(&inst, &p, 0.25);
+        let mut moved = p.clone();
+        // Reference swaps p3 (server 0) and p4 (server 1): cut edges
+        // shift from {3,…} to {2, 4,…}.
+        moved.migrate(Process(3), Server(1));
+        moved.migrate(Process(4), Server(0));
+        let s = wb.step(Edge(0), &moved);
+        assert_eq!(s.reference_moves, 2);
+        assert!(s.amortized_ok, "ΔΦ {} cost {}", s.delta_phi, s.moving_cost);
+        wb.check_invariants();
+    }
+
+    #[test]
+    fn drifting_reference_keeps_amortized_bound() {
+        // The reference rotates its partition boundary around the ring;
+        // every step must satisfy the Lemma 3.4 inequality.
+        let inst = RingInstance::new(16, 2, 8);
+        let initial = Placement::contiguous(&inst);
+        let mut wb = WellBehaved::new(&inst, &initial, 0.25);
+        let mut reference = initial.clone();
+        for t in 0..200u32 {
+            // Rotate by one process every 4 steps: keep loads 8/8 by
+            // moving the head of each block.
+            if t % 4 == 3 {
+                let shift = t / 4 % 16;
+                let a = Process(shift % 16);
+                let b = Process((shift + 8) % 16);
+                let sa = reference.server(a);
+                let sb = reference.server(b);
+                reference.migrate(a, sb);
+                reference.migrate(b, sa);
+            }
+            let s = wb.step(Edge(t % 16), &reference);
+            assert!(
+                s.amortized_ok,
+                "step {t}: cost {} + ΔΦ {} > bound for o_t={}",
+                s.moving_cost, s.delta_phi, s.reference_moves
+            );
+            wb.check_invariants();
+        }
+        assert!(wb.moving > 0, "adjustments must have happened");
+    }
+
+    #[test]
+    fn hitting_never_exceeds_reference_hits() {
+        let (inst, p) = setup();
+        let mut wb = WellBehaved::new(&inst, &p, 0.5);
+        let mut ref_hits = 0u64;
+        for t in 0..120u32 {
+            let e = Edge((t * 5) % 12);
+            if p.is_cut(e) {
+                ref_hits += 1;
+            }
+            wb.step(e, &p);
+        }
+        assert!(wb.hitting <= ref_hits);
+    }
+}

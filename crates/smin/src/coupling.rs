@@ -1,0 +1,199 @@
+//! Inverse-CDF coupling: realizing states from a drifting distribution.
+
+use rand::{Rng, RngExt};
+
+use crate::Distribution;
+
+/// Realizes a concrete state from a sequence of distributions such that
+/// the expected movement between successive realizations equals the
+/// 1-Wasserstein distance between the distributions.
+///
+/// The paper's randomized algorithms maintain a probability distribution
+/// `p⁽ᵗ⁾ = ∇smin'(x⁽ᵗ⁾)` over the edges of an interval and must *play* a
+/// concrete edge whose marginal matches `p⁽ᵗ⁾` while keeping movement
+/// small. On a line, the inverse-CDF (quantile) coupling — fix a uniform
+/// draw `u` and play `F⁻¹_{p⁽ᵗ⁾}(u)` — is an optimal transport plan, so
+/// `E[|state_t - state_{t-1}|] = W₁(p⁽ᵗ⁻¹⁾, p⁽ᵗ⁾)`. This is never worse
+/// (and typically much better) than the `k·‖p - q‖₁` bound used in the
+/// paper's analysis (Section 4.1).
+///
+/// `resample` draws a fresh `u`; the paper needs this when an interval
+/// grows and a new edge must be chosen inside the new interval.
+#[derive(Debug, Clone)]
+pub struct QuantileCoupling {
+    u: f64,
+    state: usize,
+    moved: u64,
+}
+
+impl QuantileCoupling {
+    /// Creates a coupling with a fresh uniform draw and realizes the
+    /// initial state from `dist`.
+    pub fn new<R: Rng + ?Sized>(dist: &Distribution, rng: &mut R) -> Self {
+        let u = draw_unit(rng);
+        let state = dist.quantile(u);
+        Self { u, state, moved: 0 }
+    }
+
+    /// Creates a coupling pinned at a specific `u` (deterministic replay
+    /// in tests).
+    ///
+    /// # Panics
+    /// Panics if `u` is outside `[0, 1]`.
+    pub fn with_u(dist: &Distribution, u: f64) -> Self {
+        let state = dist.quantile(u);
+        Self { u, state, moved: 0 }
+    }
+
+    /// Currently realized state.
+    #[must_use]
+    pub fn state(&self) -> usize {
+        self.state
+    }
+
+    /// Total line distance moved so far (sum over updates of
+    /// `|new - old|`), excluding distance charged by [`Self::resample`]
+    /// callers.
+    #[must_use]
+    pub fn distance_moved(&self) -> u64 {
+        self.moved
+    }
+
+    /// Updates the realized state to follow `dist`, returning the line
+    /// distance moved.
+    pub fn follow(&mut self, dist: &Distribution) -> u64 {
+        let next = dist.quantile(self.u);
+        let d = self.state.abs_diff(next) as u64;
+        self.moved += d;
+        self.state = next;
+        d
+    }
+
+    /// Draws a fresh uniform `u` and re-realizes the state from `dist`,
+    /// returning the line distance moved. Used at interval growth, where
+    /// the paper pays up to `|I'|` to choose a new edge.
+    pub fn resample<R: Rng + ?Sized>(&mut self, dist: &Distribution, rng: &mut R) -> u64 {
+        self.u = draw_unit(rng);
+        let next = dist.quantile(self.u);
+        let d = self.state.abs_diff(next) as u64;
+        self.moved += d;
+        self.state = next;
+        d
+    }
+}
+
+/// Draws from the open interval (0, 1); endpoints would make quantile
+/// behaviour depend on floating-point shortfall.
+fn draw_unit<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.random();
+        if u > 0.0 && u < 1.0 {
+            return u;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+
+    #[test]
+    fn initial_state_has_correct_marginal() {
+        let dist = Distribution::new(vec![0.2, 0.5, 0.3]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 3];
+        let trials = 60_000;
+        for _ in 0..trials {
+            let c = QuantileCoupling::new(&dist, &mut rng);
+            counts[c.state()] += 1;
+        }
+        for i in 0..3 {
+            let freq = counts[i] as f64 / trials as f64;
+            assert!(
+                (freq - dist.prob(i)).abs() < 0.01,
+                "state {i}: freq {freq} vs prob {}",
+                dist.prob(i)
+            );
+        }
+    }
+
+    #[test]
+    fn follow_keeps_marginal_after_update() {
+        let d0 = Distribution::uniform(4);
+        let d1 = Distribution::new(vec![0.1, 0.2, 0.3, 0.4]);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0usize; 4];
+        let trials = 60_000;
+        for _ in 0..trials {
+            let mut c = QuantileCoupling::new(&d0, &mut rng);
+            c.follow(&d1);
+            counts[c.state()] += 1;
+        }
+        for i in 0..4 {
+            let freq = counts[i] as f64 / trials as f64;
+            assert!(
+                (freq - d1.prob(i)).abs() < 0.01,
+                "state {i}: freq {freq} vs prob {}",
+                d1.prob(i)
+            );
+        }
+    }
+
+    #[test]
+    fn expected_movement_matches_wasserstein() {
+        let d0 = Distribution::new(vec![0.6, 0.3, 0.1, 0.0]);
+        let d1 = Distribution::new(vec![0.1, 0.2, 0.3, 0.4]);
+        let w1 = d0.wasserstein1(&d1);
+        let mut rng = StdRng::seed_from_u64(13);
+        let trials = 120_000;
+        let mut total = 0u64;
+        for _ in 0..trials {
+            let mut c = QuantileCoupling::new(&d0, &mut rng);
+            total += c.follow(&d1);
+        }
+        let mean = total as f64 / trials as f64;
+        assert!(
+            (mean - w1).abs() < 0.02,
+            "mean movement {mean} vs W1 {w1}"
+        );
+    }
+
+    #[test]
+    fn pinned_u_is_deterministic() {
+        let d0 = Distribution::uniform(5);
+        let d1 = Distribution::point(4, 5);
+        let mut a = QuantileCoupling::with_u(&d0, 0.31);
+        let mut b = QuantileCoupling::with_u(&d0, 0.31);
+        assert_eq!(a.state(), b.state());
+        a.follow(&d1);
+        b.follow(&d1);
+        assert_eq!(a.state(), 4);
+        assert_eq!(b.state(), 4);
+    }
+
+    #[test]
+    fn distance_moved_accumulates() {
+        let d0 = Distribution::point(0, 8);
+        let d1 = Distribution::point(5, 8);
+        let d2 = Distribution::point(2, 8);
+        let mut c = QuantileCoupling::with_u(&d0, 0.5);
+        assert_eq!(c.follow(&d1), 5);
+        assert_eq!(c.follow(&d2), 3);
+        assert_eq!(c.distance_moved(), 8);
+    }
+
+    #[test]
+    fn resample_redraws_state_from_new_support() {
+        let d0 = Distribution::point(0, 10);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut c = QuantileCoupling::new(&d0, &mut rng);
+        assert_eq!(c.state(), 0);
+        let d1 = Distribution::point(9, 10);
+        let moved = c.resample(&d1, &mut rng);
+        assert_eq!(c.state(), 9);
+        assert_eq!(moved, 9);
+    }
+}

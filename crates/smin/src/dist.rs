@@ -1,0 +1,254 @@
+//! Validated probability distributions over line-ordered states.
+
+/// A probability distribution over states `0..n` of a line metric.
+///
+/// The states are assumed to sit at unit spacing on a line, which is the
+/// setting of the paper's hitting game (Section 4.1): state `i` is edge
+/// `eᵢ` and `d(eᵢ, eⱼ) = |i - j|`. Under this assumption the
+/// 1-Wasserstein (earthmover) distance between two distributions has the
+/// closed form `W₁(p, q) = Σᵢ |F_p(i) - F_q(i)|` over prefix sums, which
+/// [`Distribution::wasserstein1`] evaluates exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Distribution {
+    probs: Vec<f64>,
+}
+
+impl Distribution {
+    /// Tolerance for validating that probabilities sum to one.
+    const SUM_TOL: f64 = 1e-9;
+
+    /// Creates a distribution from raw probabilities.
+    ///
+    /// # Panics
+    /// Panics if `probs` is empty, has a negative/NaN entry, or does not
+    /// sum to 1 within `1e-9`. The stored vector is re-normalized so the
+    /// sum is exactly 1.0 up to one final rounding.
+    pub fn new(probs: Vec<f64>) -> Self {
+        assert!(!probs.is_empty(), "empty distribution");
+        let mut sum = 0.0;
+        for &p in &probs {
+            assert!(p.is_finite() && p >= 0.0, "invalid probability {p}");
+            sum += p;
+        }
+        assert!(
+            (sum - 1.0).abs() <= Self::SUM_TOL,
+            "probabilities sum to {sum}, expected 1"
+        );
+        let probs = probs.into_iter().map(|p| p / sum).collect();
+        Self { probs }
+    }
+
+    /// The uniform distribution over `n` states.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn uniform(n: usize) -> Self {
+        assert!(n > 0, "uniform distribution needs at least one state");
+        Self {
+            probs: vec![1.0 / n as f64; n],
+        }
+    }
+
+    /// A point mass on state `i` among `n` states.
+    ///
+    /// # Panics
+    /// Panics if `i >= n`.
+    pub fn point(i: usize, n: usize) -> Self {
+        assert!(i < n, "point mass index {i} out of range {n}");
+        let mut probs = vec![0.0; n];
+        probs[i] = 1.0;
+        Self { probs }
+    }
+
+    /// Number of states.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Whether the distribution has zero states (never true by
+    /// construction; provided for API completeness).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// Probability of state `i`.
+    #[must_use]
+    pub fn prob(&self, i: usize) -> f64 {
+        self.probs[i]
+    }
+
+    /// Raw probability slice.
+    #[must_use]
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// The quantile (inverse CDF): the smallest state `i` with
+    /// `F(i) ≥ u`, where `F(i) = Σ_{j ≤ i} p_j`.
+    ///
+    /// For `u ∈ [0, 1)` this always returns a valid state. `u = 1.0`
+    /// returns the last state with positive probability.
+    ///
+    /// # Panics
+    /// Panics if `u` is not in `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, u: f64) -> usize {
+        assert!((0.0..=1.0).contains(&u), "quantile of u={u} outside [0,1]");
+        let mut cdf = 0.0;
+        let mut last_positive = 0;
+        for (i, &p) in self.probs.iter().enumerate() {
+            if p > 0.0 {
+                last_positive = i;
+            }
+            cdf += p;
+            if cdf >= u && p > 0.0 {
+                return i;
+            }
+        }
+        // Floating-point shortfall (cdf summed to slightly below u).
+        last_positive
+    }
+
+    /// Exact 1-Wasserstein distance to `other` under the unit-spacing
+    /// line metric: `W₁(p, q) = Σᵢ |F_p(i) - F_q(i)|`.
+    ///
+    /// # Panics
+    /// Panics if the distributions have different support sizes.
+    #[must_use]
+    pub fn wasserstein1(&self, other: &Self) -> f64 {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "W1 between distributions of different size"
+        );
+        let mut acc = 0.0;
+        let mut fp = 0.0;
+        let mut fq = 0.0;
+        // The last prefix-sum difference is 0 by normalization; summing
+        // over all of them anyway is harmless and simpler.
+        for (p, q) in self.probs.iter().zip(&other.probs) {
+            fp += p;
+            fq += q;
+            acc += (fp - fq).abs();
+        }
+        acc
+    }
+
+    /// Total-variation-style L1 distance `‖p - q‖₁`.
+    ///
+    /// The paper bounds moving cost by `k·‖p - q‖₁`; the coupling in this
+    /// crate achieves the (never larger) `W₁` instead.
+    ///
+    /// # Panics
+    /// Panics if the distributions have different support sizes.
+    #[must_use]
+    pub fn l1_distance(&self, other: &Self) -> f64 {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "L1 between distributions of different size"
+        );
+        self.probs
+            .iter()
+            .zip(&other.probs)
+            .map(|(p, q)| (p - q).abs())
+            .sum()
+    }
+
+    /// Expected value of `f` over the distribution.
+    #[must_use]
+    pub fn expect(&self, f: impl Fn(usize) -> f64) -> f64 {
+        self.probs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| p * f(i))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_has_equal_mass() {
+        let d = Distribution::uniform(4);
+        for i in 0..4 {
+            assert!((d.prob(i) - 0.25).abs() < 1e-12);
+        }
+        assert_eq!(d.len(), 4);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn point_mass_quantiles_are_constant() {
+        let d = Distribution::point(2, 5);
+        for u in [0.0, 0.3, 0.5, 0.99, 1.0] {
+            assert_eq!(d.quantile(u), 2);
+        }
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_u() {
+        let d = Distribution::new(vec![0.25, 0.25, 0.25, 0.25]);
+        let mut prev = 0;
+        for step in 0..=100 {
+            let u = step as f64 / 100.0;
+            let q = d.quantile(u);
+            assert!(q >= prev);
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn quantile_skips_zero_probability_states() {
+        let d = Distribution::new(vec![0.5, 0.0, 0.5]);
+        assert_eq!(d.quantile(0.4), 0);
+        assert_eq!(d.quantile(0.6), 2);
+        assert_eq!(d.quantile(1.0), 2);
+    }
+
+    #[test]
+    fn w1_between_point_masses_is_line_distance() {
+        let p = Distribution::point(1, 6);
+        let q = Distribution::point(4, 6);
+        assert!((p.wasserstein1(&q) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn w1_is_symmetric_and_zero_on_self() {
+        let p = Distribution::new(vec![0.1, 0.4, 0.5]);
+        let q = Distribution::new(vec![0.3, 0.3, 0.4]);
+        assert!((p.wasserstein1(&q) - q.wasserstein1(&p)).abs() < 1e-12);
+        assert!(p.wasserstein1(&p) < 1e-12);
+    }
+
+    #[test]
+    fn w1_never_exceeds_diameter_times_l1_over_two() {
+        // W1 ≤ (n-1) · ‖p-q‖₁ / 2 on a line of n states.
+        let p = Distribution::new(vec![0.7, 0.1, 0.1, 0.1]);
+        let q = Distribution::new(vec![0.1, 0.1, 0.1, 0.7]);
+        let bound = 3.0 * p.l1_distance(&q) / 2.0;
+        assert!(p.wasserstein1(&q) <= bound + 1e-12);
+    }
+
+    #[test]
+    fn expectation_of_identity_is_mean() {
+        let d = Distribution::new(vec![0.5, 0.0, 0.5]);
+        assert!((d.expect(|i| i as f64) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to")]
+    fn rejects_unnormalized() {
+        let _ = Distribution::new(vec![0.5, 0.2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid probability")]
+    fn rejects_negative() {
+        let _ = Distribution::new(vec![1.5, -0.5]);
+    }
+}

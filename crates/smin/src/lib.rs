@@ -1,0 +1,30 @@
+//! Smooth-minimum machinery and line-metric optimal transport.
+//!
+//! This crate implements Appendix A of Räcke, Schmid & Zabrodin,
+//! *"Polylog-Competitive Algorithms for Dynamic Balanced Graph
+//! Partitioning for Ring Demands"* (SPAA 2023):
+//!
+//! * [`smin`] / [`smin_scaled`] — the smooth minimum
+//!   `smin(x) = -ln(Σᵢ e^{-xᵢ})` and its scaled variant
+//!   `smin_c(x) = c·smin(x/c)`, computed with numerically stable
+//!   log-sum-exp.
+//! * [`grad_smin`] / [`grad_smin_scaled`] — their gradients, which are
+//!   probability distributions (Fact A.1(ii)); the paper's randomized
+//!   algorithms place their cut-edge according to these distributions.
+//! * [`Distribution`] — a validated probability vector over line states
+//!   with CDF/quantile access and exact 1-Wasserstein distance.
+//! * [`QuantileCoupling`] — a sampler that realizes a concrete state from
+//!   a drifting distribution such that the *expected* realized movement
+//!   equals the 1-Wasserstein distance between successive distributions
+//!   (inverse-CDF coupling is an optimal transport plan on the line).
+//!
+//! The inequalities of Fact A.1 and Lemmas A.2/A.3 are enforced by
+//! property tests in `tests/properties.rs`.
+
+mod coupling;
+mod dist;
+mod logsumexp;
+
+pub use coupling::QuantileCoupling;
+pub use dist::Distribution;
+pub use logsumexp::{grad_smin, grad_smin_scaled, smin, smin_scaled};

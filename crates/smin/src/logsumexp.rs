@@ -1,0 +1,195 @@
+//! Numerically stable smooth minimum (negated log-sum-exp) and gradients.
+
+/// Smooth minimum `smin(x) = -ln(Σᵢ e^{-xᵢ})`.
+///
+/// Satisfies `min(x) - ln(n) ≤ smin(x) ≤ min(x)` (Fact A.1(i)).
+/// Computed by factoring out the true minimum so the exponentials never
+/// overflow: `smin(x) = m - ln(Σᵢ e^{-(xᵢ-m)})` with `m = min(x)`.
+///
+/// # Panics
+/// Panics if `x` is empty or contains a NaN.
+pub fn smin(x: &[f64]) -> f64 {
+    assert!(!x.is_empty(), "smin of an empty vector is undefined");
+    let m = x
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, |a, b| if b < a { b } else { a });
+    assert!(!m.is_nan(), "smin input contains NaN");
+    let sum: f64 = x.iter().map(|&xi| (-(xi - m)).exp()).sum();
+    m - sum.ln()
+}
+
+/// Scaled smooth minimum `smin_c(x) = c · smin(x / c)` for `c ≥ 1`.
+///
+/// Satisfies `min(x) - c·ln(n) ≤ smin_c(x) ≤ min(x)` (Lemma A.3(i)).
+/// Larger `c` makes the gradient change more slowly (Lemma A.3(iv)),
+/// which is how the paper controls moving cost on intervals of length
+/// `c + 1`.
+///
+/// # Panics
+/// Panics if `x` is empty, contains a NaN, or `c < 1`.
+pub fn smin_scaled(x: &[f64], c: f64) -> f64 {
+    assert!(c >= 1.0, "smin_c requires c >= 1, got {c}");
+    assert!(!x.is_empty(), "smin_c of an empty vector is undefined");
+    let m = x
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, |a, b| if b < a { b } else { a });
+    assert!(!m.is_nan(), "smin_c input contains NaN");
+    let sum: f64 = x.iter().map(|&xi| (-((xi - m) / c)).exp()).sum();
+    m - c * sum.ln()
+}
+
+/// Gradient of [`smin`]: `∇ᵢ smin(x) = e^{-xᵢ} / Σⱼ e^{-xⱼ}`.
+///
+/// This is `softmax(-x)` — a probability distribution (Fact A.1(ii)).
+/// The output vector sums to 1 up to floating-point error and is
+/// re-normalized exactly.
+///
+/// # Panics
+/// Panics if `x` is empty or contains a NaN.
+pub fn grad_smin(x: &[f64]) -> Vec<f64> {
+    grad_smin_scaled(x, 1.0)
+}
+
+/// Gradient of [`smin_scaled`]: `∇ smin_c(x) = softmax(-x/c)`
+/// (Lemma A.3(ii)).
+///
+/// # Panics
+/// Panics if `x` is empty, contains a NaN, or `c < 1`.
+pub fn grad_smin_scaled(x: &[f64], c: f64) -> Vec<f64> {
+    assert!(c >= 1.0, "grad smin_c requires c >= 1, got {c}");
+    assert!(!x.is_empty(), "gradient of empty vector is undefined");
+    let m = x
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, |a, b| if b < a { b } else { a });
+    assert!(!m.is_nan(), "grad smin_c input contains NaN");
+    let mut g: Vec<f64> = x.iter().map(|&xi| (-((xi - m) / c)).exp()).collect();
+    let sum: f64 = g.iter().sum();
+    for gi in &mut g {
+        *gi /= sum;
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {a} ≈ {b} (tol {tol})");
+    }
+
+    #[test]
+    fn smin_of_singleton_is_identity() {
+        assert_close(smin(&[3.5]), 3.5, 1e-12);
+        assert_close(smin_scaled(&[3.5], 7.0), 3.5, 1e-12);
+    }
+
+    #[test]
+    fn smin_bounded_by_min_fact_a1() {
+        let x = [4.0, 2.0, 9.0, 2.5];
+        let s = smin(&x);
+        let n = x.len() as f64;
+        assert!(s <= 2.0 + 1e-12);
+        assert!(s >= 2.0 - n.ln() - 1e-12);
+    }
+
+    #[test]
+    fn smin_scaled_bounded_by_min_lemma_a3() {
+        let x = [40.0, 12.0, 90.0, 13.0, 55.0];
+        let c = 10.0;
+        let s = smin_scaled(&x, c);
+        let n = x.len() as f64;
+        assert!(s <= 12.0 + 1e-12);
+        assert!(s >= 12.0 - c * n.ln() - 1e-12);
+    }
+
+    #[test]
+    fn smin_scaled_with_c_one_matches_smin() {
+        let x = [1.0, 0.5, 2.0];
+        assert_close(smin(&x), smin_scaled(&x, 1.0), 1e-12);
+    }
+
+    #[test]
+    fn gradient_is_probability_distribution() {
+        let x = [0.0, 1.0, 5.0, 0.25];
+        let g = grad_smin(&x);
+        assert_close(g.iter().sum::<f64>(), 1.0, 1e-12);
+        assert!(g.iter().all(|&gi| gi >= 0.0));
+    }
+
+    #[test]
+    fn gradient_puts_most_mass_on_minimum() {
+        let x = [10.0, 0.0, 10.0];
+        let g = grad_smin(&x);
+        assert!(g[1] > 0.99);
+    }
+
+    #[test]
+    fn scaled_gradient_is_flatter() {
+        // Larger c spreads probability mass: the max component shrinks.
+        let x = [0.0, 3.0, 6.0];
+        let g1 = grad_smin_scaled(&x, 1.0);
+        let g10 = grad_smin_scaled(&x, 10.0);
+        assert!(g10[0] < g1[0]);
+        assert!(g10[2] > g1[2]);
+    }
+
+    #[test]
+    fn uniform_input_gives_uniform_gradient() {
+        let x = [7.0; 8];
+        let g = grad_smin(&x);
+        for gi in g {
+            assert_close(gi, 1.0 / 8.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn huge_values_do_not_overflow() {
+        // Without the max-shift trick these would produce 0/0 = NaN.
+        let x = [1e6, 1e6 + 1.0, 1e6 + 2.0];
+        let g = grad_smin(&x);
+        assert!(g.iter().all(|gi| gi.is_finite()));
+        assert!(smin(&x).is_finite());
+        assert!(smin_scaled(&x, 3.0).is_finite());
+    }
+
+    #[test]
+    fn lemma_a2_i_increment_lower_bound() {
+        // smin(x+ℓ) - smin(x) ≥ ½ ∇smin(x)ᵀℓ for 0 ≤ ℓᵢ ≤ 1.
+        let x = [0.3, 1.7, 0.0, 4.0];
+        let l = [1.0, 0.0, 0.5, 0.25];
+        let xl: Vec<f64> = x.iter().zip(&l).map(|(a, b)| a + b).collect();
+        let lhs = smin(&xl) - smin(&x);
+        let g = grad_smin(&x);
+        let rhs: f64 = 0.5 * g.iter().zip(&l).map(|(a, b)| a * b).sum::<f64>();
+        assert!(lhs >= rhs - 1e-12, "Lemma A.2(i) violated: {lhs} < {rhs}");
+    }
+
+    #[test]
+    fn lemma_a2_ii_gradient_change_upper_bound() {
+        // ‖∇smin(x+ℓ) - ∇smin(x)‖₁ ≤ 2 ∇smin(x)ᵀℓ for ℓ ≥ 0.
+        let x = [0.3, 1.7, 0.0, 4.0];
+        let l = [2.0, 0.0, 3.5, 0.25];
+        let xl: Vec<f64> = x.iter().zip(&l).map(|(a, b)| a + b).collect();
+        let g0 = grad_smin(&x);
+        let g1 = grad_smin(&xl);
+        let lhs: f64 = g0.iter().zip(&g1).map(|(a, b)| (a - b).abs()).sum();
+        let rhs: f64 = 2.0 * g0.iter().zip(&l).map(|(a, b)| a * b).sum::<f64>();
+        assert!(lhs <= rhs + 1e-12, "Lemma A.2(ii) violated: {lhs} > {rhs}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_input_panics() {
+        let _ = smin(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "c >= 1")]
+    fn small_c_panics() {
+        let _ = smin_scaled(&[1.0], 0.5);
+    }
+}

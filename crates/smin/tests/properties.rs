@@ -1,0 +1,144 @@
+//! Property tests for Appendix A: Fact A.1, Lemma A.2, Lemma A.3, and
+//! the optimality of the quantile coupling.
+
+use proptest::prelude::*;
+use rdbp_smin::{grad_smin, grad_smin_scaled, smin, smin_scaled, Distribution};
+
+const TOL: f64 = 1e-9;
+
+fn vec_and_min(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..1000.0, 1..=len)
+}
+
+fn nonneg_increment(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..1.0, 1..=len)
+}
+
+fn prob_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(1e-6f64..1.0, 2..=len).prop_map(|v| {
+        let s: f64 = v.iter().sum();
+        v.into_iter().map(|x| x / s).collect()
+    })
+}
+
+proptest! {
+    /// Fact A.1(i): min(x) − ln n ≤ smin(x) ≤ min(x).
+    #[test]
+    fn fact_a1_i_sandwich(x in vec_and_min(32)) {
+        let m = x.iter().copied().fold(f64::INFINITY, f64::min);
+        let s = smin(&x);
+        let n = x.len() as f64;
+        prop_assert!(s <= m + TOL);
+        prop_assert!(s >= m - n.ln() - TOL);
+    }
+
+    /// Fact A.1(ii): the gradient is a probability distribution.
+    #[test]
+    fn fact_a1_ii_gradient_is_distribution(x in vec_and_min(32)) {
+        let g = grad_smin(&x);
+        prop_assert!((g.iter().sum::<f64>() - 1.0).abs() <= 1e-9);
+        prop_assert!(g.iter().all(|&gi| gi >= 0.0));
+    }
+
+    /// Lemma A.2(i): smin(x+ℓ) − smin(x) ≥ ½∇smin(x)ᵀℓ for 0 ≤ ℓᵢ ≤ 1.
+    #[test]
+    fn lemma_a2_i(x in vec_and_min(16), l in nonneg_increment(16)) {
+        let n = x.len().min(l.len());
+        let x = &x[..n];
+        let l = &l[..n];
+        let xl: Vec<f64> = x.iter().zip(l).map(|(a, b)| a + b).collect();
+        let lhs = smin(&xl) - smin(x);
+        let g = grad_smin(x);
+        let rhs = 0.5 * g.iter().zip(l).map(|(a, b)| a * b).sum::<f64>();
+        prop_assert!(lhs >= rhs - TOL, "lhs={lhs} rhs={rhs}");
+    }
+
+    /// Lemma A.2(ii): ‖∇smin(x+ℓ) − ∇smin(x)‖₁ ≤ 2∇smin(x)ᵀℓ for ℓ ≥ 0.
+    #[test]
+    fn lemma_a2_ii(x in vec_and_min(16), scale in 0.0f64..10.0, l in nonneg_increment(16)) {
+        let n = x.len().min(l.len());
+        let x = &x[..n];
+        let l: Vec<f64> = l[..n].iter().map(|v| v * scale).collect();
+        let xl: Vec<f64> = x.iter().zip(&l).map(|(a, b)| a + b).collect();
+        let g0 = grad_smin(x);
+        let g1 = grad_smin(&xl);
+        let lhs: f64 = g0.iter().zip(&g1).map(|(a, b)| (a - b).abs()).sum();
+        let rhs = 2.0 * g0.iter().zip(&l).map(|(a, b)| a * b).sum::<f64>();
+        prop_assert!(lhs <= rhs + TOL, "lhs={lhs} rhs={rhs}");
+    }
+
+    /// Lemma A.3(i): min(x) − c·ln n ≤ smin_c(x) ≤ min(x).
+    #[test]
+    fn lemma_a3_i(x in vec_and_min(32), c in 1.0f64..100.0) {
+        let m = x.iter().copied().fold(f64::INFINITY, f64::min);
+        let s = smin_scaled(&x, c);
+        let n = x.len() as f64;
+        prop_assert!(s <= m + TOL);
+        prop_assert!(s >= m - c * n.ln() - TOL);
+    }
+
+    /// Lemma A.3(iii): smin_c(x+ℓ) − smin_c(x) ≥ ½∇smin_c(x)ᵀℓ
+    /// for 0 ≤ ℓᵢ ≤ 1.
+    #[test]
+    fn lemma_a3_iii(x in vec_and_min(16), l in nonneg_increment(16), c in 1.0f64..100.0) {
+        let n = x.len().min(l.len());
+        let x = &x[..n];
+        let l = &l[..n];
+        let xl: Vec<f64> = x.iter().zip(l).map(|(a, b)| a + b).collect();
+        let lhs = smin_scaled(&xl, c) - smin_scaled(x, c);
+        let g = grad_smin_scaled(x, c);
+        let rhs = 0.5 * g.iter().zip(l).map(|(a, b)| a * b).sum::<f64>();
+        prop_assert!(lhs >= rhs - TOL, "lhs={lhs} rhs={rhs}");
+    }
+
+    /// Lemma A.3(iv): ‖∇smin_c(x+ℓ) − ∇smin_c(x)‖₁ ≤ (2/c)∇smin_c(x)ᵀℓ.
+    #[test]
+    fn lemma_a3_iv(x in vec_and_min(16), scale in 0.0f64..10.0, l in nonneg_increment(16), c in 1.0f64..100.0) {
+        let n = x.len().min(l.len());
+        let x = &x[..n];
+        let l: Vec<f64> = l[..n].iter().map(|v| v * scale).collect();
+        let xl: Vec<f64> = x.iter().zip(&l).map(|(a, b)| a + b).collect();
+        let g0 = grad_smin_scaled(x, c);
+        let g1 = grad_smin_scaled(&xl, c);
+        let lhs: f64 = g0.iter().zip(&g1).map(|(a, b)| (a - b).abs()).sum();
+        let rhs = (2.0 / c) * g0.iter().zip(&l).map(|(a, b)| a * b).sum::<f64>();
+        prop_assert!(lhs <= rhs + TOL, "lhs={lhs} rhs={rhs}");
+    }
+
+    /// Quantile function inverts the CDF: F(quantile(u)) ≥ u and the
+    /// state below (if any with positive mass) has F < u.
+    #[test]
+    fn quantile_inverts_cdf(p in prob_vec(16), u in 1e-9f64..1.0) {
+        let d = Distribution::new(p);
+        let q = d.quantile(u);
+        let cdf_q: f64 = (0..=q).map(|i| d.prob(i)).sum();
+        prop_assert!(cdf_q >= u - 1e-9);
+        // Any strictly smaller state with positive probability has CDF < u.
+        if q > 0 {
+            let cdf_prev: f64 = (0..q).map(|i| d.prob(i)).sum();
+            prop_assert!(cdf_prev < u + 1e-9);
+        }
+    }
+
+    /// W1 satisfies the triangle inequality.
+    #[test]
+    fn w1_triangle(p in prob_vec(8), q in prob_vec(8), r in prob_vec(8)) {
+        let n = p.len().min(q.len()).min(r.len());
+        let renorm = |v: &[f64]| {
+            let s: f64 = v[..n].iter().sum();
+            Distribution::new(v[..n].iter().map(|x| x / s).collect())
+        };
+        let (p, q, r) = (renorm(&p), renorm(&q), renorm(&r));
+        prop_assert!(p.wasserstein1(&r) <= p.wasserstein1(&q) + q.wasserstein1(&r) + 1e-9);
+    }
+
+    /// The coupling's per-step movement is an integer distance and the
+    /// coupled state always lies within the support.
+    #[test]
+    fn coupling_state_in_support(p in prob_vec(16), u in 1e-6f64..1.0) {
+        let d = Distribution::new(p);
+        let c = rdbp_smin::QuantileCoupling::with_u(&d, u);
+        prop_assert!(c.state() < d.len());
+        prop_assert!(d.prob(c.state()) > 0.0);
+    }
+}

@@ -1,0 +1,76 @@
+//! The adversarial ring: a cut-chaser always requests an edge that
+//! currently crosses servers. This is the regime where deterministic
+//! algorithms provably lose Ω(k) and randomization is necessary
+//! (Avin et al.'s lower bound; Lemma 4.1).
+//!
+//! ```sh
+//! cargo run --release --example adversarial_ring
+//! ```
+
+use rdbp::prelude::*;
+
+fn run_chased(name: &str, alg: &mut dyn OnlineAlgorithm, steps: u64) -> CostLedger {
+    let mut adversary = workload::CutChaser::new();
+    let report = run(alg, &mut adversary, steps, AuditLevel::None);
+    println!(
+        "{name:<24} {:>10} {:>10} {:>10}",
+        report.ledger.communication,
+        report.ledger.migration,
+        report.ledger.total()
+    );
+    report.ledger
+}
+
+fn main() {
+    let inst = RingInstance::packed(4, 32);
+    let steps = 20_000;
+    println!(
+        "cut-chaser on n={} (ℓ={}, k={}), {steps} requests\n",
+        inst.n(),
+        inst.servers(),
+        inst.capacity()
+    );
+    println!("{:<24} {:>10} {:>10} {:>10}", "algorithm", "comm", "migration", "total");
+
+    let mut greedy = GreedySwap::new(&inst);
+    let greedy_cost = run_chased("greedy-swap (det)", &mut greedy, steps);
+
+    let mut comp = ComponentSweep::new(&inst);
+    run_chased("component-sweep (det)", &mut comp, steps);
+
+    let mut lazy = NeverMove::new(&inst);
+    run_chased("never-move (det)", &mut lazy, steps);
+
+    let mut dynamic = DynamicPartitioner::new(
+        &inst,
+        DynamicConfig {
+            epsilon: 0.5,
+            policy: PolicyKind::WorkFunction,
+            seed: 9,
+            shift: None,
+        },
+    );
+    let dyn_cost = run_chased("dynamic + WFA", &mut dynamic, steps);
+
+    let mut stat = StaticPartitioner::with_contiguous(
+        &inst,
+        StaticConfig {
+            epsilon: 1.0,
+            seed: 9,
+        },
+    );
+    run_chased("static (Thm 2.2)", &mut stat, steps);
+
+    println!(
+        "\nThe chaser forces every algorithm to pay *something* each step —\n\
+         but the structured algorithms spread the damage: the dynamic\n\
+         algorithm's cost is {:.1}× below the greedy swapper's thrashing.",
+        greedy_cost.total() as f64 / dyn_cost.total().max(1) as f64
+    );
+    println!(
+        "\nNote: the chaser is *adaptive* (it sees actual placements), so the\n\
+         oblivious-adversary guarantees of the randomized algorithms do not\n\
+         apply verbatim here; the work-function MTS box is the robust choice\n\
+         (ablation A1 in EXPERIMENTS.md quantifies this)."
+    );
+}

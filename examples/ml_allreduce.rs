@@ -1,0 +1,88 @@
+//! Ring-allreduce collocation: the workload the paper's introduction
+//! motivates (distributed ML traffic is ring-shaped — Horovod-style
+//! collectives pass gradients around a logical ring).
+//!
+//! A training job's workers communicate along the ring in repeated
+//! passes. A demand-aware scheduler should place consecutive workers on
+//! the same server so that only the unavoidable ℓ "seam" edges cross
+//! servers. This example measures how close each algorithm gets to that
+//! floor and compares against the exact static optimum.
+//!
+//! ```sh
+//! cargo run --release --example ml_allreduce
+//! ```
+
+use rdbp::model::trace::Trace;
+use rdbp::model::workload::record;
+use rdbp::prelude::*;
+
+fn main() {
+    let inst = RingInstance::packed(8, 16); // 8 hosts × 16 workers
+    let passes = 200;
+    let steps = u64::from(inst.n()) * passes;
+
+    // Record the (deterministic) allreduce trace once.
+    let mut src = workload::Sequential::new();
+    let requests = record(&mut src, &Placement::contiguous(&inst), steps);
+    let trace = Trace::new(inst, "allreduce", 0, requests.clone());
+
+    // The unavoidable floor: every balanced partition cuts ≥ ℓ ring
+    // edges, and each full pass crosses every cut once.
+    let opt = static_opt(&trace.edge_weights(), inst.servers(), inst.capacity());
+    println!(
+        "ring-allreduce: {} workers, {} passes → static OPT = {} ({}tight)",
+        inst.n(),
+        passes,
+        opt.weight,
+        if opt.packable { "" } else // LB only
+        { "lower bound, not certified " }
+    );
+
+    let mut rows: Vec<(String, u64, u64)> = Vec::new();
+
+    let mut dynamic = DynamicPartitioner::new(
+        &inst,
+        DynamicConfig {
+            epsilon: 0.5,
+            policy: PolicyKind::HstHedge,
+            seed: 3,
+            shift: None,
+        },
+    );
+    let r = run_trace(&mut dynamic, &requests, AuditLevel::None);
+    rows.push(("dynamic (Thm 2.1)".into(), r.ledger.communication, r.ledger.migration));
+
+    let mut stat = StaticPartitioner::with_contiguous(
+        &inst,
+        StaticConfig {
+            epsilon: 1.0,
+            seed: 3,
+        },
+    );
+    let r = run_trace(&mut stat, &requests, AuditLevel::None);
+    rows.push(("static (Thm 2.2)".into(), r.ledger.communication, r.ledger.migration));
+
+    let mut lazy = NeverMove::new(&inst);
+    let r = run_trace(&mut lazy, &requests, AuditLevel::None);
+    rows.push(("never-move".into(), r.ledger.communication, r.ledger.migration));
+
+    let mut greedy = GreedySwap::new(&inst);
+    let r = run_trace(&mut greedy, &requests, AuditLevel::None);
+    rows.push(("greedy-swap".into(), r.ledger.communication, r.ledger.migration));
+
+    println!("\n{:<20} {:>10} {:>10} {:>10} {:>8}", "algorithm", "comm", "migration", "total", "vs OPT");
+    for (name, comm, mig) in rows {
+        let total = comm + mig;
+        println!(
+            "{name:<20} {comm:>10} {mig:>10} {total:>10} {:>8.2}",
+            total as f64 / opt.weight.max(1) as f64
+        );
+    }
+    println!(
+        "\nNote: never-move already sits at the floor here because the initial\n\
+         placement is contiguous — the interesting comparison is the greedy\n\
+         swapper, which destroys contiguity chasing individual edges, and the\n\
+         paper's algorithms, which must pay polylog overhead to *discover* the\n\
+         pattern online without knowing it is an allreduce."
+    );
+}

@@ -1,0 +1,89 @@
+//! Trace tooling: record a workload to JSON, reload it, and compute
+//! every offline comparator on the exact same input — the workflow for
+//! analyzing production communication traces offline.
+//!
+//! ```sh
+//! cargo run --release --example trace_analysis
+//! ```
+
+use rdbp::model::trace::Trace;
+use rdbp::model::workload::record;
+use rdbp::prelude::*;
+
+fn main() {
+    let inst = RingInstance::packed(3, 4); // tiny, so exact dynamic OPT is feasible
+    let initial = Placement::contiguous(&inst);
+
+    // Record a bursty workload and persist it.
+    let mut src = workload::Bursty::new(0.9, 11);
+    let requests = record(&mut src, &initial, 400);
+    let trace = Trace::new(inst, "bursty", 11, requests);
+    let path = std::env::temp_dir().join("rdbp-demo-trace.json");
+    trace.save(&path).expect("save trace");
+    println!("recorded {} requests → {}", trace.len(), path.display());
+
+    // Reload and analyze.
+    let trace = Trace::load(&path).expect("load trace");
+    let weights = trace.edge_weights();
+    let hottest = weights
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, w)| w)
+        .expect("nonempty");
+    println!(
+        "hottest edge: ({}, {}) with {} requests",
+        hottest.0,
+        (hottest.0 + 1) % trace.instance.n() as usize,
+        hottest.1
+    );
+
+    // Exact comparators.
+    let sopt = static_opt(&weights, inst.servers(), inst.capacity());
+    let dopt = dynamic_opt(&inst, &initial, &trace.requests);
+    println!(
+        "offline optima: static = {} (cuts at {:?}{}), dynamic = {dopt}",
+        sopt.weight,
+        sopt.cuts,
+        if sopt.packable { ", certified" } else { ", LB only" }
+    );
+
+    // Replay the trace through the online algorithms.
+    println!("\n{:<20} {:>8} {:>10} {:>12}", "algorithm", "total", "vs static", "vs dynamic");
+    for which in ["dynamic", "static", "never-move"] {
+        let ledger = match which {
+            "dynamic" => {
+                let mut alg = DynamicPartitioner::new(
+                    &inst,
+                    DynamicConfig {
+                        epsilon: 0.5,
+                        policy: PolicyKind::HstHedge,
+                        seed: 2,
+                        shift: None,
+                    },
+                );
+                run_trace(&mut alg, &trace.requests, AuditLevel::None).ledger
+            }
+            "static" => {
+                let mut alg = StaticPartitioner::with_contiguous(
+                    &inst,
+                    StaticConfig {
+                        epsilon: 1.0,
+                        seed: 2,
+                    },
+                );
+                run_trace(&mut alg, &trace.requests, AuditLevel::None).ledger
+            }
+            _ => {
+                let mut alg = NeverMove::new(&inst);
+                run_trace(&mut alg, &trace.requests, AuditLevel::None).ledger
+            }
+        };
+        println!(
+            "{which:<20} {:>8} {:>10.2} {:>12.2}",
+            ledger.total(),
+            ledger.total() as f64 / sopt.weight.max(1) as f64,
+            ledger.total() as f64 / dopt.max(1) as f64
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,251 @@
+//! `rdbp-sim` — command-line simulator for ring-demand partitioning.
+//!
+//! ```text
+//! rdbp-sim --servers 8 --capacity 32 --algorithm dynamic \
+//!          --workload zipf --steps 100000 --epsilon 0.5 --seed 1
+//! ```
+//!
+//! Algorithms: dynamic | static | greedy | component | never-move
+//! Workloads:  uniform | zipf | sliding | allreduce | bursty |
+//!             random-walk | hotspot | chaser
+//!
+//! Prints the cost ledger, max load vs the algorithm's bound, and (with
+//! `--opt`) the exact static-OPT lower bound of the generated trace.
+//! `--save-trace FILE` writes the requests as JSON for offline
+//! analysis; `--load-trace FILE` replays one instead of generating.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::process::exit;
+
+use rdbp::model::trace::Trace;
+use rdbp::model::workload::record;
+use rdbp::prelude::*;
+
+struct Args(HashMap<String, String>);
+
+impl Args {
+    fn parse() -> Self {
+        let mut map = HashMap::new();
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let Some(name) = flag.strip_prefix("--") else {
+                eprintln!("unexpected argument `{flag}` (flags start with --)");
+                exit(2);
+            };
+            if name == "help" {
+                print_help();
+                exit(0);
+            }
+            if matches!(name, "opt" | "audit") {
+                map.insert(name.to_string(), "true".to_string());
+                continue;
+            }
+            let Some(value) = it.next() else {
+                eprintln!("flag --{name} needs a value");
+                exit(2);
+            };
+            map.insert(name.to_string(), value);
+        }
+        Self(map)
+    }
+
+    fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.0.get(name) {
+            None => default,
+            Some(raw) => raw.parse().unwrap_or_else(|_| {
+                eprintln!("invalid value `{raw}` for --{name}");
+                exit(2);
+            }),
+        }
+    }
+
+    fn str(&self, name: &str, default: &str) -> String {
+        self.0.get(name).cloned().unwrap_or_else(|| default.into())
+    }
+
+    fn flag(&self, name: &str) -> bool {
+        self.0.contains_key(name)
+    }
+}
+
+fn print_help() {
+    println!(
+        "rdbp-sim — online balanced ring partitioning simulator\n\n\
+         USAGE: rdbp-sim [FLAGS]\n\n\
+         --servers N      number of servers ℓ (default 4)\n\
+         --capacity N     per-server capacity k (default 16)\n\
+         --steps N        requests to serve (default 10000)\n\
+         --algorithm A    dynamic|static|greedy|component|never-move (default dynamic)\n\
+         --policy P       wfa|smin|hedge — MTS box for `dynamic` (default hedge)\n\
+         --workload W     uniform|zipf|sliding|allreduce|bursty|random-walk|hotspot|chaser\n\
+         --epsilon X      augmentation slack (default 0.5)\n\
+         --seed N         RNG seed (default 0)\n\
+         --zipf-s X       Zipf exponent (default 1.2)\n\
+         --opt            also compute the exact static-OPT lower bound\n\
+         --audit          run with full per-step auditing\n\
+         --save-trace F   write the request trace as JSON\n\
+         --load-trace F   replay a JSON trace (ignores --workload/--steps)"
+    );
+}
+
+fn build_workload(name: &str, inst: &RingInstance, seed: u64, zipf_s: f64) -> Box<dyn workload::Workload> {
+    match name {
+        "uniform" => Box::new(workload::UniformRandom::new(seed)),
+        "zipf" => Box::new(workload::Zipf::new(inst, zipf_s, seed)),
+        "sliding" => Box::new(workload::SlidingWindow::new(inst.capacity(), 8, seed)),
+        "allreduce" => Box::new(workload::Sequential::new()),
+        "bursty" => Box::new(workload::Bursty::new(0.9, seed)),
+        "random-walk" => Box::new(workload::RandomWalk::new(0, seed)),
+        "hotspot" => Box::new(workload::RotatingHotspot::new(0.8, 7, 200, seed)),
+        "chaser" => Box::new(workload::CutChaser::new()),
+        other => {
+            eprintln!("unknown workload `{other}`");
+            exit(2);
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let args = Args::parse();
+    let servers: u32 = args.get("servers", 4);
+    let capacity: u32 = args.get("capacity", 16);
+    let steps: u64 = args.get("steps", 10_000);
+    let epsilon: f64 = args.get("epsilon", 0.5);
+    let seed: u64 = args.get("seed", 0);
+    let zipf_s: f64 = args.get("zipf-s", 1.2);
+    let algorithm = args.str("algorithm", "dynamic");
+    let workload_name = args.str("workload", "uniform");
+
+    let inst = RingInstance::packed(servers, capacity);
+
+    // Assemble the request trace (generated, or loaded, possibly
+    // adaptive → served inline below).
+    let loaded: Option<Trace> = args.0.get("load-trace").map(|p| {
+        Trace::load(Path::new(p)).unwrap_or_else(|e| {
+            eprintln!("cannot load trace: {e}");
+            exit(2);
+        })
+    });
+    if let Some(t) = &loaded {
+        assert_eq!(
+            t.instance, inst,
+            "trace instance {:?} differs from CLI instance — pass matching --servers/--capacity",
+            t.instance
+        );
+    }
+
+    let policy = match args.str("policy", "hedge").as_str() {
+        "wfa" => PolicyKind::WorkFunction,
+        "smin" => PolicyKind::SminGradient,
+        "hedge" => PolicyKind::HstHedge,
+        other => {
+            eprintln!("unknown policy `{other}`");
+            exit(2);
+        }
+    };
+
+    let mut alg: Box<dyn OnlineAlgorithm> = match algorithm.as_str() {
+        "dynamic" => Box::new(DynamicPartitioner::new(
+            &inst,
+            DynamicConfig {
+                epsilon,
+                policy,
+                seed,
+                shift: None,
+            },
+        )),
+        "static" => Box::new(StaticPartitioner::with_contiguous(
+            &inst,
+            StaticConfig { epsilon, seed },
+        )),
+        "greedy" => Box::new(GreedySwap::new(&inst)),
+        "component" => Box::new(ComponentSweep::new(&inst)),
+        "never-move" => Box::new(NeverMove::new(&inst)),
+        other => {
+            eprintln!("unknown algorithm `{other}`");
+            exit(2);
+        }
+    };
+
+    let load_limit = match algorithm.as_str() {
+        "dynamic" => (2.0 * (1.0 + epsilon) * f64::from(capacity)).ceil() as u32,
+        "static" => ((3.0 + epsilon.min(2.0)) * f64::from(capacity)).ceil() as u32,
+        "component" => 2 * capacity,
+        _ => capacity,
+    };
+    let audit = if args.flag("audit") {
+        AuditLevel::Full { load_limit }
+    } else {
+        AuditLevel::None
+    };
+
+    // Serve.
+    let (report, requests): (RunReport, Vec<Edge>) = if let Some(t) = loaded {
+        let r = run_trace(alg.as_mut(), &t.requests, audit);
+        (r, t.requests)
+    } else if workload_name == "chaser" {
+        // Adaptive: must be driven against the live algorithm.
+        let mut w = build_workload(&workload_name, &inst, seed, zipf_s);
+        let mut requests = Vec::with_capacity(steps as usize);
+        let mut probe = NeverMove::with_placement(alg.placement().clone());
+        let _ = &mut probe;
+        let mut report = RunReport {
+            ledger: CostLedger::new(),
+            steps: 0,
+            max_load_seen: 0,
+            capacity_violations: 0,
+        };
+        for _ in 0..steps {
+            let e = w.next_request(alg.placement());
+            requests.push(e);
+            let r = run_trace(alg.as_mut(), &[e], audit);
+            report.ledger.absorb(&r.ledger);
+            report.steps += 1;
+            report.max_load_seen = report.max_load_seen.max(r.max_load_seen);
+            report.capacity_violations += r.capacity_violations;
+        }
+        (report, requests)
+    } else {
+        let mut w = build_workload(&workload_name, &inst, seed, zipf_s);
+        let requests = record(w.as_mut(), &Placement::contiguous(&inst), steps);
+        let r = run_trace(alg.as_mut(), &requests, audit);
+        (r, requests)
+    };
+
+    println!(
+        "instance: n={} ℓ={servers} k={capacity} | algorithm={algorithm} workload={workload_name} seed={seed}",
+        inst.n()
+    );
+    println!(
+        "served {} requests: {} | max load {} (limit {})",
+        report.steps, report.ledger, report.max_load_seen, load_limit
+    );
+    if args.flag("audit") {
+        println!("capacity violations: {}", report.capacity_violations);
+    }
+
+    if args.flag("opt") {
+        let mut weights = vec![0u64; inst.n() as usize];
+        for e in &requests {
+            weights[e.0 as usize] += 1;
+        }
+        let opt = static_opt(&weights, servers, capacity);
+        println!(
+            "static OPT {}: {} → ratio {:.2}",
+            if opt.packable { "(certified)" } else { "(lower bound)" },
+            opt.weight,
+            report.ledger.total() as f64 / opt.weight.max(1) as f64
+        );
+    }
+
+    if let Some(path) = args.0.get("save-trace") {
+        let t = Trace::new(inst, workload_name, seed, requests);
+        t.save(Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("cannot save trace: {e}");
+            exit(2);
+        });
+        println!("trace saved to {path}");
+    }
+}

@@ -1,0 +1,74 @@
+//! # rdbp — dynamic balanced graph partitioning for ring demands
+//!
+//! A faithful, executable reproduction of Räcke, Schmid & Zabrodin,
+//! *"Polylog-Competitive Algorithms for Dynamic Balanced Graph
+//! Partitioning for Ring Demands"* (SPAA 2023, arXiv:2304.10350):
+//! `n` processes on a communication ring must be packed onto `ℓ`
+//! servers of capacity `k`; requests to ring edges cost 1 when they
+//! cross servers; migrations cost 1 per process. This crate bundles
+//!
+//! * [`core`](rdbp_core) — the paper's two randomized online
+//!   algorithms: the **dynamic-model** algorithm (Theorem 2.1,
+//!   `O(ε⁻¹log³k)`-competitive vs a dynamic optimum, augmentation
+//!   `2+ε`) and the **static-model** algorithm (Theorem 2.2,
+//!   `O(ε⁻²log²k)`-competitive vs a static optimum, augmentation
+//!   `3+ε`);
+//! * [`model`](rdbp_model) — the ring substrate: instances, placements,
+//!   cost accounting, workload generators, traces, and the auditing
+//!   simulation driver;
+//! * [`mts`](rdbp_mts) — metrical task systems on the line (the
+//!   dynamic algorithm's engine): work function, smin-gradient,
+//!   HST-Hedge, exact offline optimum;
+//! * [`smin`](rdbp_smin) — the Appendix-A smooth-minimum machinery and
+//!   optimal-transport couplings;
+//! * [`offline`](rdbp_offline) — every comparator the analysis uses:
+//!   exact static OPT, exact tiny dynamic OPT, interval-based `OPT_R`,
+//!   the Lemma 3.4 well-behaved strategy, lower-bound adversaries;
+//! * [`baselines`](rdbp_baselines) — the straw men: never-move, greedy
+//!   swapping, component-growing deterministic repartitioners.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rdbp::prelude::*;
+//!
+//! // 4 servers × capacity 8 → a ring of 32 processes.
+//! let inst = RingInstance::packed(4, 8);
+//! let mut alg = DynamicPartitioner::new(&inst, DynamicConfig::default());
+//! let load_limit = alg.load_bound();
+//! let mut workload = workload::UniformRandom::new(42);
+//! let report = run(
+//!     &mut alg,
+//!     &mut workload,
+//!     10_000,
+//!     AuditLevel::Full { load_limit },
+//! );
+//! assert_eq!(report.capacity_violations, 0);
+//! println!("cost: {}", report.ledger);
+//! ```
+//!
+//! See `examples/` for realistic scenarios and `crates/bench` for the
+//! full experiment suite (EXPERIMENTS.md).
+
+pub use rdbp_baselines as baselines;
+pub use rdbp_core as core;
+pub use rdbp_model as model;
+pub use rdbp_mts as mts;
+pub use rdbp_offline as offline;
+pub use rdbp_smin as smin;
+
+/// The commonly needed surface in one import.
+pub mod prelude {
+    pub use rdbp_baselines::{ComponentSweep, GreedySwap, NeverMove};
+    pub use rdbp_core::staticmodel::HittingGame;
+    pub use rdbp_core::{
+        DynamicConfig, DynamicPartitioner, StaticConfig, StaticPartitioner,
+    };
+    pub use rdbp_model::workload;
+    pub use rdbp_model::{
+        run, run_trace, AuditLevel, CostLedger, Edge, OnlineAlgorithm, Placement, Process,
+        RingInstance, RunReport, Segment, Server,
+    };
+    pub use rdbp_mts::PolicyKind;
+    pub use rdbp_offline::{dynamic_opt, interval_opt, static_opt, IntervalLayout};
+}

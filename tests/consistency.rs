@@ -1,0 +1,149 @@
+//! Cross-crate consistency: the offline crate's re-derived interval
+//! geometry must match the dynamic partitioner's, and offline
+//! comparators must relate to online costs the way the analysis says.
+
+use rdbp::model::workload::{record, UniformRandom};
+use rdbp::prelude::*;
+
+#[test]
+fn interval_layout_matches_partitioner_geometry() {
+    for (ell, k, eps) in [(4u32, 8u32, 0.5), (3, 7, 0.25), (8, 16, 1.0)] {
+        let inst = RingInstance::packed(ell, k);
+        for seed in 0..5 {
+            let alg = DynamicPartitioner::new(
+                &inst,
+                DynamicConfig {
+                    epsilon: eps,
+                    policy: PolicyKind::WorkFunction,
+                    seed,
+                    shift: None,
+                },
+            );
+            let layout = IntervalLayout::new(&inst, eps, alg.shift());
+            assert_eq!(layout.k_prime, alg.k_prime());
+            assert_eq!(layout.ell_prime, alg.num_intervals());
+
+            // Every edge maps to 1–2 intervals with valid local states,
+            // and each interval sees exactly k′ distinct edge slots.
+            let mut per_interval = vec![std::collections::HashSet::new(); layout.ell_prime as usize];
+            for e in inst.edges() {
+                let locs = layout.locate(e);
+                assert!(!locs.is_empty() && locs.len() <= 2, "edge {e:?}");
+                for (i, local) in locs {
+                    assert!(local < layout.k_prime);
+                    per_interval[i as usize].insert(local);
+                }
+            }
+            for (i, states) in per_interval.iter().enumerate() {
+                assert_eq!(
+                    states.len(),
+                    layout.k_prime as usize,
+                    "interval {i} must carry k′ distinct states"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn opt_r_lower_bounds_the_online_proxy() {
+    // Lemma 3.3's direction: the online interval proxy can never beat
+    // the exact interval optimum (same shift, same geometry).
+    let inst = RingInstance::packed(4, 8);
+    let eps = 0.5;
+    for seed in 0..10u64 {
+        let mut w = UniformRandom::new(seed + 31);
+        let trace = record(&mut w, &Placement::contiguous(&inst), 2000);
+        let mut alg = DynamicPartitioner::new(
+            &inst,
+            DynamicConfig {
+                epsilon: eps,
+                policy: PolicyKind::HstHedge,
+                seed,
+                shift: None,
+            },
+        );
+        let _ = run_trace(&mut alg, &trace, AuditLevel::None);
+        let layout = IntervalLayout::new(&inst, eps, alg.shift());
+        let opt_r = interval_opt(&layout, &trace).total;
+        assert!(
+            alg.proxy_cost() as f64 >= opt_r - 1e-9,
+            "seed {seed}: proxy {} below OPT_R {opt_r}",
+            alg.proxy_cost()
+        );
+    }
+}
+
+#[test]
+fn static_opt_lower_bounds_every_online_algorithm() {
+    // The static optimum's communication weight is a floor for any
+    // algorithm that starts contiguous and pays migrations.
+    let inst = RingInstance::packed(3, 6);
+    for seed in 0..5u64 {
+        let mut w = UniformRandom::new(seed);
+        let requests = record(&mut w, &Placement::contiguous(&inst), 3000);
+        let mut weights = vec![0u64; inst.n() as usize];
+        for e in &requests {
+            weights[e.0 as usize] += 1;
+        }
+        let opt = static_opt(&weights, inst.servers(), inst.capacity());
+        // never-move's cost = weight on the contiguous cuts ≥ OPT weight.
+        let mut lazy = NeverMove::new(&inst);
+        let lazy_cost = run_trace(&mut lazy, &requests, AuditLevel::None)
+            .ledger
+            .total();
+        assert!(lazy_cost >= opt.weight, "lazy below static OPT?");
+    }
+}
+
+#[test]
+fn dynamic_opt_is_the_tightest_comparator() {
+    // On tiny instances: dynamic OPT ≤ static OPT weight ≤ lazy cost.
+    let inst = RingInstance::packed(2, 4);
+    let initial = Placement::contiguous(&inst);
+    for seed in 0..5u64 {
+        let mut w = UniformRandom::new(seed + 7);
+        let requests = record(&mut w, &initial, 150);
+        let mut weights = vec![0u64; inst.n() as usize];
+        for e in &requests {
+            weights[e.0 as usize] += 1;
+        }
+        let dopt = dynamic_opt(&inst, &initial, &requests);
+        let sopt = static_opt(&weights, inst.servers(), inst.capacity());
+        let mut lazy = NeverMove::new(&inst);
+        let lazy_cost = run_trace(&mut lazy, &requests, AuditLevel::None)
+            .ledger
+            .total();
+        assert!(dopt <= lazy_cost, "dynamic OPT above lazy cost");
+        // Static OPT here excludes initial migrations, so compare to the
+        // communication floor only (a true lower bound on lazy).
+        assert!(sopt.weight <= lazy_cost);
+    }
+}
+
+#[test]
+fn trace_roundtrip_preserves_costs() {
+    use rdbp::model::trace::Trace;
+    let inst = RingInstance::packed(4, 8);
+    let mut w = workload::Zipf::new(&inst, 1.3, 17);
+    let requests = record(&mut w, &Placement::contiguous(&inst), 1000);
+    let trace = Trace::new(inst, "zipf", 17, requests);
+
+    let path = std::env::temp_dir().join("rdbp-consistency-trace.json");
+    trace.save(&path).expect("save");
+    let reloaded = Trace::load(&path).expect("load");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(trace, reloaded);
+
+    let run_with = |requests: &[Edge]| {
+        let mut alg = StaticPartitioner::with_contiguous(
+            &inst,
+            StaticConfig {
+                epsilon: 1.0,
+                seed: 4,
+            },
+        );
+        run_trace(&mut alg, requests, AuditLevel::None).ledger
+    };
+    assert_eq!(run_with(&trace.requests), run_with(&reloaded.requests));
+}

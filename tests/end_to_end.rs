@@ -1,0 +1,185 @@
+//! End-to-end integration: every algorithm × every workload under full
+//! auditing, with the paper's invariants checked by the driver.
+
+use rdbp::prelude::*;
+
+fn all_workloads(inst: &RingInstance) -> Vec<Box<dyn workload::Workload>> {
+    vec![
+        Box::new(workload::Sequential::new()),
+        Box::new(workload::UniformRandom::new(1)),
+        Box::new(workload::Zipf::new(inst, 1.2, 2)),
+        Box::new(workload::SlidingWindow::new(inst.capacity(), 6, 3)),
+        Box::new(workload::RotatingHotspot::new(0.8, 5, 40, 4)),
+        Box::new(workload::Bursty::new(0.9, 5)),
+        Box::new(workload::RandomWalk::new(0, 6)),
+        Box::new(workload::CutChaser::new()),
+    ]
+}
+
+#[test]
+fn dynamic_partitioner_audited_on_all_workloads() {
+    let inst = RingInstance::packed(4, 8);
+    for policy in [
+        PolicyKind::WorkFunction,
+        PolicyKind::SminGradient,
+        PolicyKind::HstHedge,
+    ] {
+        for mut w in all_workloads(&inst) {
+            let mut alg = DynamicPartitioner::new(
+                &inst,
+                DynamicConfig {
+                    epsilon: 0.5,
+                    policy,
+                    seed: 11,
+                    shift: None,
+                },
+            );
+            let bound = alg.load_bound();
+            let report = run(
+                &mut alg,
+                w.as_mut(),
+                1500,
+                AuditLevel::Full { load_limit: bound },
+            );
+            assert_eq!(
+                report.capacity_violations,
+                0,
+                "{} × {}",
+                policy.label(),
+                w.name()
+            );
+            assert_eq!(report.steps, 1500);
+        }
+    }
+}
+
+#[test]
+fn static_partitioner_audited_on_all_workloads() {
+    let inst = RingInstance::packed(4, 8);
+    for mut w in all_workloads(&inst) {
+        let mut alg = StaticPartitioner::with_contiguous(
+            &inst,
+            StaticConfig {
+                epsilon: 1.0,
+                seed: 13,
+            },
+        );
+        let bound = alg.load_bound();
+        let report = run(
+            &mut alg,
+            w.as_mut(),
+            1500,
+            AuditLevel::Full { load_limit: bound },
+        );
+        assert_eq!(report.capacity_violations, 0, "workload {}", w.name());
+    }
+}
+
+#[test]
+fn baselines_audited_on_all_workloads() {
+    let inst = RingInstance::packed(4, 8);
+    for mut w in all_workloads(&inst) {
+        let mut greedy = GreedySwap::new(&inst);
+        let r = run(
+            &mut greedy,
+            w.as_mut(),
+            1000,
+            AuditLevel::Full {
+                load_limit: inst.capacity(),
+            },
+        );
+        assert_eq!(r.capacity_violations, 0, "greedy × {}", w.name());
+
+        let mut comp = ComponentSweep::new(&inst);
+        let bound = comp.load_bound();
+        let r = run(
+            &mut comp,
+            w.as_mut(),
+            1000,
+            AuditLevel::Full { load_limit: bound },
+        );
+        assert_eq!(r.capacity_violations, 0, "component × {}", w.name());
+    }
+}
+
+#[test]
+fn self_adjustment_beats_lazy_on_skewed_demand() {
+    // The headline behaviour: on persistent skew, both paper algorithms
+    // must beat never-move by a wide margin.
+    let inst = RingInstance::packed(4, 16);
+    let steps = 20_000;
+
+    // Dynamic algorithm on drifting bursts (its comparator moves too).
+    let bursty_cost = |alg: &mut dyn OnlineAlgorithm| {
+        let mut w = workload::Bursty::new(0.97, 21);
+        run(alg, &mut w, steps, AuditLevel::None).ledger.total()
+    };
+    // Static algorithm on demand that hammers the initial cut edges —
+    // the regime where staying put is maximally wrong while a *static*
+    // optimum (shift all cuts by one) is nearly free.
+    let seam_cost = |alg: &mut dyn OnlineAlgorithm| {
+        let seams: Vec<Edge> = Placement::contiguous(&inst).cut_edges().collect();
+        let mut w = workload::Replay::new(seams);
+        run(alg, &mut w, steps, AuditLevel::None).ledger.total()
+    };
+
+    let lazy_bursty = bursty_cost(&mut NeverMove::new(&inst));
+    let dynamic = bursty_cost(&mut DynamicPartitioner::new(
+        &inst,
+        DynamicConfig {
+            epsilon: 0.5,
+            policy: PolicyKind::HstHedge,
+            seed: 3,
+            shift: None,
+        },
+    ));
+    let lazy_seam = seam_cost(&mut NeverMove::new(&inst));
+    let stat = seam_cost(&mut StaticPartitioner::with_contiguous(
+        &inst,
+        StaticConfig {
+            epsilon: 1.0,
+            seed: 3,
+        },
+    ));
+    assert!(
+        dynamic * 2 < lazy_bursty,
+        "dynamic {dynamic} should be far below lazy {lazy_bursty}"
+    );
+    assert!(
+        stat * 10 < lazy_seam,
+        "static {stat} should be an order below lazy {lazy_seam}"
+    );
+}
+
+#[test]
+fn degenerate_instances_work() {
+    // k=1 (every server one process), ℓ=1 (single server), n < ℓk.
+    for inst in [
+        RingInstance::new(4, 4, 1),
+        RingInstance::new(5, 1, 5),
+        RingInstance::new(7, 3, 4),
+    ] {
+        let mut w = workload::UniformRandom::new(9);
+        let mut dynamic = DynamicPartitioner::new(
+            &inst,
+            DynamicConfig {
+                epsilon: 0.5,
+                policy: PolicyKind::WorkFunction,
+                seed: 1,
+                shift: None,
+            },
+        );
+        let r = run(&mut dynamic, &mut w, 300, AuditLevel::None);
+        assert_eq!(r.steps, 300);
+
+        let mut stat = StaticPartitioner::with_contiguous(
+            &inst,
+            StaticConfig {
+                epsilon: 1.0,
+                seed: 1,
+            },
+        );
+        let r = run(&mut stat, &mut w, 300, AuditLevel::None);
+        assert_eq!(r.steps, 300);
+    }
+}

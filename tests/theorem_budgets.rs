@@ -1,0 +1,148 @@
+//! Statistical checks of the theorems' *shapes* on small instances:
+//! measured competitive ratios must stay inside generous polylog
+//! budgets (these would fail loudly if an algorithm regressed to
+//! linear-in-k behaviour).
+
+use rdbp::core::staticmodel::HittingGame;
+use rdbp::model::workload::{record, UniformRandom};
+use rdbp::prelude::*;
+
+/// Corollary 4.4: hitting game ≤ O(log k)·OPT (+ additive) across k.
+#[test]
+fn hitting_game_stays_logarithmic() {
+    for k in [16usize, 64, 256] {
+        let mut ratios = Vec::new();
+        for seed in 0..5 {
+            let mut g = HittingGame::new(k, 14.0 / 15.0, seed);
+            for t in 0..(60 * k as u64) {
+                // Half hammer, half sweep: a demanding mixed regime.
+                let e = if t % 2 == 0 {
+                    k / 2
+                } else {
+                    (t as usize * 7) % k
+                };
+                g.request(e);
+            }
+            ratios.push(g.cost() as f64 / g.opt_static().max(1) as f64);
+        }
+        let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        let budget = 10.0 * (k as f64).ln() + 8.0;
+        assert!(
+            mean <= budget,
+            "k={k}: hitting ratio {mean:.2} above budget {budget:.2}"
+        );
+    }
+}
+
+/// Theorem 2.1 shape: dynamic algorithm vs exact OPT_R stays well below
+/// a log³ budget (and nowhere near linear in k).
+#[test]
+fn dynamic_ratio_stays_polylog() {
+    for k in [8u32, 16, 32] {
+        let inst = RingInstance::packed(4, k);
+        let mut ratios = Vec::new();
+        for seed in 0..4u64 {
+            let mut w = UniformRandom::new(seed + 5);
+            let trace = record(&mut w, &Placement::contiguous(&inst), 25 * u64::from(k));
+            let mut alg = DynamicPartitioner::new(
+                &inst,
+                DynamicConfig {
+                    epsilon: 0.5,
+                    policy: PolicyKind::HstHedge,
+                    seed,
+                    shift: None,
+                },
+            );
+            let r = run_trace(&mut alg, &trace, AuditLevel::None);
+            let layout = IntervalLayout::new(&inst, 0.5, alg.shift());
+            let opt_r = interval_opt(&layout, &trace).total.max(1.0);
+            ratios.push(r.ledger.total() as f64 / opt_r);
+        }
+        let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        let logk = f64::from(k).ln();
+        let budget = 4.0 * logk * logk + 8.0;
+        assert!(
+            mean <= budget,
+            "k={k}: dynamic ratio {mean:.2} above budget {budget:.2}"
+        );
+    }
+}
+
+/// Theorem 2.2 shape: static algorithm vs the exact static OPT bound.
+#[test]
+fn static_ratio_stays_polylog() {
+    for k in [8u32, 16, 32] {
+        let inst = RingInstance::packed(4, k);
+        let mut ratios = Vec::new();
+        for seed in 0..4u64 {
+            let mut w = UniformRandom::new(seed + 9);
+            let requests = record(&mut w, &Placement::contiguous(&inst), 40 * u64::from(k));
+            let mut weights = vec![0u64; inst.n() as usize];
+            for e in &requests {
+                weights[e.0 as usize] += 1;
+            }
+            let opt = static_opt(&weights, inst.servers(), inst.capacity());
+            let mut alg = StaticPartitioner::with_contiguous(
+                &inst,
+                StaticConfig {
+                    epsilon: 1.0,
+                    seed,
+                },
+            );
+            let r = run_trace(&mut alg, &requests, AuditLevel::None);
+            ratios.push(r.ledger.total() as f64 / opt.weight.max(1) as f64);
+        }
+        let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        let logk = f64::from(k).ln();
+        let budget = 6.0 * logk * logk + 10.0;
+        assert!(
+            mean <= budget,
+            "k={k}: static ratio {mean:.2} above budget {budget:.2}"
+        );
+    }
+}
+
+/// Tiny end-to-end: both algorithms within a constant factor of the
+/// exact dynamic optimum.
+#[test]
+fn tiny_instances_close_to_exact_optimum() {
+    let inst = RingInstance::packed(2, 4);
+    let initial = Placement::contiguous(&inst);
+    let mut worst_dynamic: f64 = 0.0;
+    let mut worst_static: f64 = 0.0;
+    for seed in 0..6u64 {
+        let mut w = UniformRandom::new(seed + 40);
+        let trace = record(&mut w, &initial, 150);
+        let opt = dynamic_opt(&inst, &initial, &trace).max(1) as f64;
+
+        let mut dyn_alg = DynamicPartitioner::new(
+            &inst,
+            DynamicConfig {
+                epsilon: 0.5,
+                policy: PolicyKind::HstHedge,
+                seed,
+                shift: None,
+            },
+        );
+        let c = run_trace(&mut dyn_alg, &trace, AuditLevel::None).ledger.total() as f64;
+        worst_dynamic = worst_dynamic.max(c / opt);
+
+        let mut st_alg = StaticPartitioner::with_contiguous(
+            &inst,
+            StaticConfig {
+                epsilon: 1.0,
+                seed,
+            },
+        );
+        let c = run_trace(&mut st_alg, &trace, AuditLevel::None).ledger.total() as f64;
+        worst_static = worst_static.max(c / opt);
+    }
+    assert!(
+        worst_dynamic < 12.0,
+        "dynamic worst ratio {worst_dynamic:.2} too large on n=8"
+    );
+    assert!(
+        worst_static < 12.0,
+        "static worst ratio {worst_static:.2} too large on n=8"
+    );
+}
