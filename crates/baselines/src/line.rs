@@ -141,7 +141,9 @@ mod tests {
         let run = || {
             let mut s = WorkFunctionLine::new(9, 4);
             let counts = vec![0u64; 9];
-            (0..40).map(|t| s.next((t * 3) % 9, &counts)).collect::<Vec<_>>()
+            (0..40)
+                .map(|t| s.next((t * 3) % 9, &counts))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
     }

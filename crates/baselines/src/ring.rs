@@ -297,7 +297,12 @@ mod tests {
         let mut alg = ComponentSweep::new(&i);
         let bound = alg.load_bound();
         let mut w = workload::UniformRandom::new(7);
-        let report = run(&mut alg, &mut w, 3000, AuditLevel::Full { load_limit: bound });
+        let report = run(
+            &mut alg,
+            &mut w,
+            3000,
+            AuditLevel::Full { load_limit: bound },
+        );
         assert_eq!(report.capacity_violations, 0);
     }
 

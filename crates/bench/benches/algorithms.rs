@@ -70,7 +70,6 @@ fn bench_serve(c: &mut Criterion) {
     group.finish();
 }
 
-
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(20)

@@ -35,7 +35,6 @@ fn bench_policies(c: &mut Criterion) {
     group.finish();
 }
 
-
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(20)

@@ -66,7 +66,6 @@ fn bench_dynamic_opt(c: &mut Criterion) {
     group.finish();
 }
 
-
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(20)

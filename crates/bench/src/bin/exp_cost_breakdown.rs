@@ -13,11 +13,25 @@ fn main() {
     let mut table = Table::new(
         "T2 — static algorithm cost decomposition (Section 4.5)",
         &[
-            "workload", "total", "hit%", "move%", "merge%", "mono%", "rebal%", "model cost",
+            "workload",
+            "total",
+            "hit%",
+            "move%",
+            "merge%",
+            "mono%",
+            "rebal%",
+            "model cost",
         ],
     );
 
-    let names = vec!["uniform", "zipf", "sliding", "allreduce", "bursty", "scattered-init"];
+    let names = vec![
+        "uniform",
+        "zipf",
+        "sliding",
+        "allreduce",
+        "bursty",
+        "scattered-init",
+    ];
     let rows = parallel_map(names, |&name| {
         let (mut alg, mut src): (StaticPartitioner, Box<dyn Workload>) = match name {
             "scattered-init" => {
@@ -25,7 +39,14 @@ fn main() {
                 let stripes: Vec<u32> = (0..inst.n()).map(|p| (p / 2) % inst.servers()).collect();
                 let initial = Placement::from_assignment(&inst, stripes);
                 (
-                    StaticPartitioner::new(&inst, &initial, StaticConfig { epsilon: 1.0, seed: 5 }),
+                    StaticPartitioner::new(
+                        &inst,
+                        &initial,
+                        StaticConfig {
+                            epsilon: 1.0,
+                            seed: 5,
+                        },
+                    ),
                     Box::new(workload::UniformRandom::new(9)),
                 )
             }
@@ -39,7 +60,13 @@ fn main() {
                     _ => unreachable!(),
                 };
                 (
-                    StaticPartitioner::with_contiguous(&inst, StaticConfig { epsilon: 1.0, seed: 5 }),
+                    StaticPartitioner::with_contiguous(
+                        &inst,
+                        StaticConfig {
+                            epsilon: 1.0,
+                            seed: 5,
+                        },
+                    ),
                     src,
                 )
             }

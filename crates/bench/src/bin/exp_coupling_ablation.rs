@@ -14,7 +14,14 @@ fn main() {
 
     let mut table = Table::new(
         "A2 — coupling ablation: realized movement vs W1 vs k·||Δp||₁",
-        &["k", "realized", "W1 drift", "k·l1 bound", "realized/W1", "W1/(k·l1)"],
+        &[
+            "k",
+            "realized",
+            "W1 drift",
+            "k·l1 bound",
+            "realized/W1",
+            "W1/(k·l1)",
+        ],
     );
 
     let rows = parallel_map(ks, |&k| {

@@ -18,7 +18,11 @@ fn workload_for(name: &str, inst: &RingInstance, seed: u64) -> Box<dyn Workload>
     match name {
         "uniform" => Box::new(workload::UniformRandom::new(seed)),
         "zipf" => Box::new(workload::Zipf::new(inst, 1.2, seed)),
-        "sliding" => Box::new(workload::SlidingWindow::new(inst.capacity() / 2 + 1, 8, seed)),
+        "sliding" => Box::new(workload::SlidingWindow::new(
+            inst.capacity() / 2 + 1,
+            8,
+            seed,
+        )),
         "allreduce" => Box::new(workload::Sequential::new()),
         _ => unreachable!(),
     }
@@ -36,7 +40,14 @@ fn main() {
 
     let mut table = Table::new(
         "F3 — dynamic model: cost/OPT_R and proxy/OPT_R vs k (Theorem 2.1)",
-        &["k", "workload", "cost/OPT_R", "stdev", "proxy/OPT_R", "ratio/ln^2 k"],
+        &[
+            "k",
+            "workload",
+            "cost/OPT_R",
+            "stdev",
+            "proxy/OPT_R",
+            "ratio/ln^2 k",
+        ],
     );
 
     for name in names {
@@ -47,11 +58,7 @@ fn main() {
             let mut proxy_ratios = Vec::new();
             for &seed in &seeds {
                 let mut src = workload_for(name, &inst, seed + 100);
-                let trace = record(
-                    src.as_mut(),
-                    &Placement::contiguous(&inst),
-                    steps,
-                );
+                let trace = record(src.as_mut(), &Placement::contiguous(&inst), steps);
                 let mut alg = DynamicPartitioner::new(
                     &inst,
                     DynamicConfig {

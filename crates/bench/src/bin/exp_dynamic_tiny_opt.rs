@@ -3,9 +3,7 @@
 
 use rdbp_baselines::{GreedySwap, NeverMove};
 use rdbp_bench::{f3, full_profile, mean, parallel_map, Table};
-use rdbp_core::{
-    DynamicConfig, DynamicPartitioner, StaticConfig, StaticPartitioner,
-};
+use rdbp_core::{DynamicConfig, DynamicPartitioner, StaticConfig, StaticPartitioner};
 use rdbp_model::workload::{self, record, Workload};
 use rdbp_model::{run_trace, AuditLevel, OnlineAlgorithm, Placement, RingInstance};
 use rdbp_mts::PolicyKind;
@@ -18,7 +16,16 @@ fn main() {
 
     let mut table = Table::new(
         "F4 — tiny instances: cost / exact dynamic OPT (Theorem 2.1)",
-        &["n", "l", "k", "workload", "dynamic", "static", "greedy", "never-move"],
+        &[
+            "n",
+            "l",
+            "k",
+            "workload",
+            "dynamic",
+            "static",
+            "greedy",
+            "never-move",
+        ],
     );
 
     let rows = parallel_map(instances, |&(ell, k)| {

@@ -14,11 +14,22 @@ fn main() {
 
     let mut table = Table::new(
         "T1 — load audit: max observed load / k vs guaranteed bound",
-        &["algorithm", "workload", "max load/k", "bound/k", "violations"],
+        &[
+            "algorithm",
+            "workload",
+            "max load/k",
+            "bound/k",
+            "violations",
+        ],
     );
 
     let workload_names = [
-        "uniform", "zipf", "sliding", "allreduce", "bursty", "cut-chaser",
+        "uniform",
+        "zipf",
+        "sliding",
+        "allreduce",
+        "bursty",
+        "cut-chaser",
     ];
     let jobs: Vec<(&str, &str)> = ["dynamic", "static"]
         .iter()
@@ -47,7 +58,12 @@ fn main() {
                     },
                 );
                 let bound = alg.load_bound();
-                let r = run(&mut alg, src.as_mut(), steps, AuditLevel::Full { load_limit: bound });
+                let r = run(
+                    &mut alg,
+                    src.as_mut(),
+                    steps,
+                    AuditLevel::Full { load_limit: bound },
+                );
                 (r.max_load_seen, bound, r.capacity_violations)
             }
             _ => {
@@ -59,7 +75,12 @@ fn main() {
                     },
                 );
                 let bound = alg.load_bound();
-                let r = run(&mut alg, src.as_mut(), steps, AuditLevel::Full { load_limit: bound });
+                let r = run(
+                    &mut alg,
+                    src.as_mut(),
+                    steps,
+                    AuditLevel::Full { load_limit: bound },
+                );
                 (r.max_load_seen, bound, r.capacity_violations)
             }
         };

@@ -26,7 +26,14 @@ fn main() {
 
     let mut table = Table::new(
         "F2 — deterministic Ω(k) vs randomized polylog (Lemma 4.1)",
-        &["k", "stay-put", "flee-to-min", "work-function", "smin (rand)", "rand/ln k"],
+        &[
+            "k",
+            "stay-put",
+            "flee-to-min",
+            "work-function",
+            "smin (rand)",
+            "rand/ln k",
+        ],
     );
 
     let rows = parallel_map(ks, |&k| {

@@ -72,7 +72,12 @@ fn main() {
                     per_policy[slot].push(alg.proxy_cost() as f64 / opt_r);
                 }
             }
-            (k, mean(&per_policy[0]), mean(&per_policy[1]), mean(&per_policy[2]))
+            (
+                k,
+                mean(&per_policy[0]),
+                mean(&per_policy[1]),
+                mean(&per_policy[2]),
+            )
         });
         for (k, wfa, smin, hst) in rows {
             table.row(vec![

@@ -24,7 +24,13 @@ fn main() {
 
     let mut table = Table::new(
         "A3 — shift ablation: cost/OPT_R across fixed shifts vs random R",
-        &["k", "best shift", "worst shift", "random R (mean)", "worst/best"],
+        &[
+            "k",
+            "best shift",
+            "worst shift",
+            "random R (mean)",
+            "worst/best",
+        ],
     );
 
     let rows = parallel_map(ks, |&k| {
@@ -56,8 +62,7 @@ fn main() {
         let fixed: Vec<f64> = (0..k_prime)
             .step_by(stride as usize)
             .map(|r| {
-                let per_seed: Vec<f64> =
-                    (0..3).map(|s| ratio_for_shift(Some(r), s)).collect();
+                let per_seed: Vec<f64> = (0..3).map(|s| ratio_for_shift(Some(r), s)).collect();
                 mean(&per_seed)
             })
             .collect();

@@ -19,7 +19,14 @@ fn main() {
 
     let mut table = Table::new(
         "F5 — static model: cost / static OPT vs k (Theorem 2.2)",
-        &["k", "workload", "ratio", "stdev", "ratio/ln^2 k", "OPT tight?"],
+        &[
+            "k",
+            "workload",
+            "ratio",
+            "stdev",
+            "ratio/ln^2 k",
+            "OPT tight?",
+        ],
     );
 
     for name in names {
@@ -40,10 +47,8 @@ fn main() {
                 let trace = Trace::new(inst, name, seed, requests.clone());
                 let opt = static_opt(&trace.edge_weights(), servers, k);
                 all_packable &= opt.packable;
-                let mut alg = StaticPartitioner::with_contiguous(
-                    &inst,
-                    StaticConfig { epsilon: 1.0, seed },
-                );
+                let mut alg =
+                    StaticPartitioner::with_contiguous(&inst, StaticConfig { epsilon: 1.0, seed });
                 let report = run_trace(&mut alg, &requests, AuditLevel::None);
                 ratios.push(report.ledger.total() as f64 / opt.weight.max(1) as f64);
             }
@@ -57,7 +62,11 @@ fn main() {
                 f3(r),
                 f3(s),
                 f3(r / l2),
-                if packable { "yes".into() } else { "LB only".into() },
+                if packable {
+                    "yes".into()
+                } else {
+                    "LB only".into()
+                },
             ]);
         }
     }

@@ -66,11 +66,7 @@ fn main() {
                         shift: None,
                     },
                 );
-                dyn_costs.push(
-                    run_trace(&mut alg, &trace, AuditLevel::None)
-                        .ledger
-                        .total(),
-                );
+                dyn_costs.push(run_trace(&mut alg, &trace, AuditLevel::None).ledger.total());
             }
             let dyn_mean = dyn_costs.iter().sum::<u64>() as f64 / dyn_costs.len() as f64;
             (stat_cost, dyn_mean)

@@ -27,7 +27,16 @@ fn main() {
 
     let mut table = Table::new(
         "T3 — throughput: requests/second (uniform workload)",
-        &["n", "l", "k", "dyn(hedge)", "dyn(wfa)", "static", "greedy", "never-move"],
+        &[
+            "n",
+            "l",
+            "k",
+            "dyn(hedge)",
+            "dyn(wfa)",
+            "static",
+            "greedy",
+            "never-move",
+        ],
     );
 
     for (ell, k) in sizes {

@@ -52,8 +52,7 @@ fn main() {
             let s = wb.step(e, &reference);
             ref_moves += s.reference_moves;
             let kp = (1.0 + epsilon) * f64::from(k);
-            bound_total +=
-                (1.0 + epsilon) / epsilon * kp.ln() * s.reference_moves as f64;
+            bound_total += (1.0 + epsilon) / epsilon * kp.ln() * s.reference_moves as f64;
             if !s.amortized_ok {
                 violations += 1;
             }

@@ -378,8 +378,7 @@ impl OnlineAlgorithm for DynamicPartitioner {
             }
             let old_state = self.cut_state[i];
             if new_state as u32 != old_state {
-                self.interval_move[i] +=
-                    u64::from(old_state.abs_diff(new_state as u32));
+                self.interval_move[i] += u64::from(old_state.abs_diff(new_state as u32));
                 migrations += self.set_cut(i, new_state as u32);
             }
         }
@@ -453,10 +452,8 @@ mod tests {
         for trial in 0..30 {
             let (servers, k) = (2 + trial % 4, 3 + (trial % 5));
             let inst = RingInstance::packed(servers, k);
-            let mut alg = DynamicPartitioner::new(
-                &inst,
-                cfg(PolicyKind::WorkFunction, u64::from(trial)),
-            );
+            let mut alg =
+                DynamicPartitioner::new(&inst, cfg(PolicyKind::WorkFunction, u64::from(trial)));
             for step in 0..60 {
                 let i = rng.random_range(0..alg.ell_prime) as usize;
                 let s = rng.random_range(0..alg.k_prime);
@@ -509,7 +506,8 @@ mod tests {
                     AuditLevel::Full { load_limit: bound },
                 );
                 assert_eq!(
-                    report.capacity_violations, 0,
+                    report.capacity_violations,
+                    0,
                     "{} × {}: max load {} > {bound}",
                     policy.label(),
                     src.name(),
@@ -530,7 +528,12 @@ mod tests {
             let mut alg = DynamicPartitioner::new(&inst, cfg(policy, 11));
             let mut w = workload::UniformRandom::new(5);
             let bound = alg.load_bound();
-            let report = run(&mut alg, &mut w, 3000, AuditLevel::Full { load_limit: bound });
+            let report = run(
+                &mut alg,
+                &mut w,
+                3000,
+                AuditLevel::Full { load_limit: bound },
+            );
             let hits: u64 = alg.interval_hits().iter().sum();
             let moves: u64 = alg.interval_moves().iter().sum();
             // Observation 3.2, adjusted for request ordering: the model

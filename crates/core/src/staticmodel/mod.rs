@@ -533,10 +533,7 @@ mod tests {
     use rdbp_model::{run, AuditLevel, Process, Server};
 
     fn config(seed: u64) -> StaticConfig {
-        StaticConfig {
-            epsilon: 1.0,
-            seed,
-        }
+        StaticConfig { epsilon: 1.0, seed }
     }
 
     #[test]
@@ -544,7 +541,10 @@ mod tests {
         let inst = RingInstance::packed(4, 8);
         let alg = StaticPartitioner::with_contiguous(&inst, config(1));
         assert!((alg.epsilon_prime() - 0.5).abs() < 1e-12);
-        assert!((alg.delta_bar() - 14.0 / 15.0).abs() < 1e-12, "14/15 > 2/2.5");
+        assert!(
+            (alg.delta_bar() - 14.0 / 15.0).abs() < 1e-12,
+            "14/15 > 2/2.5"
+        );
         assert_eq!(alg.load_bound(), 32); // (3+1)·8
         assert_eq!(alg.active_intervals(), 4);
     }
@@ -594,7 +594,8 @@ mod tests {
                 AuditLevel::Full { load_limit: bound },
             );
             assert_eq!(
-                report.capacity_violations, 0,
+                report.capacity_violations,
+                0,
                 "{}: max load {} > {bound}",
                 src.name(),
                 report.max_load_seen
@@ -708,10 +709,7 @@ mod tests {
         let b = alg.breakdown();
         assert!(b.hit > 0);
         assert!(b.moved > 0);
-        assert_eq!(
-            b.total(),
-            b.hit + b.moved + b.merge + b.mono + b.rebalance
-        );
+        assert_eq!(b.total(), b.hit + b.moved + b.merge + b.mono + b.rebalance);
     }
 
     #[test]

@@ -146,11 +146,7 @@ impl SliceMap {
             let slice_start = (e + 1) % n;
             let color = initial.server(Process(slice_start)).0;
             let next_edge = cuts[(i + 1) % m];
-            let len = if m == 1 {
-                n
-            } else {
-                (next_edge + n - e) % n
-            };
+            let len = if m == 1 { n } else { (next_edge + n - e) % n };
             let key = ClusterKey::Color(color);
             let entry = map.clusters.entry(key).or_insert(Cluster {
                 server: color,
@@ -602,12 +598,7 @@ impl SliceMap {
 
     /// Moves an entire cluster to `server` (scheduling procedure).
     /// Returns actual migrations.
-    pub fn move_cluster(
-        &mut self,
-        key: ClusterKey,
-        server: u32,
-        placement: &mut Placement,
-    ) -> u64 {
+    pub fn move_cluster(&mut self, key: ClusterKey, server: u32, placement: &mut Placement) -> u64 {
         let members: Vec<BoundaryId> = self.clusters[&key].members.iter().copied().collect();
         self.clusters.get_mut(&key).expect("cluster").server = server;
         let mut moved = 0;
@@ -681,7 +672,11 @@ impl SliceMap {
             }
         }
         assert_eq!(seen, self.live, "live count mismatch");
-        assert_eq!(total, u64::from(self.n), "slice lengths must cover the ring");
+        assert_eq!(
+            total,
+            u64::from(self.n),
+            "slice lengths must cover the ring"
+        );
         for (key, c) in &self.clusters {
             let expect = sizes.get(key).copied().unwrap_or(0);
             assert_eq!(

@@ -58,9 +58,7 @@ impl RingInstance {
     /// Panics if `ℓ·k < 3` or the product overflows `u32`.
     #[must_use]
     pub fn packed(servers: u32, capacity: u32) -> Self {
-        let n = servers
-            .checked_mul(capacity)
-            .expect("ℓ·k overflows u32");
+        let n = servers.checked_mul(capacity).expect("ℓ·k overflows u32");
         Self::new(n, servers, capacity)
     }
 

@@ -104,12 +104,7 @@ mod tests {
     #[test]
     fn edge_weights_count_requests() {
         let inst = RingInstance::new(4, 2, 2);
-        let t = Trace::new(
-            inst,
-            "manual",
-            0,
-            vec![Edge(0), Edge(1), Edge(1), Edge(3)],
-        );
+        let t = Trace::new(inst, "manual", 0, vec![Edge(0), Edge(1), Edge(1), Edge(3)]);
         assert_eq!(t.edge_weights(), vec![1, 2, 0, 1]);
         assert_eq!(t.len(), 4);
         assert!(!t.is_empty());

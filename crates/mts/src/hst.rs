@@ -134,7 +134,11 @@ impl HstHedge {
         }
         let (pl, pr) = hedge_probs(n.log_w);
         for (side, q) in [(0usize, pl), (1usize, pr)] {
-            let (lo, hi) = if side == 0 { (n.lo, n.mid) } else { (n.mid, n.hi) };
+            let (lo, hi) = if side == 0 {
+                (n.lo, n.mid)
+            } else {
+                (n.mid, n.hi)
+            };
             if n.child[side] == NO_CHILD {
                 // Single-state child.
                 debug_assert_eq!(hi - lo, 1);
@@ -314,7 +318,10 @@ mod tests {
             p.serve(&unit(n, 5));
         }
         let after = p.leaf_distribution().prob(5);
-        assert!(after < before / 2.0, "mass should drain: {before} -> {after}");
+        assert!(
+            after < before / 2.0,
+            "mass should drain: {before} -> {after}"
+        );
     }
 
     #[test]
@@ -333,7 +340,10 @@ mod tests {
             p.serve(&right_heavy);
         }
         let recovered: f64 = (0..4).map(|i| p.leaf_distribution().prob(i)).sum();
-        assert!(after_left < 0.2, "left mass should be tiny, got {after_left}");
+        assert!(
+            after_left < 0.2,
+            "left mass should be tiny, got {after_left}"
+        );
         assert!(recovered > 0.8, "left mass should recover, got {recovered}");
     }
 
@@ -342,7 +352,9 @@ mod tests {
         let n = 12;
         let run = |seed: u64| {
             let mut p = HstHedge::new(n, 6, seed);
-            (0..80).map(|t| p.serve(&unit(n, (t * 5) % n))).collect::<Vec<_>>()
+            (0..80)
+                .map(|t| p.serve(&unit(n, (t * 5) % n)))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(4), run(4));
     }

@@ -173,7 +173,9 @@ mod tests {
     fn seeded_runs_are_reproducible() {
         let run = |seed: u64| {
             let mut p = Marking::new(8, 0, seed);
-            (0..50).map(|t| p.serve(&unit(8, t % 8))).collect::<Vec<_>>()
+            (0..50)
+                .map(|t| p.serve(&unit(8, t % 8)))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(5), run(5));
     }

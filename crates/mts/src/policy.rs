@@ -48,9 +48,7 @@ impl PolicyKind {
     #[must_use]
     pub fn build(self, num_states: usize, initial: usize, seed: u64) -> Box<dyn MtsPolicy> {
         match self {
-            PolicyKind::WorkFunction => {
-                Box::new(crate::WorkFunction::new(num_states, initial))
-            }
+            PolicyKind::WorkFunction => Box::new(crate::WorkFunction::new(num_states, initial)),
             PolicyKind::SminGradient => {
                 Box::new(crate::SminGradient::new(num_states, initial, seed))
             }

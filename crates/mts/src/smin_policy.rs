@@ -135,7 +135,10 @@ mod tests {
             p.serve(&unit(n, 4));
         }
         let after = p.distribution().prob(4);
-        assert!(after < before / 4.0, "mass should drain: {before} -> {after}");
+        assert!(
+            after < before / 4.0,
+            "mass should drain: {before} -> {after}"
+        );
     }
 
     #[test]

@@ -176,10 +176,7 @@ mod tests {
         }
         let opt = crate::offline::optimum(n, n / 2, &tasks);
         let bound = (2 * n - 1) as f64 * opt + 2.0 * n as f64;
-        assert!(
-            total <= bound,
-            "WFA paid {total}, opt {opt}, bound {bound}"
-        );
+        assert!(total <= bound, "WFA paid {total}, opt {opt}, bound {bound}");
     }
 
     #[test]

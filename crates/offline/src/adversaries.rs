@@ -71,9 +71,7 @@ mod tests {
     #[test]
     fn flee_to_least_hit_edge_still_pays_travel() {
         let k = 16;
-        let r = chase_line_strategy(k, 8, 2000, |_, x| {
-            (0..k).min_by_key(|&e| x[e]).unwrap()
-        });
+        let r = chase_line_strategy(k, 8, 2000, |_, x| (0..k).min_by_key(|&e| x[e]).unwrap());
         // The adversary forces Ω(k)·OPT: the ratio must be large.
         assert!(
             r.online as f64 >= 0.5 * k as f64 * r.opt_static.max(1) as f64,

@@ -27,7 +27,10 @@ pub fn dynamic_opt(instance: &RingInstance, initial: &Placement, requests: &[Edg
     let k = instance.capacity();
     assert!(n <= 12, "dynamic OPT brute force limited to n ≤ 12");
     assert!(ell <= 5, "dynamic OPT brute force limited to ℓ ≤ 5");
-    assert!(initial.max_load() <= k, "initial placement violates capacity");
+    assert!(
+        initial.max_load() <= k,
+        "initial placement violates capacity"
+    );
 
     let states = enumerate_partitions(n, ell, k as usize);
     let index: HashMap<Vec<u8>, usize> = states
@@ -116,16 +119,7 @@ fn enumerate_partitions(n: usize, ell: usize, k: usize) -> Vec<Vec<u8>> {
             }
             cur[p] = g as u8;
             loads[g] += 1;
-            rec(
-                p + 1,
-                n,
-                ell,
-                k,
-                used.max(g + 1),
-                cur,
-                loads,
-                out,
-            );
+            rec(p + 1, n, ell, k, used.max(g + 1), cur, loads, out);
             loads[g] -= 1;
         }
     }

@@ -34,9 +34,11 @@ impl IntervalLayout {
     /// Panics if `ε ≤ 0` or `shift ≥ k′`.
     #[must_use]
     pub fn new(instance: &RingInstance, epsilon: f64, shift: u32) -> Self {
-        assert!(epsilon > 0.0 && epsilon.is_finite(), "epsilon must be positive");
-        let k_prime =
-            (((1.0 + epsilon) * f64::from(instance.capacity())).ceil() as u32).max(1);
+        assert!(
+            epsilon > 0.0 && epsilon.is_finite(),
+            "epsilon must be positive"
+        );
+        let k_prime = (((1.0 + epsilon) * f64::from(instance.capacity())).ceil() as u32).max(1);
         assert!(shift < k_prime, "shift out of range");
         Self {
             n: instance.n(),

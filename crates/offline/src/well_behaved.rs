@@ -62,7 +62,10 @@ impl WellBehaved {
     /// Panics if `ε ≤ 0`.
     #[must_use]
     pub fn new(instance: &RingInstance, initial_reference: &Placement, epsilon: f64) -> Self {
-        assert!(epsilon > 0.0 && epsilon.is_finite(), "epsilon must be positive");
+        assert!(
+            epsilon > 0.0 && epsilon.is_finite(),
+            "epsilon must be positive"
+        );
         let n = instance.n();
         let cuts: BTreeSet<u32> = initial_reference.cut_edges().map(|e| e.0).collect();
         let mut wb = Self {
@@ -174,10 +177,7 @@ impl WellBehaved {
             for i in 0..len {
                 let p = ((start + i) % self.n) as usize;
                 if self.reference[p] != maj {
-                    assert!(
-                        self.marked[p],
-                        "IS: non-majority process {p} unmarked"
-                    );
+                    assert!(self.marked[p], "IS: non-majority process {p} unmarked");
                 }
             }
         }
@@ -358,8 +358,7 @@ impl WellBehaved {
 
     fn potential(&self) -> f64 {
         let marks = self.marked.iter().filter(|&&m| m).count() as f64;
-        let mark_term =
-            (1.0 + self.epsilon) / self.epsilon * self.k_prime.ln() * marks;
+        let mark_term = (1.0 + self.epsilon) / self.epsilon * self.k_prime.ln() * marks;
         let seg_term: f64 = self
             .segments()
             .iter()

@@ -155,10 +155,7 @@ mod tests {
             total += c.follow(&d1);
         }
         let mean = total as f64 / trials as f64;
-        assert!(
-            (mean - w1).abs() < 0.02,
-            "mean movement {mean} vs W1 {w1}"
-        );
+        assert!((mean - w1).abs() < 0.02, "mean movement {mean} vs W1 {w1}");
     }
 
     #[test]

@@ -160,11 +160,7 @@ impl Distribution {
     /// Expected value of `f` over the distribution.
     #[must_use]
     pub fn expect(&self, f: impl Fn(usize) -> f64) -> f64 {
-        self.probs
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| p * f(i))
-            .sum()
+        self.probs.iter().enumerate().map(|(i, &p)| p * f(i)).sum()
     }
 }
 

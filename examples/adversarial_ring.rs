@@ -30,7 +30,10 @@ fn main() {
         inst.servers(),
         inst.capacity()
     );
-    println!("{:<24} {:>10} {:>10} {:>10}", "algorithm", "comm", "migration", "total");
+    println!(
+        "{:<24} {:>10} {:>10} {:>10}",
+        "algorithm", "comm", "migration", "total"
+    );
 
     let mut greedy = GreedySwap::new(&inst);
     let greedy_cost = run_chased("greedy-swap (det)", &mut greedy, steps);

@@ -34,8 +34,13 @@ fn main() {
         inst.n(),
         passes,
         opt.weight,
-        if opt.packable { "" } else // LB only
-        { "lower bound, not certified " }
+        if opt.packable {
+            ""
+        } else
+        // LB only
+        {
+            "lower bound, not certified "
+        }
     );
 
     let mut rows: Vec<(String, u64, u64)> = Vec::new();
@@ -50,7 +55,11 @@ fn main() {
         },
     );
     let r = run_trace(&mut dynamic, &requests, AuditLevel::None);
-    rows.push(("dynamic (Thm 2.1)".into(), r.ledger.communication, r.ledger.migration));
+    rows.push((
+        "dynamic (Thm 2.1)".into(),
+        r.ledger.communication,
+        r.ledger.migration,
+    ));
 
     let mut stat = StaticPartitioner::with_contiguous(
         &inst,
@@ -60,17 +69,32 @@ fn main() {
         },
     );
     let r = run_trace(&mut stat, &requests, AuditLevel::None);
-    rows.push(("static (Thm 2.2)".into(), r.ledger.communication, r.ledger.migration));
+    rows.push((
+        "static (Thm 2.2)".into(),
+        r.ledger.communication,
+        r.ledger.migration,
+    ));
 
     let mut lazy = NeverMove::new(&inst);
     let r = run_trace(&mut lazy, &requests, AuditLevel::None);
-    rows.push(("never-move".into(), r.ledger.communication, r.ledger.migration));
+    rows.push((
+        "never-move".into(),
+        r.ledger.communication,
+        r.ledger.migration,
+    ));
 
     let mut greedy = GreedySwap::new(&inst);
     let r = run_trace(&mut greedy, &requests, AuditLevel::None);
-    rows.push(("greedy-swap".into(), r.ledger.communication, r.ledger.migration));
+    rows.push((
+        "greedy-swap".into(),
+        r.ledger.communication,
+        r.ledger.migration,
+    ));
 
-    println!("\n{:<20} {:>10} {:>10} {:>10} {:>8}", "algorithm", "comm", "migration", "total", "vs OPT");
+    println!(
+        "\n{:<20} {:>10} {:>10} {:>10} {:>8}",
+        "algorithm", "comm", "migration", "total", "vs OPT"
+    );
     for (name, comm, mig) in rows {
         let total = comm + mig;
         println!(

@@ -44,11 +44,18 @@ fn main() {
         "offline optima: static = {} (cuts at {:?}{}), dynamic = {dopt}",
         sopt.weight,
         sopt.cuts,
-        if sopt.packable { ", certified" } else { ", LB only" }
+        if sopt.packable {
+            ", certified"
+        } else {
+            ", LB only"
+        }
     );
 
     // Replay the trace through the online algorithms.
-    println!("\n{:<20} {:>8} {:>10} {:>12}", "algorithm", "total", "vs static", "vs dynamic");
+    println!(
+        "\n{:<20} {:>8} {:>10} {:>12}",
+        "algorithm", "total", "vs static", "vs dynamic"
+    );
     for which in ["dynamic", "static", "never-move"] {
         let ledger = match which {
             "dynamic" => {

@@ -89,7 +89,12 @@ fn print_help() {
     );
 }
 
-fn build_workload(name: &str, inst: &RingInstance, seed: u64, zipf_s: f64) -> Box<dyn workload::Workload> {
+fn build_workload(
+    name: &str,
+    inst: &RingInstance,
+    seed: u64,
+    zipf_s: f64,
+) -> Box<dyn workload::Workload> {
     match name {
         "uniform" => Box::new(workload::UniformRandom::new(seed)),
         "zipf" => Box::new(workload::Zipf::new(inst, zipf_s, seed)),
@@ -234,7 +239,11 @@ fn main() {
         let opt = static_opt(&weights, servers, capacity);
         println!(
             "static OPT {}: {} → ratio {:.2}",
-            if opt.packable { "(certified)" } else { "(lower bound)" },
+            if opt.packable {
+                "(certified)"
+            } else {
+                "(lower bound)"
+            },
             opt.weight,
             report.ledger.total() as f64 / opt.weight.max(1) as f64
         );

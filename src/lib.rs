@@ -61,9 +61,7 @@ pub use rdbp_smin as smin;
 pub mod prelude {
     pub use rdbp_baselines::{ComponentSweep, GreedySwap, NeverMove};
     pub use rdbp_core::staticmodel::HittingGame;
-    pub use rdbp_core::{
-        DynamicConfig, DynamicPartitioner, StaticConfig, StaticPartitioner,
-    };
+    pub use rdbp_core::{DynamicConfig, DynamicPartitioner, StaticConfig, StaticPartitioner};
     pub use rdbp_model::workload;
     pub use rdbp_model::{
         run, run_trace, AuditLevel, CostLedger, Edge, OnlineAlgorithm, Placement, Process,

@@ -25,7 +25,8 @@ fn interval_layout_matches_partitioner_geometry() {
 
             // Every edge maps to 1–2 intervals with valid local states,
             // and each interval sees exactly k′ distinct edge slots.
-            let mut per_interval = vec![std::collections::HashSet::new(); layout.ell_prime as usize];
+            let mut per_interval =
+                vec![std::collections::HashSet::new(); layout.ell_prime as usize];
             for e in inst.edges() {
                 let locs = layout.locate(e);
                 assert!(!locs.is_empty() && locs.len() <= 2, "edge {e:?}");

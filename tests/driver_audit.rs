@@ -1,0 +1,182 @@
+//! Root-level audit tests for the simulation driver: the driver — not
+//! the algorithm — is the source of truth for cost accounting and
+//! capacity auditing, so these properties must hold for *any*
+//! `OnlineAlgorithm` implementation, including adversarial ones.
+
+use rdbp::prelude::*;
+use rdbp_model::workload::Sequential;
+use rdbp_model::{Process, Server};
+
+/// Scripted algorithm: on the first serve it crams every process onto
+/// server 0, blowing straight through any sensible load bound, and
+/// truthfully reports its migrations.
+struct Overloader {
+    placement: Placement,
+    fired: bool,
+}
+
+impl OnlineAlgorithm for Overloader {
+    fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    fn serve(&mut self, _request: Edge) -> u64 {
+        if self.fired {
+            return 0;
+        }
+        self.fired = true;
+        let mut moves = 0;
+        for p in self.placement.instance().processes() {
+            if self.placement.migrate(p, Server(0)) {
+                moves += 1;
+            }
+        }
+        moves
+    }
+
+    fn name(&self) -> &'static str {
+        "overloader"
+    }
+}
+
+#[test]
+fn run_flags_an_algorithm_that_exceeds_the_load_bound() {
+    let inst = RingInstance::new(6, 3, 2);
+    let mut alg = Overloader {
+        placement: Placement::contiguous(&inst),
+        fired: false,
+    };
+    let mut w = Sequential::new();
+    // A generous augmented bound (2k = 4) that the overloader still
+    // violates: all 6 processes end up on one server.
+    let report = run(&mut alg, &mut w, 5, AuditLevel::Full { load_limit: 4 });
+    assert_eq!(
+        report.capacity_violations, 5,
+        "every post-overload step must be flagged"
+    );
+    assert_eq!(report.max_load_seen, 6);
+
+    // The identical run under a bound the algorithm respects up front
+    // reports zero violations: the audit flags algorithms, not setups.
+    let mut lazy = Overloader {
+        placement: Placement::contiguous(&inst),
+        fired: true, // never fires: stays at the balanced placement
+    };
+    let mut w = Sequential::new();
+    let clean = run(&mut lazy, &mut w, 5, AuditLevel::Full { load_limit: 4 });
+    assert_eq!(clean.capacity_violations, 0);
+}
+
+/// Scripted algorithm that performs a fixed migration script per step
+/// and reports truthfully, letting the test pin down exactly when the
+/// driver charges communication.
+struct Scripted {
+    placement: Placement,
+    script: Vec<Vec<(Process, Server)>>,
+    step: usize,
+}
+
+impl OnlineAlgorithm for Scripted {
+    fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    fn serve(&mut self, _request: Edge) -> u64 {
+        let moves = self.script.get(self.step).cloned().unwrap_or_default();
+        self.step += 1;
+        let mut n = 0;
+        for (p, s) in moves {
+            if self.placement.migrate(p, s) {
+                n += 1;
+            }
+        }
+        n
+    }
+}
+
+#[test]
+fn ledger_charges_iff_endpoints_split_at_request_time() {
+    // Contiguous placement on n=6, ℓ=3, k=2: {0,1} {2,3} {4,5};
+    // cut edges are 1, 3, 5.
+    let inst = RingInstance::new(6, 3, 2);
+
+    // Case 1: requested edge is cut at request time and the algorithm
+    // collocates while serving → the request is still charged (costs
+    // are assessed from the placement *before* serve), but a repeat of
+    // the request afterwards is free.
+    let mut alg = Scripted {
+        placement: Placement::contiguous(&inst),
+        script: vec![vec![(Process(2), Server(0))]],
+        step: 0,
+    };
+    assert!(alg.placement.is_cut(Edge(1)));
+    let report = run_trace(
+        &mut alg,
+        &[Edge(1), Edge(1)],
+        AuditLevel::Full { load_limit: 6 },
+    );
+    assert_eq!(
+        report.ledger.communication, 1,
+        "first request charged (cut at request time), second free (collocated)"
+    );
+    assert_eq!(report.ledger.migration, 1);
+
+    // Case 2: requested edge is NOT cut at request time, and the
+    // algorithm splits its endpoints while serving → no communication
+    // charge for that request, but the new cut is charged on the next
+    // request to it.
+    let mut alg = Scripted {
+        placement: Placement::contiguous(&inst),
+        script: vec![vec![(Process(1), Server(2))]],
+        step: 0,
+    };
+    assert!(!alg.placement.is_cut(Edge(0)));
+    let report = run_trace(
+        &mut alg,
+        &[Edge(0), Edge(0)],
+        AuditLevel::Full { load_limit: 6 },
+    );
+    assert_eq!(
+        report.ledger.communication, 1,
+        "uncut-at-request-time edge is free even though serve() split it; the repeat is charged"
+    );
+    assert_eq!(report.ledger.migration, 1);
+
+    // Case 3: an untouched, uncut edge is never charged.
+    let mut alg = Scripted {
+        placement: Placement::contiguous(&inst),
+        script: vec![],
+        step: 0,
+    };
+    let report = run_trace(
+        &mut alg,
+        &[Edge(0), Edge(4)],
+        AuditLevel::Full { load_limit: 6 },
+    );
+    assert_eq!(report.ledger.communication, 0);
+    assert_eq!(report.ledger.migration, 0);
+    assert_eq!(report.steps, 2);
+}
+
+#[test]
+#[should_panic(expected = "under-reported")]
+fn driver_catches_migration_under_reporting() {
+    /// Moves a process but reports zero migrations.
+    struct Liar {
+        placement: Placement,
+    }
+    impl OnlineAlgorithm for Liar {
+        fn placement(&self) -> &Placement {
+            &self.placement
+        }
+        fn serve(&mut self, _r: Edge) -> u64 {
+            self.placement.migrate(Process(0), Server(2));
+            0
+        }
+    }
+    let inst = RingInstance::new(6, 3, 2);
+    let mut alg = Liar {
+        placement: Placement::contiguous(&inst),
+    };
+    let _ = run_trace(&mut alg, &[Edge(0)], AuditLevel::Full { load_limit: 6 });
+}

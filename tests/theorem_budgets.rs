@@ -82,13 +82,8 @@ fn static_ratio_stays_polylog() {
                 weights[e.0 as usize] += 1;
             }
             let opt = static_opt(&weights, inst.servers(), inst.capacity());
-            let mut alg = StaticPartitioner::with_contiguous(
-                &inst,
-                StaticConfig {
-                    epsilon: 1.0,
-                    seed,
-                },
-            );
+            let mut alg =
+                StaticPartitioner::with_contiguous(&inst, StaticConfig { epsilon: 1.0, seed });
             let r = run_trace(&mut alg, &requests, AuditLevel::None);
             ratios.push(r.ledger.total() as f64 / opt.weight.max(1) as f64);
         }
@@ -124,17 +119,16 @@ fn tiny_instances_close_to_exact_optimum() {
                 shift: None,
             },
         );
-        let c = run_trace(&mut dyn_alg, &trace, AuditLevel::None).ledger.total() as f64;
+        let c = run_trace(&mut dyn_alg, &trace, AuditLevel::None)
+            .ledger
+            .total() as f64;
         worst_dynamic = worst_dynamic.max(c / opt);
 
-        let mut st_alg = StaticPartitioner::with_contiguous(
-            &inst,
-            StaticConfig {
-                epsilon: 1.0,
-                seed,
-            },
-        );
-        let c = run_trace(&mut st_alg, &trace, AuditLevel::None).ledger.total() as f64;
+        let mut st_alg =
+            StaticPartitioner::with_contiguous(&inst, StaticConfig { epsilon: 1.0, seed });
+        let c = run_trace(&mut st_alg, &trace, AuditLevel::None)
+            .ledger
+            .total() as f64;
         worst_static = worst_static.max(c / opt);
     }
     assert!(

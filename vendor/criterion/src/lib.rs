@@ -1,0 +1,264 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API shape the workspace's benches compile against
+//! (`Criterion`, `BenchmarkGroup`, `BenchmarkId`, `Bencher`,
+//! `criterion_group!`, `criterion_main!`, [`black_box`]). When actually
+//! executed it runs each benchmark closure for a short fixed batch and
+//! prints a mean time — enough for a smoke signal, with none of
+//! criterion's statistics.
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed iterations per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; this stand-in runs a fixed batch
+    /// rather than a time-targeted one.
+    #[must_use]
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Accepted for API compatibility (no warm-up phase here).
+    #[must_use]
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: PhantomData,
+        }
+    }
+
+    /// Runs a single standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let name = name.into();
+        let mut b = Bencher {
+            iters: self.sample_size as u64,
+            elapsed: Duration::ZERO,
+            _marker: PhantomData,
+        };
+        f(&mut b);
+        report(&name, &b);
+        self
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility (throughput is not reported).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` with a fixed `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let mut b = Bencher {
+            iters: self.sample_size as u64,
+            elapsed: Duration::ZERO,
+            _marker: PhantomData,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.0), &b);
+        self
+    }
+
+    /// Benchmarks a closure with no external input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            iters: self.sample_size as u64,
+            elapsed: Duration::ZERO,
+            _marker: PhantomData,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.0), &b);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn report(name: &str, b: &Bencher<'_>) {
+    if b.iters > 0 {
+        let per = b.elapsed.as_nanos() / u128::from(b.iters);
+        println!("bench {name}: ~{per} ns/iter ({} iters)", b.iters);
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    #[must_use]
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    /// An id carrying only a parameter value.
+    #[must_use]
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+/// Throughput hint (accepted, ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times closures handed to it by a benchmark function.
+pub struct Bencher<'a> {
+    iters: u64,
+    elapsed: Duration,
+    _marker: PhantomData<&'a ()>,
+}
+
+impl Bencher<'_> {
+    /// Runs `f` for the configured number of iterations, timing it.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Like `iter`, but with per-batch setup excluded from the timing.
+    pub fn iter_batched<I, O, S: FnMut() -> I, F: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut f: F,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(f(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Batch sizing hint for `iter_batched` (accepted, ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// Declares a group of benchmark target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

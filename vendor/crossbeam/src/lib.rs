@@ -1,0 +1,78 @@
+//! Offline stand-in for `crossbeam`: only the scoped-thread API,
+//! implemented over `std::thread::scope` (which has subsumed it since
+//! Rust 1.63). The differences crossbeam callers rely on are preserved:
+//! `scope` returns a `Result` capturing child panics, and `spawn`
+//! closures receive the scope as an argument so they can spawn
+//! recursively.
+
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Handle for spawning further threads inside a [`scope`].
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope so it
+        /// can spawn siblings (crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handle = *self;
+            self.inner.spawn(move || f(&handle))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be
+    /// spawned; all are joined before returning.
+    ///
+    /// # Errors
+    /// Returns `Err` with the panic payload if `f` or any spawned
+    /// thread panicked.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = vec![1u64, 2, 3, 4];
+            let total = std::sync::Mutex::new(0u64);
+            super::scope(|s| {
+                for chunk in data.chunks(2) {
+                    s.spawn(|_| {
+                        let sum: u64 = chunk.iter().sum();
+                        *total.lock().unwrap() += sum;
+                    });
+                }
+            })
+            .unwrap();
+            assert_eq!(total.into_inner().unwrap(), 10);
+        }
+
+        #[test]
+        fn child_panic_surfaces_as_err() {
+            let r = super::scope(|s| {
+                s.spawn(|_| panic!("boom"));
+            });
+            assert!(r.is_err());
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Slice sampling helpers (subset of `rand::seq`).
+
+use crate::{Rng, RngExt};
+
+/// Uniform choice from a slice.
+pub trait IndexedRandom {
+    /// The element type.
+    type Output;
+
+    /// Returns a uniformly random element, or `None` if empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Output>;
+}
+
+impl<T> IndexedRandom for [T] {
+    type Output = T;
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.random_range(0..self.len())])
+        }
+    }
+}

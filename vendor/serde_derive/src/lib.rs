@@ -1,0 +1,221 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]`
+//! without `syn`/`quote` (unavailable offline) by hand-parsing the item
+//! token stream. Supported shapes — which cover every derive in this
+//! workspace — are non-generic structs with named fields, tuple
+//! structs, and unit structs. Single-field tuple structs (newtypes)
+//! serialize transparently as their inner value; larger tuple structs
+//! as arrays; named structs as objects.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What we learned about the derived item.
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Parses `struct Name { a: T, b: U }`, `struct Name(T, U);` or
+/// `struct Name;` out of a derive input stream, skipping attributes
+/// and visibility modifiers.
+fn parse_struct(input: TokenStream) -> Result<Item, String> {
+    let mut iter = input.into_iter().peekable();
+    // Skip leading attributes (`#[...]`, doc comments included) and
+    // visibility (`pub`, `pub(crate)`, ...).
+    let name = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // consume the bracket group
+                let _ = iter.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        let _ = iter.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => match iter.next() {
+                Some(TokenTree::Ident(n)) => break n.to_string(),
+                other => return Err(format!("expected struct name, got {other:?}")),
+            },
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                return Err("this offline serde_derive stand-in does not support enums".into());
+            }
+            Some(other) => return Err(format!("unexpected token {other:?} before `struct`")),
+            None => return Err("ran out of tokens before `struct`".into()),
+        }
+    };
+    // Generics are unsupported: next token must be the body.
+    match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+            name,
+            shape: Shape::Named(named_fields(g.stream())?),
+        }),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(Item {
+            name,
+            shape: Shape::Tuple(tuple_arity(g.stream())),
+        }),
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item {
+            name,
+            shape: Shape::Unit,
+        }),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            Err("this offline serde_derive stand-in does not support generic structs".into())
+        }
+        other => Err(format!("unexpected struct body: {other:?}")),
+    }
+}
+
+/// Extracts field names from a named-field body, tolerating attributes,
+/// visibility, and commas nested inside `<...>` or groups.
+fn named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        let field = loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    let _ = iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            let _ = iter.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => return Err(format!("unexpected token {other:?} in field list")),
+                None => return Ok(fields),
+            }
+        };
+        fields.push(field);
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field name, got {other:?}")),
+        }
+        // Consume the type up to a top-level comma.
+        let mut angle: i32 = 0;
+        loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle == 0 => break,
+                Some(_) => {}
+                None => return Ok(fields),
+            }
+        }
+    }
+}
+
+/// Counts fields of a tuple-struct body (top-level commas + 1).
+fn tuple_arity(body: TokenStream) -> usize {
+    let mut angle: i32 = 0;
+    let mut commas = 0;
+    let mut any = false;
+    for tt in body {
+        any = true;
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => commas += 1,
+            _ => {}
+        }
+    }
+    if any {
+        commas + 1
+    } else {
+        0
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_struct(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "({:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))",
+                        f
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Obj(vec![{}])", pairs.join(", "))
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Arr(vec![{}])", items.join(", "))
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_struct(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.get_field({f:?})?)?"))
+                .collect();
+            format!("Ok(Self {{ {} }})", inits.join(", "))
+        }
+        Shape::Tuple(1) => "Ok(Self(::serde::Deserialize::from_value(v)?))".to_string(),
+        Shape::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Arr(items) if items.len() == {n} => Ok(Self({inits})),\n\
+                     other => Err(::serde::DeError(format!(\n\
+                         \"expected {n}-element array for {name}, got {{other:?}}\"))),\n\
+                 }}",
+                inits = inits.join(", ")
+            )
+        }
+        Shape::Unit => "Ok(Self)".to_string(),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
