@@ -3,12 +3,14 @@
 
 use rdbp_bench::{f3, full_profile, parallel_map, Table};
 use rdbp_core::{StaticConfig, StaticPartitioner};
-use rdbp_model::workload::{self, Workload};
+use rdbp_engine::{WorkloadRegistry, WorkloadSpec};
+use rdbp_model::workload::Workload;
 use rdbp_model::{run, AuditLevel, Placement, RingInstance};
 
 fn main() {
     let inst = RingInstance::packed(4, if full_profile() { 64 } else { 16 });
     let steps: u64 = if full_profile() { 80_000 } else { 12_000 };
+    let workloads = WorkloadRegistry::builtin();
 
     let mut table = Table::new(
         "T2 — static algorithm cost decomposition (Section 4.5)",
@@ -33,6 +35,18 @@ fn main() {
         "scattered-init",
     ];
     let rows = parallel_map(names, |&name| {
+        // This experiment needs the concrete `StaticPartitioner` (for
+        // `breakdown()`), so only the workloads resolve via the
+        // registry; `scattered-init` keeps its custom striped start.
+        let resolve = |key: &str, seed: u64| {
+            let spec = WorkloadSpec {
+                period: Some(4),
+                ..WorkloadSpec::named(key)
+            };
+            workloads
+                .resolve(&spec, &inst, seed)
+                .expect("built-in workload")
+        };
         let (mut alg, mut src): (StaticPartitioner, Box<dyn Workload>) = match name {
             "scattered-init" => {
                 // Striped initial placement: exercises merge/mono paths.
@@ -47,17 +61,16 @@ fn main() {
                             seed: 5,
                         },
                     ),
-                    Box::new(workload::UniformRandom::new(9)),
+                    resolve("uniform", 9),
                 )
             }
             _ => {
-                let src: Box<dyn Workload> = match name {
-                    "uniform" => Box::new(workload::UniformRandom::new(1)),
-                    "zipf" => Box::new(workload::Zipf::new(&inst, 1.2, 2)),
-                    "sliding" => Box::new(workload::SlidingWindow::new(inst.capacity(), 4, 3)),
-                    "allreduce" => Box::new(workload::Sequential::new()),
-                    "bursty" => Box::new(workload::Bursty::new(0.9, 4)),
-                    _ => unreachable!(),
+                let seed = match name {
+                    "uniform" => 1,
+                    "zipf" => 2,
+                    "sliding" => 3,
+                    "bursty" => 4,
+                    _ => 0,
                 };
                 (
                     StaticPartitioner::with_contiguous(
@@ -67,7 +80,7 @@ fn main() {
                             seed: 5,
                         },
                     ),
-                    src,
+                    resolve(name, seed),
                 )
             }
         };

@@ -7,25 +7,22 @@
 
 use rdbp_bench::{f3, full_profile, mean, parallel_map, stddev, Table};
 use rdbp_core::{DynamicConfig, DynamicPartitioner};
-use rdbp_model::workload::{self, record, Workload};
+use rdbp_engine::{WorkloadRegistry, WorkloadSpec};
+use rdbp_model::workload::record;
 use rdbp_model::{run_trace, AuditLevel, Placement, RingInstance};
 use rdbp_mts::PolicyKind;
 use rdbp_offline::{interval_opt, IntervalLayout};
 
 const EPSILON: f64 = 0.5;
 
-fn workload_for(name: &str, inst: &RingInstance, seed: u64) -> Box<dyn Workload> {
-    match name {
-        "uniform" => Box::new(workload::UniformRandom::new(seed)),
-        "zipf" => Box::new(workload::Zipf::new(inst, 1.2, seed)),
-        "sliding" => Box::new(workload::SlidingWindow::new(
-            inst.capacity() / 2 + 1,
-            8,
-            seed,
-        )),
-        "allreduce" => Box::new(workload::Sequential::new()),
-        _ => unreachable!(),
+/// This experiment's sliding window is narrower than the registry
+/// default (`k/2+1` instead of `k`); everything else is stock.
+fn workload_spec(name: &str, inst: &RingInstance) -> WorkloadSpec {
+    let mut spec = WorkloadSpec::named(name);
+    if name == "sliding" {
+        spec.width = Some(inst.capacity() / 2 + 1);
     }
+    spec
 }
 
 fn main() {
@@ -37,6 +34,7 @@ fn main() {
     let seeds: Vec<u64> = (0..4).collect();
     let servers = 8;
     let names = ["uniform", "zipf", "sliding", "allreduce"];
+    let workloads = WorkloadRegistry::builtin();
 
     let mut table = Table::new(
         "F3 — dynamic model: cost/OPT_R and proxy/OPT_R vs k (Theorem 2.1)",
@@ -57,7 +55,9 @@ fn main() {
             let mut ratios = Vec::new();
             let mut proxy_ratios = Vec::new();
             for &seed in &seeds {
-                let mut src = workload_for(name, &inst, seed + 100);
+                let mut src = workloads
+                    .resolve(&workload_spec(name, &inst), &inst, seed + 100)
+                    .expect("built-in workload");
                 let trace = record(src.as_mut(), &Placement::contiguous(&inst), steps);
                 let mut alg = DynamicPartitioner::new(
                     &inst,

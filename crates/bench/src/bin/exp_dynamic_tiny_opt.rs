@@ -1,18 +1,29 @@
 //! **F4** — Theorem 2.1 end-to-end on tiny instances: online algorithms
 //! vs the *exact dynamic optimum* (brute force over configurations).
 
-use rdbp_baselines::{GreedySwap, NeverMove};
 use rdbp_bench::{f3, full_profile, mean, parallel_map, Table};
-use rdbp_core::{DynamicConfig, DynamicPartitioner, StaticConfig, StaticPartitioner};
-use rdbp_model::workload::{self, record, Workload};
-use rdbp_model::{run_trace, AuditLevel, OnlineAlgorithm, Placement, RingInstance};
-use rdbp_mts::PolicyKind;
+use rdbp_engine::{AlgorithmSpec, Registries, WorkloadSpec};
+use rdbp_model::workload::record;
+use rdbp_model::{run_trace, AuditLevel, Placement, RingInstance};
 use rdbp_offline::dynamic_opt;
 
 fn main() {
     let instances: Vec<(u32, u32)> = vec![(2, 3), (2, 4), (3, 3), (2, 5), (3, 4)];
     let steps: u64 = if full_profile() { 400 } else { 200 };
     let names = ["uniform", "bursty", "allreduce"];
+    let registries = Registries::builtin();
+    let contenders: [AlgorithmSpec; 4] = [
+        AlgorithmSpec {
+            epsilon: Some(0.5),
+            ..AlgorithmSpec::named("dynamic")
+        },
+        AlgorithmSpec {
+            epsilon: Some(1.0),
+            ..AlgorithmSpec::named("static")
+        },
+        AlgorithmSpec::named("greedy"),
+        AlgorithmSpec::named("never-move"),
+    ];
 
     let mut table = Table::new(
         "F4 — tiny instances: cost / exact dynamic OPT (Theorem 2.1)",
@@ -35,34 +46,23 @@ fn main() {
         for name in names {
             let mut ratios = [vec![], vec![], vec![], vec![]];
             for seed in 0..3u64 {
-                let mut src: Box<dyn Workload> = match name {
-                    "uniform" => Box::new(workload::UniformRandom::new(seed)),
-                    "bursty" => Box::new(workload::Bursty::new(0.85, seed)),
-                    "allreduce" => Box::new(workload::Sequential::new()),
-                    _ => unreachable!(),
+                let wspec = WorkloadSpec {
+                    p_continue: Some(0.85),
+                    ..WorkloadSpec::named(name)
                 };
+                let mut src = registries
+                    .workloads
+                    .resolve(&wspec, &inst, seed)
+                    .expect("built-in workload");
                 let trace = record(src.as_mut(), &initial, steps);
                 let opt = dynamic_opt(&inst, &initial, &trace).max(1) as f64;
 
-                let mut algs: Vec<Box<dyn OnlineAlgorithm>> = vec![
-                    Box::new(DynamicPartitioner::new(
-                        &inst,
-                        DynamicConfig {
-                            epsilon: 0.5,
-                            policy: PolicyKind::HstHedge,
-                            seed,
-                            shift: None,
-                        },
-                    )),
-                    Box::new(StaticPartitioner::with_contiguous(
-                        &inst,
-                        StaticConfig { epsilon: 1.0, seed },
-                    )),
-                    Box::new(GreedySwap::new(&inst)),
-                    Box::new(NeverMove::new(&inst)),
-                ];
-                for (slot, alg) in algs.iter_mut().enumerate() {
-                    let report = run_trace(alg.as_mut(), &trace, AuditLevel::None);
+                for (slot, spec) in contenders.iter().enumerate() {
+                    let mut built = registries
+                        .algorithms
+                        .resolve(spec, &inst, seed)
+                        .expect("built-in algorithm");
+                    let report = run_trace(built.algorithm.as_mut(), &trace, AuditLevel::None);
                     ratios[slot].push(report.ledger.total() as f64 / opt);
                 }
             }

@@ -2,15 +2,14 @@
 //! never exceeded, across algorithms × workloads.
 
 use rdbp_bench::{f3, full_profile, parallel_map, Table};
-use rdbp_core::{DynamicConfig, DynamicPartitioner, StaticConfig, StaticPartitioner};
-use rdbp_model::workload::{self, Workload};
+use rdbp_engine::{AlgorithmSpec, Registries, WorkloadSpec};
 use rdbp_model::{run, AuditLevel, RingInstance};
-use rdbp_mts::PolicyKind;
 
 fn main() {
     let inst = RingInstance::packed(6, if full_profile() { 64 } else { 16 });
     let steps: u64 = if full_profile() { 60_000 } else { 10_000 };
     let k = f64::from(inst.capacity());
+    let registries = Registries::builtin();
 
     let mut table = Table::new(
         "T1 — load audit: max observed load / k vs guaranteed bound",
@@ -23,68 +22,52 @@ fn main() {
         ],
     );
 
-    let workload_names = [
-        "uniform",
-        "zipf",
-        "sliding",
-        "allreduce",
-        "bursty",
-        "cut-chaser",
+    // (registry key, workload seed) — sliding keeps its tighter slide
+    // period; everything else is the registry default.
+    let workload_points: [(&str, u64); 6] = [
+        ("uniform", 1),
+        ("zipf", 2),
+        ("sliding", 3),
+        ("allreduce", 0),
+        ("bursty", 4),
+        ("cut-chaser", 0),
     ];
-    let jobs: Vec<(&str, &str)> = ["dynamic", "static"]
+    let jobs: Vec<(&str, &str, u64)> = ["dynamic", "static"]
         .iter()
-        .flat_map(|&a| workload_names.iter().map(move |&w| (a, w)))
+        .flat_map(|&a| workload_points.iter().map(move |&(w, s)| (a, w, s)))
         .collect();
 
-    let rows = parallel_map(jobs, |&(alg_name, wname)| {
-        let mut src: Box<dyn Workload> = match wname {
-            "uniform" => Box::new(workload::UniformRandom::new(1)),
-            "zipf" => Box::new(workload::Zipf::new(&inst, 1.2, 2)),
-            "sliding" => Box::new(workload::SlidingWindow::new(inst.capacity(), 4, 3)),
-            "allreduce" => Box::new(workload::Sequential::new()),
-            "bursty" => Box::new(workload::Bursty::new(0.9, 4)),
-            "cut-chaser" => Box::new(workload::CutChaser::new()),
-            _ => unreachable!(),
+    let rows = parallel_map(jobs, |&(alg_name, wname, wseed)| {
+        let wspec = WorkloadSpec {
+            period: Some(4),
+            ..WorkloadSpec::named(wname)
         };
-        let (max_load, bound, violations) = match alg_name {
-            "dynamic" => {
-                let mut alg = DynamicPartitioner::new(
-                    &inst,
-                    DynamicConfig {
-                        epsilon: 0.5,
-                        policy: PolicyKind::HstHedge,
-                        seed: 7,
-                        shift: None,
-                    },
-                );
-                let bound = alg.load_bound();
-                let r = run(
-                    &mut alg,
-                    src.as_mut(),
-                    steps,
-                    AuditLevel::Full { load_limit: bound },
-                );
-                (r.max_load_seen, bound, r.capacity_violations)
-            }
-            _ => {
-                let mut alg = StaticPartitioner::with_contiguous(
-                    &inst,
-                    StaticConfig {
-                        epsilon: 1.0,
-                        seed: 7,
-                    },
-                );
-                let bound = alg.load_bound();
-                let r = run(
-                    &mut alg,
-                    src.as_mut(),
-                    steps,
-                    AuditLevel::Full { load_limit: bound },
-                );
-                (r.max_load_seen, bound, r.capacity_violations)
-            }
+        let mut src = registries
+            .workloads
+            .resolve(&wspec, &inst, wseed)
+            .expect("built-in workload");
+        let aspec = AlgorithmSpec {
+            epsilon: Some(if alg_name == "dynamic" { 0.5 } else { 1.0 }),
+            ..AlgorithmSpec::named(alg_name)
         };
-        (alg_name, wname, max_load, bound, violations)
+        let mut built = registries
+            .algorithms
+            .resolve(&aspec, &inst, 7)
+            .expect("built-in algorithm");
+        let bound = built.load_bound;
+        let r = run(
+            built.algorithm.as_mut(),
+            src.as_mut(),
+            steps,
+            AuditLevel::Full { load_limit: bound },
+        );
+        (
+            alg_name,
+            wname,
+            r.max_load_seen,
+            bound,
+            r.capacity_violations,
+        )
     });
 
     let mut total_violations = 0;

@@ -2,9 +2,9 @@
 //! optimal static partition (cycle DP), sweeping k.
 
 use rdbp_bench::{f3, full_profile, mean, parallel_map, stddev, Table};
-use rdbp_core::{StaticConfig, StaticPartitioner};
+use rdbp_engine::{AlgorithmSpec, Registries, WorkloadSpec};
 use rdbp_model::trace::Trace;
-use rdbp_model::workload::{self, record, Workload};
+use rdbp_model::workload::record;
 use rdbp_model::{run_trace, AuditLevel, Placement, RingInstance};
 use rdbp_offline::static_opt;
 
@@ -16,6 +16,11 @@ fn main() {
     };
     let servers = 4;
     let names = ["uniform", "zipf", "sliding", "allreduce"];
+    let registries = Registries::builtin();
+    let static_alg = AlgorithmSpec {
+        epsilon: Some(1.0),
+        ..AlgorithmSpec::named("static")
+    };
 
     let mut table = Table::new(
         "F5 — static model: cost / static OPT vs k (Theorem 2.2)",
@@ -36,20 +41,23 @@ fn main() {
             let mut ratios = Vec::new();
             let mut all_packable = true;
             for seed in 0..4u64 {
-                let mut src: Box<dyn Workload> = match name {
-                    "uniform" => Box::new(workload::UniformRandom::new(seed)),
-                    "zipf" => Box::new(workload::Zipf::new(&inst, 1.2, seed)),
-                    "sliding" => Box::new(workload::SlidingWindow::new(k / 2 + 1, 8, seed)),
-                    "allreduce" => Box::new(workload::Sequential::new()),
-                    _ => unreachable!(),
+                let spec = WorkloadSpec {
+                    width: Some(k / 2 + 1),
+                    ..WorkloadSpec::named(name)
                 };
+                let mut src = registries
+                    .workloads
+                    .resolve(&spec, &inst, seed)
+                    .expect("built-in workload");
                 let requests = record(src.as_mut(), &Placement::contiguous(&inst), steps);
                 let trace = Trace::new(inst, name, seed, requests.clone());
                 let opt = static_opt(&trace.edge_weights(), servers, k);
                 all_packable &= opt.packable;
-                let mut alg =
-                    StaticPartitioner::with_contiguous(&inst, StaticConfig { epsilon: 1.0, seed });
-                let report = run_trace(&mut alg, &requests, AuditLevel::None);
+                let mut built = registries
+                    .algorithms
+                    .resolve(&static_alg, &inst, seed)
+                    .expect("built-in algorithm");
+                let report = run_trace(built.algorithm.as_mut(), &requests, AuditLevel::None);
                 ratios.push(report.ledger.total() as f64 / opt.weight.max(1) as f64);
             }
             (k, mean(&ratios), stddev(&ratios), all_packable)

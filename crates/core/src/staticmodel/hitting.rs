@@ -142,7 +142,7 @@ impl HittingGame {
     fn grow_loop(&mut self) {
         loop {
             let len = self.interval_len();
-            if len >= self.num_edges + 1 {
+            if len > self.num_edges {
                 return; // final interval: the whole line
             }
             let min = self.x[self.lo..self.hi].iter().min().copied().unwrap_or(0);

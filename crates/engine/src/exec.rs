@@ -1,0 +1,85 @@
+//! Parallel execution and summary statistics for batched runs.
+//!
+//! Promoted out of the bench harness so every consumer of the engine —
+//! not just the `exp_*` binaries — can fan scenario batches out across
+//! threads. `rdbp_bench` re-exports these under their old names.
+
+use parking_lot::Mutex;
+
+/// Runs `f` over `items` in parallel (bounded by available cores),
+/// preserving input order in the output.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    let next: Mutex<usize> = Mutex::new(0);
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(n.max(1));
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let idx = {
+                    let mut guard = next.lock();
+                    if *guard >= n {
+                        return;
+                    }
+                    let i = *guard;
+                    *guard += 1;
+                    i
+                };
+                let r = f(&items[idx]);
+                results.lock()[idx] = Some(r);
+            });
+        }
+    })
+    .expect("worker panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("all items processed"))
+        .collect()
+}
+
+/// Mean of a sample.
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation.
+#[must_use]
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(items, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stats_are_sane() {
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert!((stddev(&[1.0, 1.0, 1.0])).abs() < 1e-12);
+        assert!(stddev(&[5.0]).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,284 @@
+//! Batched multi-run execution: sweep a scenario over parameter axes,
+//! fan the runs out across threads, and aggregate the results.
+//!
+//! A [`ScenarioGrid`] is the declarative counterpart of the hand-rolled
+//! sweep loops the `exp_*` binaries used to carry: the cross product of
+//! capacities × epsilons × policies × seeds applied to a base
+//! [`Scenario`], executed via [`parallel_map`].
+
+use rdbp_model::{NoopObserver, RunReport};
+
+use crate::exec::{mean, parallel_map, stddev};
+use crate::registry::Registries;
+use crate::spec::{Scenario, SpecError};
+
+/// One completed grid cell: the expanded scenario and its report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridRun {
+    /// The fully expanded scenario that was run.
+    pub scenario: Scenario,
+    /// The driver's report for it.
+    pub report: RunReport,
+}
+
+/// Aggregate statistics over a batch of runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridSummary {
+    /// Number of runs aggregated.
+    pub runs: usize,
+    /// Mean total cost (communication + migration).
+    pub mean_total: f64,
+    /// Sample standard deviation of the total cost.
+    pub stddev_total: f64,
+    /// Mean communication cost.
+    pub mean_communication: f64,
+    /// Mean migration cost.
+    pub mean_migration: f64,
+    /// Largest load observed across all runs.
+    pub max_load_seen: u32,
+    /// Total capacity violations across all runs.
+    pub capacity_violations: u64,
+}
+
+/// Aggregates mean/stddev cost statistics over `runs`.
+#[must_use]
+pub fn summarize(runs: &[GridRun]) -> GridSummary {
+    let totals: Vec<f64> = runs
+        .iter()
+        .map(|r| r.report.ledger.total() as f64)
+        .collect();
+    let comms: Vec<f64> = runs
+        .iter()
+        .map(|r| r.report.ledger.communication as f64)
+        .collect();
+    let migs: Vec<f64> = runs
+        .iter()
+        .map(|r| r.report.ledger.migration as f64)
+        .collect();
+    GridSummary {
+        runs: runs.len(),
+        mean_total: mean(&totals),
+        stddev_total: stddev(&totals),
+        mean_communication: mean(&comms),
+        mean_migration: mean(&migs),
+        max_load_seen: runs
+            .iter()
+            .map(|r| r.report.max_load_seen)
+            .max()
+            .unwrap_or(0),
+        capacity_violations: runs.iter().map(|r| r.report.capacity_violations).sum(),
+    }
+}
+
+/// A sweep over scenario parameters. Empty axes keep the base value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioGrid {
+    base: Scenario,
+    seeds: Vec<u64>,
+    capacities: Vec<u32>,
+    epsilons: Vec<f64>,
+    policies: Vec<String>,
+}
+
+impl ScenarioGrid {
+    /// A grid of size 1: just the base scenario.
+    #[must_use]
+    pub fn new(base: Scenario) -> Self {
+        Self {
+            base,
+            seeds: Vec::new(),
+            capacities: Vec::new(),
+            epsilons: Vec::new(),
+            policies: Vec::new(),
+        }
+    }
+
+    /// Sweeps the run seed.
+    #[must_use]
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Sweeps the per-server capacity `k`. Swept cells re-pack the
+    /// instance (`n = ℓ·k`), overriding any explicit `n` in the base.
+    #[must_use]
+    pub fn capacities(mut self, capacities: impl IntoIterator<Item = u32>) -> Self {
+        self.capacities = capacities.into_iter().collect();
+        self
+    }
+
+    /// Sweeps the algorithm's augmentation slack ε.
+    #[must_use]
+    pub fn epsilons(mut self, epsilons: impl IntoIterator<Item = f64>) -> Self {
+        self.epsilons = epsilons.into_iter().collect();
+        self
+    }
+
+    /// Sweeps the MTS policy of the `dynamic` algorithm.
+    #[must_use]
+    pub fn policies<S: Into<String>>(mut self, policies: impl IntoIterator<Item = S>) -> Self {
+        self.policies = policies.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Number of cells in the grid.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.capacities.len().max(1)
+            * self.epsilons.len().max(1)
+            * self.policies.len().max(1)
+            * self.seeds.len().max(1)
+    }
+
+    /// Whether the grid has no cells (never: a grid is at least the
+    /// base scenario).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Expands the cross product into concrete scenarios, in
+    /// row-major order (capacity, ε, policy, seed).
+    #[must_use]
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        let mut out = Vec::with_capacity(self.len());
+        let capacities: Vec<Option<u32>> = axis(&self.capacities);
+        let epsilons: Vec<Option<f64>> = axis(&self.epsilons);
+        let policies: Vec<Option<&String>> = axis_ref(&self.policies);
+        let seeds: Vec<Option<u64>> = axis(&self.seeds);
+        for &capacity in &capacities {
+            for &epsilon in &epsilons {
+                for &policy in &policies {
+                    for &seed in &seeds {
+                        let mut s = self.base.clone();
+                        if let Some(k) = capacity {
+                            s.instance.capacity = k;
+                            s.instance.n = None; // re-pack
+                        }
+                        if let Some(e) = epsilon {
+                            s.algorithm.epsilon = Some(e);
+                        }
+                        if let Some(p) = policy {
+                            s.algorithm.policy = Some(p.clone());
+                        }
+                        if let Some(x) = seed {
+                            s.seed = x;
+                        }
+                        out.push(s);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Runs every cell in parallel against the built-in registries.
+    ///
+    /// # Errors
+    /// Returns the first [`SpecError`] (in grid order) if any cell
+    /// fails to resolve.
+    pub fn run(&self) -> Result<Vec<GridRun>, SpecError> {
+        self.run_with(&Registries::builtin())
+    }
+
+    /// Runs every cell in parallel against explicit registries.
+    ///
+    /// # Errors
+    /// Returns the first [`SpecError`] (in grid order) if any cell
+    /// fails to resolve.
+    pub fn run_with(&self, registries: &Registries) -> Result<Vec<GridRun>, SpecError> {
+        let scenarios = self.scenarios();
+        let results = parallel_map(scenarios, |scenario| {
+            scenario
+                .run_with(registries, &mut NoopObserver)
+                .map(|report| GridRun {
+                    scenario: scenario.clone(),
+                    report,
+                })
+        });
+        results.into_iter().collect()
+    }
+}
+
+/// `None` = "keep the base value"; one cell even when the axis is unset.
+fn axis<T: Copy>(values: &[T]) -> Vec<Option<T>> {
+    if values.is_empty() {
+        vec![None]
+    } else {
+        values.iter().copied().map(Some).collect()
+    }
+}
+
+fn axis_ref<T>(values: &[T]) -> Vec<Option<&T>> {
+    if values.is_empty() {
+        vec![None]
+    } else {
+        values.iter().map(Some).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AlgorithmSpec, AuditSpec, InstanceSpec, WorkloadSpec};
+
+    fn base() -> Scenario {
+        let mut s = Scenario::new(
+            InstanceSpec::packed(4, 8),
+            AlgorithmSpec::named("dynamic"),
+            WorkloadSpec::named("uniform"),
+            300,
+        );
+        s.seed = 1;
+        s
+    }
+
+    #[test]
+    fn empty_axes_give_the_base_scenario() {
+        let grid = ScenarioGrid::new(base());
+        assert_eq!(grid.len(), 1);
+        assert_eq!(grid.scenarios(), vec![base()]);
+    }
+
+    #[test]
+    fn cross_product_order_and_size() {
+        let grid = ScenarioGrid::new(base())
+            .capacities([8, 16])
+            .epsilons([0.25, 0.5, 1.0])
+            .seeds([1, 2]);
+        assert_eq!(grid.len(), 12);
+        let cells = grid.scenarios();
+        assert_eq!(cells.len(), 12);
+        assert_eq!(cells[0].instance.capacity, 8);
+        assert_eq!(cells[0].algorithm.epsilon, Some(0.25));
+        assert_eq!(cells[0].seed, 1);
+        assert_eq!(cells[1].seed, 2, "seed is the innermost axis");
+        assert_eq!(cells[11].instance.capacity, 16);
+        assert_eq!(cells[11].algorithm.epsilon, Some(1.0));
+    }
+
+    #[test]
+    fn grid_of_size_one_matches_scenario_run() {
+        let s = base();
+        let direct = s.run().unwrap();
+        let runs = ScenarioGrid::new(s.clone()).run().unwrap();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].report, direct);
+        assert_eq!(runs[0].scenario, s);
+    }
+
+    #[test]
+    fn summary_aggregates_seeds() {
+        let mut s = base();
+        s.audit = AuditSpec::Full;
+        let runs = ScenarioGrid::new(s).seeds(0..4).run().unwrap();
+        let summary = summarize(&runs);
+        assert_eq!(summary.runs, 4);
+        assert!(summary.mean_total > 0.0);
+        assert!(
+            (summary.mean_total - summary.mean_communication - summary.mean_migration).abs() < 1e-9
+        );
+        assert_eq!(summary.capacity_violations, 0);
+    }
+}

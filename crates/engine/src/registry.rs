@@ -1,0 +1,394 @@
+//! String-keyed registries resolving specs into live trait objects.
+//!
+//! The registries are the single construction path from a declarative
+//! [`AlgorithmSpec`] / [`WorkloadSpec`] to a boxed
+//! [`OnlineAlgorithm`] / [`Workload`]: the CLI, the `exp_*` binaries,
+//! examples and tests all resolve through here instead of privately
+//! matching on names. Unknown keys produce one consistent error that
+//! lists the valid keys. Both registries are extensible via
+//! [`AlgorithmRegistry::register`] / [`WorkloadRegistry::register`], so
+//! downstream crates can plug in their own strategies and run them
+//! through the same scenario machinery.
+
+use std::collections::BTreeMap;
+
+use rdbp_baselines::{ComponentSweep, GreedySwap, NeverMove};
+use rdbp_core::{DynamicConfig, DynamicPartitioner, StaticConfig, StaticPartitioner};
+use rdbp_model::{workload, OnlineAlgorithm, RingInstance, Workload};
+use rdbp_mts::PolicyKind;
+
+use crate::spec::{AlgorithmSpec, SpecError, WorkloadSpec};
+
+/// A resolved algorithm together with the load bound it guarantees
+/// (used when a scenario asks for [`crate::AuditSpec::Full`] auditing).
+pub struct BuiltAlgorithm {
+    /// The ready-to-run algorithm.
+    pub algorithm: Box<dyn OnlineAlgorithm>,
+    /// The resource-augmentation load bound this algorithm honours.
+    pub load_bound: u32,
+}
+
+/// Constructor signature for registered algorithms.
+pub type AlgorithmBuilder = Box<
+    dyn Fn(&RingInstance, &AlgorithmSpec, u64) -> Result<BuiltAlgorithm, SpecError> + Send + Sync,
+>;
+
+/// Constructor signature for registered workloads.
+pub type WorkloadBuilder = Box<
+    dyn Fn(&RingInstance, &WorkloadSpec, u64) -> Result<Box<dyn Workload>, SpecError> + Send + Sync,
+>;
+
+fn unknown_key(kind: &str, name: &str, keys: impl Iterator<Item = String>) -> SpecError {
+    let valid: Vec<String> = keys.collect();
+    SpecError(format!(
+        "unknown {kind} `{name}` (valid: {})",
+        valid.join(", ")
+    ))
+}
+
+/// Parses an MTS policy name (used by the `dynamic` builder).
+///
+/// # Errors
+/// Returns a [`SpecError`] listing the valid policy names.
+pub fn parse_policy(name: &str) -> Result<PolicyKind, SpecError> {
+    match name {
+        "wfa" | "work-function" => Ok(PolicyKind::WorkFunction),
+        "smin" | "smin-gradient" => Ok(PolicyKind::SminGradient),
+        "hedge" | "hst-hedge" => Ok(PolicyKind::HstHedge),
+        other => Err(SpecError(format!(
+            "unknown policy `{other}` (valid: wfa, smin, hedge)"
+        ))),
+    }
+}
+
+/// Registry of online algorithms, keyed by name.
+pub struct AlgorithmRegistry {
+    entries: BTreeMap<String, AlgorithmBuilder>,
+}
+
+impl AlgorithmRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// The registry of built-in algorithms: `dynamic` (Theorem 2.1),
+    /// `static` (Theorem 2.2), and the `greedy` / `component` /
+    /// `never-move` baselines.
+    #[must_use]
+    pub fn builtin() -> Self {
+        let mut reg = Self::empty();
+        reg.register("dynamic", |inst, spec, seed| {
+            let alg = DynamicPartitioner::new(
+                inst,
+                DynamicConfig {
+                    epsilon: spec.epsilon.unwrap_or(0.5),
+                    policy: parse_policy(spec.policy.as_deref().unwrap_or("hedge"))?,
+                    seed,
+                    shift: spec.shift,
+                },
+            );
+            let load_bound = alg.load_bound();
+            Ok(BuiltAlgorithm {
+                algorithm: Box::new(alg),
+                load_bound,
+            })
+        });
+        reg.register("static", |inst, spec, seed| {
+            let alg = StaticPartitioner::with_contiguous(
+                inst,
+                StaticConfig {
+                    epsilon: spec.epsilon.unwrap_or(1.0),
+                    seed,
+                },
+            );
+            let load_bound = alg.load_bound();
+            Ok(BuiltAlgorithm {
+                algorithm: Box::new(alg),
+                load_bound,
+            })
+        });
+        reg.register("greedy", |inst, _spec, _seed| {
+            Ok(BuiltAlgorithm {
+                algorithm: Box::new(GreedySwap::new(inst)),
+                load_bound: inst.capacity(),
+            })
+        });
+        reg.register("component", |inst, _spec, _seed| {
+            let alg = ComponentSweep::new(inst);
+            let load_bound = alg.load_bound();
+            Ok(BuiltAlgorithm {
+                algorithm: Box::new(alg),
+                load_bound,
+            })
+        });
+        reg.register("never-move", |inst, _spec, _seed| {
+            Ok(BuiltAlgorithm {
+                algorithm: Box::new(NeverMove::new(inst)),
+                load_bound: inst.capacity(),
+            })
+        });
+        reg
+    }
+
+    /// Registers (or replaces) an algorithm under `name`.
+    pub fn register<F>(&mut self, name: impl Into<String>, builder: F)
+    where
+        F: Fn(&RingInstance, &AlgorithmSpec, u64) -> Result<BuiltAlgorithm, SpecError>
+            + Send
+            + Sync
+            + 'static,
+    {
+        self.entries.insert(name.into(), Box::new(builder));
+    }
+
+    /// The registered keys, sorted.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
+
+    /// Resolves `spec` into a live algorithm for `instance`.
+    ///
+    /// # Errors
+    /// Returns a [`SpecError`] for unknown keys (listing the valid
+    /// ones) or invalid parameters.
+    pub fn resolve(
+        &self,
+        spec: &AlgorithmSpec,
+        instance: &RingInstance,
+        seed: u64,
+    ) -> Result<BuiltAlgorithm, SpecError> {
+        let builder = self.entries.get(&spec.name).ok_or_else(|| {
+            unknown_key(
+                "algorithm",
+                &spec.name,
+                self.entries.keys().map(Clone::clone),
+            )
+        })?;
+        builder(instance, spec, seed)
+    }
+}
+
+/// Registry of request sources, keyed by name (aliases included, e.g.
+/// `chaser` / `cut-chaser`).
+pub struct WorkloadRegistry {
+    entries: BTreeMap<String, WorkloadBuilder>,
+}
+
+impl WorkloadRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// The registry of built-in workloads: `uniform`, `zipf`,
+    /// `sliding`(-window), `allreduce`/`sequential`, `bursty`,
+    /// `random-walk`, `hotspot`/`rotating-hotspot` and the adaptive
+    /// `chaser`/`cut-chaser` adversary.
+    #[must_use]
+    pub fn builtin() -> Self {
+        let mut reg = Self::empty();
+        reg.register("uniform", |_inst, _spec, seed| {
+            Ok(Box::new(workload::UniformRandom::new(seed)) as Box<dyn Workload>)
+        });
+        reg.register("zipf", |inst, spec, seed| {
+            let s = spec.zipf_s.unwrap_or(1.2);
+            if !(s.is_finite() && s > 0.0) {
+                return Err(SpecError(format!("zipf_s must be positive, got {s}")));
+            }
+            Ok(Box::new(workload::Zipf::new(inst, s, seed)))
+        });
+        let sliding: WorkloadBuilder =
+            Box::new(|inst: &RingInstance, spec: &WorkloadSpec, seed| {
+                let width = spec.width.unwrap_or_else(|| inst.capacity());
+                let period = spec.period.unwrap_or(8);
+                if width == 0 || period == 0 {
+                    return Err(SpecError(
+                        "sliding window width and period must be positive".into(),
+                    ));
+                }
+                Ok(Box::new(workload::SlidingWindow::new(width, period, seed)))
+            });
+        reg.register_alias(["sliding", "sliding-window"], sliding);
+        let allreduce: WorkloadBuilder =
+            Box::new(|_inst, _spec, _seed| Ok(Box::new(workload::Sequential::new()) as _));
+        reg.register_alias(["allreduce", "sequential"], allreduce);
+        reg.register("bursty", |_inst, spec, seed| {
+            let p = spec.p_continue.unwrap_or(0.9);
+            if !(0.0..1.0).contains(&p) {
+                return Err(SpecError(format!("p_continue must be in [0,1), got {p}")));
+            }
+            Ok(Box::new(workload::Bursty::new(p, seed)))
+        });
+        reg.register("random-walk", |_inst, spec, seed| {
+            Ok(Box::new(workload::RandomWalk::new(spec.start.unwrap_or(0), seed)) as _)
+        });
+        let hotspot: WorkloadBuilder =
+            Box::new(|_inst: &RingInstance, spec: &WorkloadSpec, seed| {
+                let p_hot = spec.p_hot.unwrap_or(0.8);
+                let dwell = spec.dwell.unwrap_or(200);
+                if !(0.0..=1.0).contains(&p_hot) {
+                    return Err(SpecError(format!("p_hot must be in [0,1], got {p_hot}")));
+                }
+                if dwell == 0 {
+                    return Err(SpecError("dwell must be positive".into()));
+                }
+                Ok(Box::new(workload::RotatingHotspot::new(
+                    p_hot,
+                    spec.jump.unwrap_or(7),
+                    dwell,
+                    seed,
+                )))
+            });
+        reg.register_alias(["hotspot", "rotating-hotspot"], hotspot);
+        let chaser: WorkloadBuilder =
+            Box::new(|_inst, _spec, _seed| Ok(Box::new(workload::CutChaser::new()) as _));
+        reg.register_alias(["chaser", "cut-chaser"], chaser);
+        reg
+    }
+
+    /// Registers (or replaces) a workload under `name`.
+    pub fn register<F>(&mut self, name: impl Into<String>, builder: F)
+    where
+        F: Fn(&RingInstance, &WorkloadSpec, u64) -> Result<Box<dyn Workload>, SpecError>
+            + Send
+            + Sync
+            + 'static,
+    {
+        self.entries.insert(name.into(), Box::new(builder));
+    }
+
+    /// Registers one boxed builder under several keys.
+    fn register_alias<const N: usize>(&mut self, names: [&str; N], builder: WorkloadBuilder) {
+        let shared = std::sync::Arc::new(builder);
+        for name in names {
+            let b = std::sync::Arc::clone(&shared);
+            self.entries.insert(
+                name.to_string(),
+                Box::new(move |inst, spec, seed| b(inst, spec, seed)),
+            );
+        }
+    }
+
+    /// The registered keys, sorted (aliases included).
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
+
+    /// Resolves `spec` into a live workload for `instance`.
+    ///
+    /// # Errors
+    /// Returns a [`SpecError`] for unknown keys (listing the valid
+    /// ones) or invalid parameters.
+    pub fn resolve(
+        &self,
+        spec: &WorkloadSpec,
+        instance: &RingInstance,
+        seed: u64,
+    ) -> Result<Box<dyn Workload>, SpecError> {
+        let builder = self.entries.get(&spec.name).ok_or_else(|| {
+            unknown_key(
+                "workload",
+                &spec.name,
+                self.entries.keys().map(Clone::clone),
+            )
+        })?;
+        builder(instance, spec, seed)
+    }
+}
+
+/// Both registries bundled — what [`crate::Scenario::run_with`] and the
+/// grid executor take.
+pub struct Registries {
+    /// Algorithm constructors.
+    pub algorithms: AlgorithmRegistry,
+    /// Workload constructors.
+    pub workloads: WorkloadRegistry,
+}
+
+impl Registries {
+    /// Both built-in registries.
+    #[must_use]
+    pub fn builtin() -> Self {
+        Self {
+            algorithms: AlgorithmRegistry::builtin(),
+            workloads: WorkloadRegistry::builtin(),
+        }
+    }
+}
+
+impl Default for Registries {
+    fn default() -> Self {
+        Self::builtin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::InstanceSpec;
+
+    #[test]
+    fn unknown_algorithm_lists_valid_keys() {
+        let reg = AlgorithmRegistry::builtin();
+        let inst = InstanceSpec::packed(4, 8).build().unwrap();
+        let err = reg
+            .resolve(&AlgorithmSpec::named("quantum"), &inst, 0)
+            .err()
+            .expect("must fail");
+        assert!(err.0.contains("unknown algorithm `quantum`"), "{err}");
+        assert!(err.0.contains("dynamic"), "{err}");
+        assert!(err.0.contains("never-move"), "{err}");
+    }
+
+    #[test]
+    fn unknown_workload_lists_valid_keys() {
+        let reg = WorkloadRegistry::builtin();
+        let inst = InstanceSpec::packed(4, 8).build().unwrap();
+        let err = reg
+            .resolve(&WorkloadSpec::named("tsunami"), &inst, 0)
+            .err()
+            .expect("must fail");
+        assert!(err.0.contains("unknown workload `tsunami`"), "{err}");
+        assert!(err.0.contains("zipf"), "{err}");
+        assert!(err.0.contains("cut-chaser"), "{err}");
+    }
+
+    #[test]
+    fn bad_parameters_error_instead_of_panicking() {
+        let reg = WorkloadRegistry::builtin();
+        let inst = InstanceSpec::packed(4, 8).build().unwrap();
+        let spec = WorkloadSpec {
+            zipf_s: Some(-1.0),
+            ..WorkloadSpec::named("zipf")
+        };
+        assert!(reg.resolve(&spec, &inst, 0).is_err());
+        let spec = WorkloadSpec {
+            p_continue: Some(1.0),
+            ..WorkloadSpec::named("bursty")
+        };
+        assert!(reg.resolve(&spec, &inst, 0).is_err());
+    }
+
+    #[test]
+    fn registries_are_extensible() {
+        let mut reg = AlgorithmRegistry::builtin();
+        reg.register("my-lazy", |inst, _spec, _seed| {
+            Ok(BuiltAlgorithm {
+                algorithm: Box::new(NeverMove::new(inst)),
+                load_bound: inst.capacity(),
+            })
+        });
+        let inst = InstanceSpec::packed(4, 8).build().unwrap();
+        let built = reg
+            .resolve(&AlgorithmSpec::named("my-lazy"), &inst, 0)
+            .unwrap();
+        assert_eq!(built.algorithm.name(), "never-move");
+    }
+}

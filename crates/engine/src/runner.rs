@@ -1,0 +1,250 @@
+//! Executing a [`Scenario`]: spec → registries → audited driver run.
+
+use rdbp_model::{
+    run_observed, run_trace_observed, AuditLevel, Edge, NoopObserver, Observer, OnlineAlgorithm,
+    RingInstance, RunReport, Workload,
+};
+
+use crate::registry::Registries;
+use crate::spec::{AuditSpec, Scenario, SpecError};
+
+/// Derives the workload's sub-seed from the scenario seed (one
+/// SplitMix64 step). The algorithm consumes the scenario seed
+/// directly; mixing the workload's keeps the two `StdRng` streams
+/// decoupled — an oblivious workload must not be correlated with the
+/// algorithm's random choices (the independence the Theorem 2.1
+/// guarantee is stated under).
+#[must_use]
+pub fn workload_seed(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A scenario resolved into live objects, ready to execute. Produced
+/// by [`Scenario::resolve`]; lets callers read the audit limit before
+/// running and reuse one resolution for a live run or a trace replay.
+pub struct PreparedScenario {
+    instance: RingInstance,
+    algorithm: Box<dyn OnlineAlgorithm>,
+    workload: Box<dyn Workload>,
+    steps: u64,
+    audit: AuditLevel,
+    load_bound: u32,
+}
+
+impl PreparedScenario {
+    /// The materialized ring instance.
+    #[must_use]
+    pub fn instance(&self) -> &RingInstance {
+        &self.instance
+    }
+
+    /// The load bound the resolved algorithm guarantees.
+    #[must_use]
+    pub fn load_bound(&self) -> u32 {
+        self.load_bound
+    }
+
+    /// The concrete audit level the run will use.
+    #[must_use]
+    pub fn audit(&self) -> AuditLevel {
+        self.audit
+    }
+
+    /// Runs the scenario to completion, streaming step events to
+    /// `observer`.
+    ///
+    /// # Panics
+    /// Same contract as [`rdbp_model::run`]: panics under full
+    /// auditing if the algorithm under-reports migrations.
+    pub fn run(mut self, observer: &mut dyn Observer) -> RunReport {
+        run_observed(
+            self.algorithm.as_mut(),
+            self.workload.as_mut(),
+            self.steps,
+            self.audit,
+            observer,
+        )
+    }
+
+    /// Replays a fixed request trace through the resolved algorithm
+    /// instead of generating requests (the scenario's workload and
+    /// step count are ignored).
+    ///
+    /// # Panics
+    /// Same contract as [`rdbp_model::run_trace`].
+    pub fn replay(mut self, requests: &[Edge], observer: &mut dyn Observer) -> RunReport {
+        run_trace_observed(self.algorithm.as_mut(), requests, self.audit, observer)
+    }
+}
+
+impl Scenario {
+    /// Resolves the scenario against the built-in registries and runs
+    /// it to completion.
+    ///
+    /// # Errors
+    /// Returns a [`SpecError`] if any spec fails to resolve.
+    pub fn run(&self) -> Result<RunReport, SpecError> {
+        self.run_with(&Registries::builtin(), &mut NoopObserver)
+    }
+
+    /// Resolves the scenario against the built-in registries and runs
+    /// it, streaming step events to `observer`.
+    ///
+    /// # Errors
+    /// Returns a [`SpecError`] if any spec fails to resolve.
+    pub fn run_observed(&self, observer: &mut dyn Observer) -> Result<RunReport, SpecError> {
+        self.run_with(&Registries::builtin(), observer)
+    }
+
+    /// Runs the scenario against explicit registries — the hook for
+    /// custom algorithms/workloads registered by downstream crates.
+    ///
+    /// # Errors
+    /// Returns a [`SpecError`] if any spec fails to resolve.
+    pub fn run_with(
+        &self,
+        registries: &Registries,
+        observer: &mut dyn Observer,
+    ) -> Result<RunReport, SpecError> {
+        Ok(self.resolve(registries)?.run(observer))
+    }
+
+    /// Resolves every spec into live objects without running anything.
+    ///
+    /// The scenario's one seed is reproducible end-to-end: the
+    /// algorithm consumes it directly and the workload gets a
+    /// [`workload_seed`]-mixed sub-seed, so the two random streams are
+    /// decoupled. The workload is generated live against the
+    /// algorithm's placements, which makes adaptive adversaries (e.g.
+    /// `chaser`) first-class citizens.
+    ///
+    /// # Errors
+    /// Returns a [`SpecError`] if any spec fails to resolve.
+    pub fn resolve(&self, registries: &Registries) -> Result<PreparedScenario, SpecError> {
+        let instance = self.instance.build()?;
+        let built = registries
+            .algorithms
+            .resolve(&self.algorithm, &instance, self.seed)?;
+        let workload =
+            registries
+                .workloads
+                .resolve(&self.workload, &instance, workload_seed(self.seed))?;
+        Ok(PreparedScenario {
+            instance,
+            algorithm: built.algorithm,
+            workload,
+            steps: self.steps,
+            audit: self.audit_level(built.load_bound),
+            load_bound: built.load_bound,
+        })
+    }
+
+    /// The concrete [`AuditLevel`] this scenario runs under, given the
+    /// algorithm's registry-resolved load bound.
+    #[must_use]
+    pub fn audit_level(&self, algorithm_bound: u32) -> AuditLevel {
+        match self.audit {
+            AuditSpec::None => AuditLevel::None,
+            AuditSpec::Full => AuditLevel::Full {
+                load_limit: algorithm_bound,
+            },
+            AuditSpec::FullWithLimit(load_limit) => AuditLevel::Full { load_limit },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AlgorithmSpec, InstanceSpec, WorkloadSpec};
+
+    fn scenario(algorithm: &str, workload: &str) -> Scenario {
+        let mut s = Scenario::new(
+            InstanceSpec::packed(4, 8),
+            AlgorithmSpec::named(algorithm),
+            WorkloadSpec::named(workload),
+            500,
+        );
+        s.seed = 3;
+        s
+    }
+
+    #[test]
+    fn runs_are_reproducible_from_the_spec() {
+        let s = scenario("dynamic", "zipf");
+        let a = s.run().unwrap();
+        let b = s.run().unwrap();
+        assert_eq!(a, b, "same spec + seed → identical report");
+        assert_eq!(a.steps, 500);
+        assert_eq!(a.algorithm, "dynamic-partitioner", "trait-reported name");
+        assert_eq!(a.workload, "zipf");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let s = scenario("dynamic", "uniform");
+        let mut t = s.clone();
+        t.seed = 4;
+        assert_ne!(s.run().unwrap().ledger, t.run().unwrap().ledger);
+    }
+
+    #[test]
+    fn workload_stream_is_decoupled_from_the_algorithm_stream() {
+        assert_ne!(workload_seed(3), 3, "sub-seed must differ from the seed");
+        assert_ne!(workload_seed(3), workload_seed(4));
+        // The same scenario seed drives algorithm and workload through
+        // different RNG streams: a `uniform` workload resolved with the
+        // raw seed produces a different request sequence than the
+        // engine's.
+        let registries = Registries::builtin();
+        let inst = InstanceSpec::packed(4, 8).build().unwrap();
+        let placement = rdbp_model::Placement::contiguous(&inst);
+        let spec = WorkloadSpec::named("uniform");
+        let mut raw = registries.workloads.resolve(&spec, &inst, 3).unwrap();
+        let mut mixed = registries
+            .workloads
+            .resolve(&spec, &inst, workload_seed(3))
+            .unwrap();
+        let raw_reqs: Vec<_> = (0..32).map(|_| raw.next_request(&placement)).collect();
+        let mixed_reqs: Vec<_> = (0..32).map(|_| mixed.next_request(&placement)).collect();
+        assert_ne!(raw_reqs, mixed_reqs);
+    }
+
+    #[test]
+    fn adaptive_adversaries_run_against_live_placements() {
+        let report = scenario("greedy", "chaser").run().unwrap();
+        // The chaser always finds a cut edge, so every request costs.
+        assert!(report.ledger.communication > 0);
+        assert_eq!(report.workload, "cut-chaser");
+    }
+
+    #[test]
+    fn full_audit_uses_the_algorithms_bound() {
+        let s = scenario("dynamic", "uniform");
+        // ε=0.5, k=8 → k′=12, bound 24.
+        let prepared = s.resolve(&Registries::builtin()).unwrap();
+        assert_eq!(prepared.load_bound(), 24);
+        assert_eq!(prepared.audit(), AuditLevel::Full { load_limit: 24 });
+        let report = s.run().unwrap();
+        assert_eq!(report.capacity_violations, 0);
+    }
+
+    #[test]
+    fn replay_reuses_one_resolution() {
+        let registries = Registries::builtin();
+        let s = scenario("dynamic", "uniform");
+        // Record the live run's requests, then replay them through a
+        // fresh resolution: identical ledger.
+        let mut recorder = rdbp_model::observers::TraceRecorder::new();
+        let live = s.resolve(&registries).unwrap().run(&mut recorder);
+        let replayed = s
+            .resolve(&registries)
+            .unwrap()
+            .replay(recorder.requests(), &mut NoopObserver);
+        assert_eq!(live.ledger, replayed.ledger);
+        assert_eq!(replayed.workload, "trace");
+    }
+}

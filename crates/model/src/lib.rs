@@ -15,6 +15,9 @@
 //! * [`OnlineAlgorithm`] / [`run`] — the simulation driver. The driver —
 //!   not the algorithm — charges costs and audits capacity, so cost
 //!   accounting cannot be gamed by an algorithm implementation.
+//! * [`Observer`] / [`observers`] — a streaming view of every driver
+//!   step ([`StepEvent`]): cost curves, CSV emission, load head-room and
+//!   trace recording without touching the hot loop's accounting.
 //! * [`workload`] — request generators: the ML ring-allreduce pattern the
 //!   paper's introduction motivates, plus Zipf, sliding windows, bursts,
 //!   rotating hotspots, random walks, and *adaptive adversaries* (the
@@ -23,6 +26,7 @@
 
 mod instance;
 mod ledger;
+pub mod observers;
 mod placement;
 mod sim;
 pub mod trace;
@@ -31,5 +35,8 @@ pub mod workload;
 pub use instance::{Edge, Process, RingInstance, Segment, Server};
 pub use ledger::CostLedger;
 pub use placement::Placement;
-pub use sim::{run, run_trace, AuditLevel, OnlineAlgorithm, RunReport};
+pub use sim::{
+    run, run_observed, run_trace, run_trace_observed, AuditLevel, NoopObserver, Observer,
+    OnlineAlgorithm, RunReport, StepEvent,
+};
 pub use workload::Workload;

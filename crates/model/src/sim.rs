@@ -12,6 +12,8 @@
 //!    placement diff,
 //! 4. audits the capacity constraint `max load ≤ limit`.
 
+use serde::{Deserialize, Serialize};
+
 use crate::workload::Workload;
 use crate::{CostLedger, Edge, Placement};
 
@@ -51,8 +53,17 @@ pub enum AuditLevel {
 }
 
 /// Outcome of a simulation run.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Reports are self-describing when serialized: the driver captures the
+/// algorithm and workload names from their traits, so a persisted report
+/// records what produced it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RunReport {
+    /// Name of the algorithm that was driven ([`OnlineAlgorithm::name`]).
+    pub algorithm: String,
+    /// Name of the request source ([`Workload::name`], or `"trace"` for
+    /// [`run_trace`] replays).
+    pub workload: String,
     /// Total communication + migration costs.
     pub ledger: CostLedger,
     /// Requests served.
@@ -65,8 +76,12 @@ pub struct RunReport {
 }
 
 impl RunReport {
-    fn new() -> Self {
+    /// An empty report carrying the given provenance names.
+    #[must_use]
+    pub fn new(algorithm: impl Into<String>, workload: impl Into<String>) -> Self {
         Self {
+            algorithm: algorithm.into(),
+            workload: workload.into(),
             ledger: CostLedger::new(),
             steps: 0,
             max_load_seen: 0,
@@ -74,6 +89,58 @@ impl RunReport {
         }
     }
 }
+
+/// What the driver observed while serving one request. Emitted to
+/// [`Observer::on_step`] after the step's costs were charged and its
+/// audits ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepEvent {
+    /// 0-based index of the step within the run.
+    pub step: u64,
+    /// The requested edge.
+    pub request: Edge,
+    /// Whether communication cost 1 was charged (the edge was cut at
+    /// request time).
+    pub charged: bool,
+    /// Migrations the algorithm reported for this step (the migration
+    /// cost delta).
+    pub migrations: u64,
+    /// Maximum server load after serving the request.
+    pub max_load: u32,
+    /// Whether this step exceeded the load limit (always `false` under
+    /// [`AuditLevel::None`]).
+    pub violated: bool,
+}
+
+impl StepEvent {
+    /// The step's contribution to the total cost
+    /// (`communication + migration` delta).
+    #[must_use]
+    pub fn cost_delta(&self) -> u64 {
+        u64::from(self.charged) + self.migrations
+    }
+}
+
+/// A streaming consumer of driver events.
+///
+/// Observers see every step as it happens — per-step cost curves, CSV
+/// emission, load head-room tracking — instead of only the end-of-run
+/// [`RunReport`]. They are passive: an observer cannot alter costs,
+/// audits, or the algorithm's behaviour. Built-in implementations live
+/// in [`crate::observers`].
+pub trait Observer {
+    /// Called once per request, after costs were charged and audits ran.
+    fn on_step(&mut self, _event: &StepEvent) {}
+
+    /// Called once when the run completes, with the final report.
+    fn on_finish(&mut self, _report: &RunReport) {}
+}
+
+/// The do-nothing observer ([`run`] and [`run_trace`] use it).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl Observer for NoopObserver {}
 
 /// Runs `algorithm` against `workload` for `steps` requests.
 ///
@@ -85,12 +152,39 @@ where
     A: OnlineAlgorithm + ?Sized,
     W: Workload + ?Sized,
 {
-    let mut report = RunReport::new();
+    run_observed(algorithm, workload, steps, audit, &mut NoopObserver)
+}
+
+/// Runs `algorithm` against `workload`, streaming a [`StepEvent`] per
+/// request to `observer`.
+///
+/// # Panics
+/// Same contract as [`run`].
+pub fn run_observed<A, W>(
+    algorithm: &mut A,
+    workload: &mut W,
+    steps: u64,
+    audit: AuditLevel,
+    observer: &mut dyn Observer,
+) -> RunReport
+where
+    A: OnlineAlgorithm + ?Sized,
+    W: Workload + ?Sized,
+{
+    let mut report = RunReport::new(algorithm.name(), workload.name());
     let mut before: Option<Placement> = None;
     for _ in 0..steps {
         let request = workload.next_request(algorithm.placement());
-        step(algorithm, request, audit, &mut report, &mut before);
+        step(
+            algorithm,
+            request,
+            audit,
+            &mut report,
+            &mut before,
+            observer,
+        );
     }
+    observer.on_finish(&report);
     report
 }
 
@@ -102,11 +196,36 @@ pub fn run_trace<A>(algorithm: &mut A, requests: &[Edge], audit: AuditLevel) -> 
 where
     A: OnlineAlgorithm + ?Sized,
 {
-    let mut report = RunReport::new();
+    run_trace_observed(algorithm, requests, audit, &mut NoopObserver)
+}
+
+/// Replays a fixed request trace, streaming a [`StepEvent`] per request
+/// to `observer`.
+///
+/// # Panics
+/// Same contract as [`run`].
+pub fn run_trace_observed<A>(
+    algorithm: &mut A,
+    requests: &[Edge],
+    audit: AuditLevel,
+    observer: &mut dyn Observer,
+) -> RunReport
+where
+    A: OnlineAlgorithm + ?Sized,
+{
+    let mut report = RunReport::new(algorithm.name(), "trace");
     let mut before: Option<Placement> = None;
     for &request in requests {
-        step(algorithm, request, audit, &mut report, &mut before);
+        step(
+            algorithm,
+            request,
+            audit,
+            &mut report,
+            &mut before,
+            observer,
+        );
     }
+    observer.on_finish(&report);
     report
 }
 
@@ -116,10 +235,12 @@ fn step<A>(
     audit: AuditLevel,
     report: &mut RunReport,
     scratch: &mut Option<Placement>,
+    observer: &mut dyn Observer,
 ) where
     A: OnlineAlgorithm + ?Sized,
 {
-    if algorithm.placement().is_cut(request) {
+    let charged = algorithm.placement().is_cut(request);
+    if charged {
         report.ledger.communication += 1;
     }
     if let AuditLevel::Full { .. } = audit {
@@ -129,6 +250,7 @@ fn step<A>(
             None => *scratch = Some(algorithm.placement().clone()),
         }
     }
+    let step_index = report.steps;
     let reported = algorithm.serve(request);
     report.ledger.migration += reported;
     report.steps += 1;
@@ -136,6 +258,7 @@ fn step<A>(
     let max_load = algorithm.placement().max_load();
     report.max_load_seen = report.max_load_seen.max(max_load);
 
+    let mut violated = false;
     if let AuditLevel::Full { load_limit } = audit {
         let actual = scratch
             .as_ref()
@@ -147,8 +270,18 @@ fn step<A>(
         );
         if max_load > load_limit {
             report.capacity_violations += 1;
+            violated = true;
         }
     }
+
+    observer.on_step(&StepEvent {
+        step: step_index,
+        request,
+        charged,
+        migrations: reported,
+        max_load,
+        violated,
+    });
 }
 
 #[cfg(test)]

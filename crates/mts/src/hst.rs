@@ -257,9 +257,9 @@ impl MtsPolicy for HstHedge {
                 self.child_cost(idx, 1, costs),
             ];
             let n = &mut self.nodes[idx];
-            for side in 0..2 {
-                n.log_w[side] -= eta * c[side];
-                n.phase_cost[side] += c[side];
+            for (side, &side_cost) in c.iter().enumerate() {
+                n.log_w[side] -= eta * side_cost;
+                n.phase_cost[side] += side_cost;
             }
             // Phase end: both children have suffered ≥ span — any
             // strategy inside this subtree paid Ω(span); forgive the

@@ -98,14 +98,14 @@ fn solve(
             from_steps.push(scratch_from.clone());
         } else {
             let mut best = f64::INFINITY;
-            for x in 0..num_states {
-                best = (best + 1.0).min(opt[x]);
-                opt[x] = best;
+            for o in &mut opt {
+                best = (best + 1.0).min(*o);
+                *o = best;
             }
             let mut best = f64::INFINITY;
-            for x in (0..num_states).rev() {
-                best = (best + 1.0).min(opt[x]);
-                opt[x] = best;
+            for o in opt.iter_mut().rev() {
+                best = (best + 1.0).min(*o);
+                *o = best;
             }
         }
         for (o, &c) in opt.iter_mut().zip(task) {

@@ -98,6 +98,7 @@ fn enumerate_partitions(n: usize, ell: usize, k: usize) -> Vec<Vec<u8>> {
     let mut out = Vec::new();
     let mut cur = vec![0u8; n];
     let mut loads = vec![0usize; ell];
+    #[allow(clippy::too_many_arguments)] // recursion state, all scalars
     fn rec(
         p: usize,
         n: usize,

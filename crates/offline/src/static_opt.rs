@@ -117,9 +117,9 @@ fn anchored_dp(w: &[u64], n: usize, k: usize, first: usize) -> Option<(u64, Vec<
     // Close the cycle: last cut at offset j with j + gap back to first
     // (= n − j) ≤ k.
     let mut best: Option<(u64, usize)> = None;
-    for j in n.saturating_sub(k)..n {
-        if dp[j] != u64::MAX && best.is_none_or(|(b, _)| dp[j] < b) {
-            best = Some((dp[j], j));
+    for (j, &v) in dp.iter().enumerate().take(n).skip(n.saturating_sub(k)) {
+        if v != u64::MAX && best.is_none_or(|(b, _)| v < b) {
+            best = Some((v, j));
         }
     }
     let (cost, mut j) = best?;

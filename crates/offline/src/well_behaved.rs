@@ -126,15 +126,12 @@ impl WellBehaved {
 
         // Restore IH: handle every W cut that is no longer a reference
         // cut.
-        loop {
-            let Some(stale) = self
-                .cuts
-                .iter()
-                .copied()
-                .find(|&e| !self.is_reference_cut(e))
-            else {
-                break;
-            };
+        while let Some(stale) = self
+            .cuts
+            .iter()
+            .copied()
+            .find(|&e| !self.is_reference_cut(e))
+        {
             moving_cost += self.fix_stale_cut(stale);
         }
 

@@ -51,40 +51,22 @@ fn main() {
         }
     );
 
-    // Replay the trace through the online algorithms.
+    // Replay the trace through the online algorithms — constructed via
+    // the shared registry instead of a hand-rolled name match.
+    let registry = AlgorithmRegistry::builtin();
     println!(
         "\n{:<20} {:>8} {:>10} {:>12}",
         "algorithm", "total", "vs static", "vs dynamic"
     );
     for which in ["dynamic", "static", "never-move"] {
-        let ledger = match which {
-            "dynamic" => {
-                let mut alg = DynamicPartitioner::new(
-                    &inst,
-                    DynamicConfig {
-                        epsilon: 0.5,
-                        policy: PolicyKind::HstHedge,
-                        seed: 2,
-                        shift: None,
-                    },
-                );
-                run_trace(&mut alg, &trace.requests, AuditLevel::None).ledger
-            }
-            "static" => {
-                let mut alg = StaticPartitioner::with_contiguous(
-                    &inst,
-                    StaticConfig {
-                        epsilon: 1.0,
-                        seed: 2,
-                    },
-                );
-                run_trace(&mut alg, &trace.requests, AuditLevel::None).ledger
-            }
-            _ => {
-                let mut alg = NeverMove::new(&inst);
-                run_trace(&mut alg, &trace.requests, AuditLevel::None).ledger
-            }
+        let spec = AlgorithmSpec {
+            epsilon: Some(if which == "static" { 1.0 } else { 0.5 }),
+            ..AlgorithmSpec::named(which)
         };
+        let mut built = registry
+            .resolve(&spec, &inst, 2)
+            .expect("built-in algorithm");
+        let ledger = run_trace(built.algorithm.as_mut(), &trace.requests, AuditLevel::None).ledger;
         println!(
             "{which:<20} {:>8} {:>10.2} {:>12.2}",
             ledger.total(),

@@ -3,23 +3,25 @@
 //! ```text
 //! rdbp-sim --servers 8 --capacity 32 --algorithm dynamic \
 //!          --workload zipf --steps 100000 --epsilon 0.5 --seed 1
+//! rdbp-sim --scenario examples/scenario.json --json
 //! ```
 //!
-//! Algorithms: dynamic | static | greedy | component | never-move
-//! Workloads:  uniform | zipf | sliding | allreduce | bursty |
-//!             random-walk | hotspot | chaser
+//! Every run — flag-driven or file-driven — goes through the scenario
+//! engine: flags are folded into a [`Scenario`] spec, algorithms and
+//! workloads resolve through the shared registries, and the audited
+//! driver executes it. `--scenario FILE` loads a spec instead of
+//! building one from flags; `--save-scenario FILE` persists the
+//! effective spec; `--json` emits the [`RunReport`] as JSON.
 //!
-//! Prints the cost ledger, max load vs the algorithm's bound, and (with
-//! `--opt`) the exact static-OPT lower bound of the generated trace.
-//! `--save-trace FILE` writes the requests as JSON for offline
+//! `--save-trace FILE` writes the served requests as JSON for offline
 //! analysis; `--load-trace FILE` replays one instead of generating.
 
 use std::collections::HashMap;
 use std::path::Path;
 use std::process::exit;
 
+use rdbp::model::observers::TraceRecorder;
 use rdbp::model::trace::Trace;
-use rdbp::model::workload::record;
 use rdbp::prelude::*;
 
 struct Args(HashMap<String, String>);
@@ -37,7 +39,7 @@ impl Args {
                 print_help();
                 exit(0);
             }
-            if matches!(name, "opt" | "audit") {
+            if matches!(name, "opt" | "audit" | "json") {
                 map.insert(name.to_string(), "true".to_string());
                 continue;
             }
@@ -73,6 +75,7 @@ fn print_help() {
     println!(
         "rdbp-sim — online balanced ring partitioning simulator\n\n\
          USAGE: rdbp-sim [FLAGS]\n\n\
+         --scenario F     load a scenario spec (JSON) instead of the flags below\n\
          --servers N      number of servers ℓ (default 4)\n\
          --capacity N     per-server capacity k (default 16)\n\
          --steps N        requests to serve (default 10000)\n\
@@ -84,151 +87,111 @@ fn print_help() {
          --zipf-s X       Zipf exponent (default 1.2)\n\
          --opt            also compute the exact static-OPT lower bound\n\
          --audit          run with full per-step auditing\n\
+         --json           print the run report as JSON\n\
+         --save-scenario F  write the effective scenario spec as JSON\n\
          --save-trace F   write the request trace as JSON\n\
          --load-trace F   replay a JSON trace (ignores --workload/--steps)"
     );
 }
 
-fn build_workload(
-    name: &str,
-    inst: &RingInstance,
-    seed: u64,
-    zipf_s: f64,
-) -> Box<dyn workload::Workload> {
-    match name {
-        "uniform" => Box::new(workload::UniformRandom::new(seed)),
-        "zipf" => Box::new(workload::Zipf::new(inst, zipf_s, seed)),
-        "sliding" => Box::new(workload::SlidingWindow::new(inst.capacity(), 8, seed)),
-        "allreduce" => Box::new(workload::Sequential::new()),
-        "bursty" => Box::new(workload::Bursty::new(0.9, seed)),
-        "random-walk" => Box::new(workload::RandomWalk::new(0, seed)),
-        "hotspot" => Box::new(workload::RotatingHotspot::new(0.8, 7, 200, seed)),
-        "chaser" => Box::new(workload::CutChaser::new()),
-        other => {
-            eprintln!("unknown workload `{other}`");
-            exit(2);
-        }
+fn fail(err: impl std::fmt::Display) -> ! {
+    eprintln!("{err}");
+    exit(2)
+}
+
+/// Folds the legacy CLI flags into a scenario spec.
+fn scenario_from_flags(args: &Args) -> Scenario {
+    let mut algorithm = AlgorithmSpec::named(args.str("algorithm", "dynamic"));
+    algorithm.epsilon = Some(args.get("epsilon", 0.5));
+    algorithm.policy = Some(args.str("policy", "hedge"));
+    let mut workload = WorkloadSpec::named(args.str("workload", "uniform"));
+    workload.zipf_s = Some(args.get("zipf-s", 1.2));
+    Scenario {
+        instance: InstanceSpec::packed(args.get("servers", 4), args.get("capacity", 16)),
+        algorithm,
+        workload,
+        steps: args.get("steps", 10_000),
+        seed: args.get("seed", 0),
+        audit: if args.flag("audit") {
+            AuditSpec::Full
+        } else {
+            AuditSpec::None
+        },
     }
 }
 
-#[allow(clippy::too_many_lines)]
 fn main() {
     let args = Args::parse();
-    let servers: u32 = args.get("servers", 4);
-    let capacity: u32 = args.get("capacity", 16);
-    let steps: u64 = args.get("steps", 10_000);
-    let epsilon: f64 = args.get("epsilon", 0.5);
-    let seed: u64 = args.get("seed", 0);
-    let zipf_s: f64 = args.get("zipf-s", 1.2);
-    let algorithm = args.str("algorithm", "dynamic");
-    let workload_name = args.str("workload", "uniform");
 
-    let inst = RingInstance::packed(servers, capacity);
-
-    // Assemble the request trace (generated, or loaded, possibly
-    // adaptive → served inline below).
-    let loaded: Option<Trace> = args.0.get("load-trace").map(|p| {
-        Trace::load(Path::new(p)).unwrap_or_else(|e| {
-            eprintln!("cannot load trace: {e}");
-            exit(2);
-        })
-    });
-    if let Some(t) = &loaded {
-        assert_eq!(
-            t.instance, inst,
-            "trace instance {:?} differs from CLI instance — pass matching --servers/--capacity",
-            t.instance
-        );
+    let mut scenario = match args.0.get("scenario") {
+        Some(path) => Scenario::load(Path::new(path))
+            .unwrap_or_else(|e| fail(format!("cannot load scenario: {e}"))),
+        None => scenario_from_flags(&args),
+    };
+    // --audit upgrades a loaded scenario too.
+    if args.flag("audit") && scenario.audit == AuditSpec::None {
+        scenario.audit = AuditSpec::Full;
     }
 
-    let policy = match args.str("policy", "hedge").as_str() {
-        "wfa" => PolicyKind::WorkFunction,
-        "smin" => PolicyKind::SminGradient,
-        "hedge" => PolicyKind::HstHedge,
-        other => {
-            eprintln!("unknown policy `{other}`");
-            exit(2);
-        }
+    if let Some(path) = args.0.get("save-scenario") {
+        scenario
+            .save(Path::new(path))
+            .unwrap_or_else(|e| fail(format!("cannot save scenario: {e}")));
+        eprintln!("scenario saved to {path}");
+    }
+
+    let registries = Registries::builtin();
+    // One resolution serves the whole invocation: the run itself, the
+    // displayed limit, and the audit level for trace replays.
+    let prepared = scenario.resolve(&registries).unwrap_or_else(|e| fail(e));
+    let inst = *prepared.instance();
+    let load_limit = match prepared.audit() {
+        AuditLevel::Full { load_limit } => load_limit.to_string(),
+        // Unaudited runs still show the algorithm's guaranteed bound.
+        AuditLevel::None => format!("{}, unaudited", prepared.load_bound()),
     };
 
-    let mut alg: Box<dyn OnlineAlgorithm> = match algorithm.as_str() {
-        "dynamic" => Box::new(DynamicPartitioner::new(
-            &inst,
-            DynamicConfig {
-                epsilon,
-                policy,
-                seed,
-                shift: None,
-            },
-        )),
-        "static" => Box::new(StaticPartitioner::with_contiguous(
-            &inst,
-            StaticConfig { epsilon, seed },
-        )),
-        "greedy" => Box::new(GreedySwap::new(&inst)),
-        "component" => Box::new(ComponentSweep::new(&inst)),
-        "never-move" => Box::new(NeverMove::new(&inst)),
-        other => {
-            eprintln!("unknown algorithm `{other}`");
-            exit(2);
+    // Serve: replay a recorded trace, or run the scenario live while
+    // recording the requests it generates (for --opt / --save-trace).
+    let mut recorder = TraceRecorder::new();
+    let loaded: Option<Trace> = args.0.get("load-trace").map(|path| {
+        let t = Trace::load(Path::new(path))
+            .unwrap_or_else(|e| fail(format!("cannot load trace: {e}")));
+        if t.instance != inst {
+            fail(format!(
+                "trace instance {:?} differs from scenario instance — pass matching --servers/--capacity",
+                t.instance
+            ));
         }
+        t
+    });
+    let report = match &loaded {
+        Some(t) => prepared.replay(&t.requests, &mut recorder),
+        None => prepared.run(&mut recorder),
     };
+    let requests = recorder.into_requests();
 
-    let load_limit = match algorithm.as_str() {
-        "dynamic" => (2.0 * (1.0 + epsilon) * f64::from(capacity)).ceil() as u32,
-        "static" => ((3.0 + epsilon.min(2.0)) * f64::from(capacity)).ceil() as u32,
-        "component" => 2 * capacity,
-        _ => capacity,
-    };
-    let audit = if args.flag("audit") {
-        AuditLevel::Full { load_limit }
+    if args.flag("json") {
+        let text = serde_json::to_string(&report)
+            .unwrap_or_else(|e| fail(format!("cannot serialize report: {e}")));
+        println!("{text}");
     } else {
-        AuditLevel::None
-    };
-
-    // Serve.
-    let (report, requests): (RunReport, Vec<Edge>) = if let Some(t) = loaded {
-        let r = run_trace(alg.as_mut(), &t.requests, audit);
-        (r, t.requests)
-    } else if workload_name == "chaser" {
-        // Adaptive: must be driven against the live algorithm.
-        let mut w = build_workload(&workload_name, &inst, seed, zipf_s);
-        let mut requests = Vec::with_capacity(steps as usize);
-        let mut probe = NeverMove::with_placement(alg.placement().clone());
-        let _ = &mut probe;
-        let mut report = RunReport {
-            ledger: CostLedger::new(),
-            steps: 0,
-            max_load_seen: 0,
-            capacity_violations: 0,
-        };
-        for _ in 0..steps {
-            let e = w.next_request(alg.placement());
-            requests.push(e);
-            let r = run_trace(alg.as_mut(), &[e], audit);
-            report.ledger.absorb(&r.ledger);
-            report.steps += 1;
-            report.max_load_seen = report.max_load_seen.max(r.max_load_seen);
-            report.capacity_violations += r.capacity_violations;
+        println!(
+            "instance: n={} ℓ={} k={} | algorithm={} workload={} seed={}",
+            inst.n(),
+            inst.servers(),
+            inst.capacity(),
+            report.algorithm,
+            report.workload,
+            scenario.seed
+        );
+        println!(
+            "served {} requests: {} | max load {} (limit {})",
+            report.steps, report.ledger, report.max_load_seen, load_limit
+        );
+        if scenario.audit != AuditSpec::None {
+            println!("capacity violations: {}", report.capacity_violations);
         }
-        (report, requests)
-    } else {
-        let mut w = build_workload(&workload_name, &inst, seed, zipf_s);
-        let requests = record(w.as_mut(), &Placement::contiguous(&inst), steps);
-        let r = run_trace(alg.as_mut(), &requests, audit);
-        (r, requests)
-    };
-
-    println!(
-        "instance: n={} ℓ={servers} k={capacity} | algorithm={algorithm} workload={workload_name} seed={seed}",
-        inst.n()
-    );
-    println!(
-        "served {} requests: {} | max load {} (limit {})",
-        report.steps, report.ledger, report.max_load_seen, load_limit
-    );
-    if args.flag("audit") {
-        println!("capacity violations: {}", report.capacity_violations);
     }
 
     if args.flag("opt") {
@@ -236,7 +199,7 @@ fn main() {
         for e in &requests {
             weights[e.0 as usize] += 1;
         }
-        let opt = static_opt(&weights, servers, capacity);
+        let opt = static_opt(&weights, inst.servers(), inst.capacity());
         println!(
             "static OPT {}: {} → ratio {:.2}",
             if opt.packable {
@@ -250,10 +213,14 @@ fn main() {
     }
 
     if let Some(path) = args.0.get("save-trace") {
-        let t = Trace::new(inst, workload_name, seed, requests);
+        // A replayed trace keeps its original provenance (workload
+        // name + seed); a live run records what just generated it.
+        let t = match &loaded {
+            Some(orig) => Trace::new(inst, orig.workload.clone(), orig.seed, requests),
+            None => Trace::new(inst, report.workload.clone(), scenario.seed, requests),
+        };
         t.save(Path::new(path)).unwrap_or_else(|e| {
-            eprintln!("cannot save trace: {e}");
-            exit(2);
+            fail(format!("cannot save trace: {e}"));
         });
         println!("trace saved to {path}");
     }

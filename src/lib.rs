@@ -25,7 +25,12 @@
 //!   exact static OPT, exact tiny dynamic OPT, interval-based `OPT_R`,
 //!   the Lemma 3.4 well-behaved strategy, lower-bound adversaries;
 //! * [`baselines`](rdbp_baselines) — the straw men: never-move, greedy
-//!   swapping, component-growing deterministic repartitioners.
+//!   swapping, component-growing deterministic repartitioners;
+//! * [`engine`](rdbp_engine) — the scenario engine: serializable
+//!   [`Scenario`](rdbp_engine::Scenario) specs, algorithm/workload
+//!   registries, the [`ScenarioGrid`](rdbp_engine::ScenarioGrid)
+//!   multi-run executor, and streaming
+//!   [`Observer`](rdbp_model::Observer) hooks (DESIGN.md §7).
 //!
 //! ## Quickstart
 //!
@@ -52,6 +57,7 @@
 
 pub use rdbp_baselines as baselines;
 pub use rdbp_core as core;
+pub use rdbp_engine as engine;
 pub use rdbp_model as model;
 pub use rdbp_mts as mts;
 pub use rdbp_offline as offline;
@@ -62,10 +68,15 @@ pub mod prelude {
     pub use rdbp_baselines::{ComponentSweep, GreedySwap, NeverMove};
     pub use rdbp_core::staticmodel::HittingGame;
     pub use rdbp_core::{DynamicConfig, DynamicPartitioner, StaticConfig, StaticPartitioner};
+    pub use rdbp_engine::{
+        summarize, AlgorithmRegistry, AlgorithmSpec, AuditSpec, InstanceSpec, Registries, Scenario,
+        ScenarioGrid, SpecError, WorkloadRegistry, WorkloadSpec,
+    };
+    pub use rdbp_model::observers;
     pub use rdbp_model::workload;
     pub use rdbp_model::{
-        run, run_trace, AuditLevel, CostLedger, Edge, OnlineAlgorithm, Placement, Process,
-        RingInstance, RunReport, Segment, Server,
+        run, run_observed, run_trace, run_trace_observed, AuditLevel, CostLedger, Edge, Observer,
+        OnlineAlgorithm, Placement, Process, RingInstance, RunReport, Segment, Server, StepEvent,
     };
     pub use rdbp_mts::PolicyKind;
     pub use rdbp_offline::{dynamic_opt, interval_opt, static_opt, IntervalLayout};

@@ -47,11 +47,14 @@ impl From<Error> for std::io::Error {
 }
 
 /// Serializes `value` as compact JSON text.
-#[must_use]
-pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+///
+/// # Errors
+/// Never fails here, but keeps the real `serde_json` signature
+/// (`Result<String>`) so workspace code compiles against both.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
     write_value(&mut out, &value.to_value());
-    out
+    Ok(out)
 }
 
 /// Serializes `value` as JSON into `writer`.
@@ -59,7 +62,7 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
 /// # Errors
 /// Returns any I/O error from the writer.
 pub fn to_writer<W: Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<(), Error> {
-    writer.write_all(to_string(value).as_bytes())?;
+    writer.write_all(to_string(value)?.as_bytes())?;
     Ok(())
 }
 
@@ -372,19 +375,19 @@ mod tests {
 
     #[test]
     fn primitive_round_trips() {
-        let v: u64 = from_str(&to_string(&18_446_744_073_709_551_615u64)).unwrap();
+        let v: u64 = from_str(&to_string(&18_446_744_073_709_551_615u64).unwrap()).unwrap();
         assert_eq!(v, u64::MAX);
-        let f: f64 = from_str(&to_string(&1.5f64)).unwrap();
+        let f: f64 = from_str(&to_string(&1.5f64).unwrap()).unwrap();
         assert!((f - 1.5).abs() < 1e-12);
-        let s: String = from_str(&to_string("hé\"llo\n")).unwrap();
+        let s: String = from_str(&to_string("hé\"llo\n").unwrap()).unwrap();
         assert_eq!(s, "hé\"llo\n");
-        let xs: Vec<u32> = from_str(&to_string(&vec![1u32, 2, 3])).unwrap();
+        let xs: Vec<u32> = from_str(&to_string(&vec![1u32, 2, 3]).unwrap()).unwrap();
         assert_eq!(xs, vec![1, 2, 3]);
     }
 
     #[test]
     fn whole_floats_reparse_as_floats() {
-        let f: f64 = from_str(&to_string(&2.0f64)).unwrap();
+        let f: f64 = from_str(&to_string(&2.0f64).unwrap()).unwrap();
         assert!((f - 2.0).abs() < 1e-12);
     }
 
