@@ -1,6 +1,21 @@
 //! Baseline online algorithms on the ring.
 
+use serde::{DeError, Deserialize, Serialize, Value};
+
 use rdbp_model::{Edge, OnlineAlgorithm, Placement, Process, RingInstance};
+
+/// Parses a snapshot's placement and checks it belongs to `instance`.
+fn placement_field(state: &Value, instance: &RingInstance) -> Result<Placement, DeError> {
+    let placement = Placement::from_value(state.get_field("placement")?)?;
+    if placement.instance() != instance {
+        return Err(DeError(format!(
+            "snapshot instance {:?} != {:?}",
+            placement.instance(),
+            instance
+        )));
+    }
+    Ok(placement)
+}
 
 /// The lazy baseline: never migrate, pay every cut request.
 ///
@@ -38,6 +53,18 @@ impl OnlineAlgorithm for NeverMove {
 
     fn name(&self) -> &'static str {
         "never-move"
+    }
+
+    fn export_state(&self) -> Option<Value> {
+        Some(Value::Obj(vec![(
+            "placement".into(),
+            self.placement.to_value(),
+        )]))
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), DeError> {
+        self.placement = placement_field(state, self.placement.instance())?;
+        Ok(())
     }
 }
 
@@ -105,6 +132,30 @@ impl OnlineAlgorithm for GreedySwap {
 
     fn name(&self) -> &'static str {
         "greedy-swap"
+    }
+
+    fn export_state(&self) -> Option<Value> {
+        Some(Value::Obj(vec![
+            ("placement".into(), self.placement.to_value()),
+            ("last_touch".into(), self.last_touch.to_value()),
+            ("clock".into(), self.clock.to_value()),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), DeError> {
+        let placement = placement_field(state, self.placement.instance())?;
+        let last_touch = <Vec<u64> as Deserialize>::from_value(state.get_field("last_touch")?)?;
+        if last_touch.len() != self.last_touch.len() {
+            return Err(DeError(format!(
+                "last_touch has {} entries, expected {}",
+                last_touch.len(),
+                self.last_touch.len()
+            )));
+        }
+        self.clock = u64::from_value(state.get_field("clock")?)?;
+        self.placement = placement;
+        self.last_touch = last_touch;
+        Ok(())
     }
 }
 
@@ -232,6 +283,35 @@ impl OnlineAlgorithm for ComponentSweep {
 
     fn name(&self) -> &'static str {
         "component-sweep"
+    }
+
+    fn export_state(&self) -> Option<Value> {
+        Some(Value::Obj(vec![
+            ("placement".into(), self.placement.to_value()),
+            ("parent".into(), self.parent.to_value()),
+            ("size".into(), self.size.to_value()),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), DeError> {
+        let placement = placement_field(state, self.placement.instance())?;
+        let parent = <Vec<u32> as Deserialize>::from_value(state.get_field("parent")?)?;
+        let size = <Vec<u32> as Deserialize>::from_value(state.get_field("size")?)?;
+        let n = self.parent.len();
+        if parent.len() != n || size.len() != n {
+            return Err(DeError(format!(
+                "union-find arity {}/{} != {n}",
+                parent.len(),
+                size.len()
+            )));
+        }
+        if let Some(&p) = parent.iter().find(|&&p| p as usize >= n) {
+            return Err(DeError(format!("parent {p} out of range 0..{n}")));
+        }
+        self.placement = placement;
+        self.parent = parent;
+        self.size = size;
+        Ok(())
     }
 }
 

@@ -1,0 +1,97 @@
+//! **S1** — serve-path throughput: sustained requests/second through
+//! the `rdbp_serve::SessionManager` at 1, 4 and 16 concurrent
+//! sessions.
+//!
+//! One client thread per session submits fixed-size batches through
+//! the manager's sharded worker pool (the same path `rdbp-serve`
+//! drives, minus TCP), so this measures the serving subsystem itself:
+//! channel hops, per-session drivers, audit overhead. Run before/after
+//! server-path changes to keep a perf trajectory; the recorded
+//! baseline lives in `bench_results/s1_serve_throughput.csv`.
+
+use std::time::Instant;
+
+use rdbp_bench::{f3, full_profile, Table};
+use rdbp_engine::{AlgorithmSpec, AuditSpec, InstanceSpec, Scenario, WorkloadSpec};
+use rdbp_model::split_mix64;
+use rdbp_serve::{SessionManager, Work};
+
+fn scenario(seed: u64, audit: AuditSpec) -> Scenario {
+    let mut algorithm = AlgorithmSpec::named("dynamic");
+    algorithm.policy = Some("hedge".into());
+    let mut s = Scenario::new(
+        InstanceSpec::packed(8, 32),
+        algorithm,
+        WorkloadSpec::named("uniform"),
+        0,
+    );
+    s.seed = seed;
+    s.audit = audit;
+    s
+}
+
+/// Drives `sessions` concurrent sessions for `total` requests each;
+/// returns aggregate requests/second.
+fn measure(sessions: u64, total: u64, batch: u64, audit: AuditSpec) -> f64 {
+    let manager = SessionManager::with_default_workers();
+    let ids: Vec<u64> = (0..sessions)
+        .map(|i| {
+            manager
+                .create(scenario(split_mix64(i), audit))
+                .expect("create session")
+                .id
+        })
+        .collect();
+    let start = Instant::now();
+    crossbeam::thread::scope(|scope| {
+        for &id in &ids {
+            let manager = &manager;
+            scope.spawn(move |_| {
+                let mut left = total;
+                while left > 0 {
+                    let take = left.min(batch);
+                    manager.submit(id, Work::Generate(take)).expect("submit");
+                    left -= take;
+                }
+            });
+        }
+    })
+    .expect("session threads");
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = manager.shutdown();
+    assert_eq!(stats.total_served, sessions * total);
+    assert_eq!(stats.total_violations, 0, "audited runs must stay clean");
+    (sessions * total) as f64 / elapsed
+}
+
+fn main() {
+    let (per_session, batch) = if full_profile() {
+        (200_000u64, 1_000u64)
+    } else {
+        (20_000u64, 500u64)
+    };
+    let mut table = Table::new(
+        "S1 — serve-path throughput (dynamic×uniform, ℓ=8 k=32)",
+        &[
+            "sessions",
+            "requests",
+            "audit=none req/s",
+            "audit=full req/s",
+        ],
+    );
+    for sessions in [1u64, 4, 16] {
+        // Warm-up pass so thread-pool spin-up is off the books.
+        let _ = measure(sessions, per_session / 10, batch, AuditSpec::None);
+        let unaudited = measure(sessions, per_session, batch, AuditSpec::None);
+        let audited = measure(sessions, per_session, batch, AuditSpec::Full);
+        table.row(vec![
+            sessions.to_string(),
+            (sessions * per_session).to_string(),
+            f3(unaudited),
+            f3(audited),
+        ]);
+    }
+    table.print();
+    table.write_csv("s1_serve_throughput");
+    println!("\nNote: run with --release for meaningful numbers.");
+}

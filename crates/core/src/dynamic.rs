@@ -27,6 +27,7 @@
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 use rdbp_model::{Edge, OnlineAlgorithm, Placement, RingInstance, Server};
 use rdbp_mts::{MtsPolicy, PolicyKind};
@@ -387,6 +388,107 @@ impl OnlineAlgorithm for DynamicPartitioner {
 
     fn name(&self) -> &'static str {
         "dynamic-partitioner"
+    }
+
+    // Geometry (`k′`, `ℓ′`) is construction-derived; everything the
+    // construction randomizes (the shift) or mutates afterwards (cut
+    // states, placement, proxy costs, per-interval MTS policies) is
+    // captured, so restoring into a same-config instance resumes
+    // bit-identically even though the fresh instance drew its own
+    // shift.
+    fn export_state(&self) -> Option<Value> {
+        let policies: Option<Vec<Value>> = self.policies.iter().map(|p| p.export_state()).collect();
+        Some(Value::Obj(vec![
+            ("shift".into(), self.shift.to_value()),
+            ("cut_state".into(), self.cut_state.to_value()),
+            ("placement".into(), self.placement.to_value()),
+            ("interval_hit".into(), self.interval_hit.to_value()),
+            ("interval_move".into(), self.interval_move.to_value()),
+            ("setup_migrations".into(), self.setup_migrations.to_value()),
+            ("policies".into(), Value::Arr(policies?)),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), DeError> {
+        let shift = u32::from_value(state.get_field("shift")?)?;
+        if shift >= self.k_prime {
+            return Err(DeError(format!(
+                "shift {shift} out of range 0..{}",
+                self.k_prime
+            )));
+        }
+        let cut_state = <Vec<u32> as Deserialize>::from_value(state.get_field("cut_state")?)?;
+        if cut_state.len() != self.ell_prime as usize {
+            return Err(DeError(format!(
+                "cut_state has {} intervals, expected {}",
+                cut_state.len(),
+                self.ell_prime
+            )));
+        }
+        if let Some(&s) = cut_state.iter().find(|&&s| s >= self.k_prime) {
+            return Err(DeError(format!(
+                "cut state {s} out of range 0..{}",
+                self.k_prime
+            )));
+        }
+        let placement = Placement::from_value(state.get_field("placement")?)?;
+        if placement.instance() != &self.instance {
+            return Err(DeError(format!(
+                "snapshot instance {:?} != {:?}",
+                placement.instance(),
+                self.instance
+            )));
+        }
+        // Integrity: the placement must be exactly the slice mapping the
+        // cut states induce — a corrupt snapshot fails here instead of
+        // silently desynchronizing the incremental mapping.
+        let want = assignment_from_cuts(
+            self.instance.n(),
+            self.k_prime,
+            self.ell_prime,
+            shift,
+            &cut_state,
+        );
+        if placement.assignment() != &want[..] {
+            return Err(DeError(
+                "snapshot placement is inconsistent with its cut states".into(),
+            ));
+        }
+        let policies = match state.get_field("policies")? {
+            Value::Arr(items) => items,
+            other => return Err(DeError(format!("expected policy array, got {other:?}"))),
+        };
+        if policies.len() != self.policies.len() {
+            return Err(DeError(format!(
+                "snapshot has {} policies, expected {}",
+                policies.len(),
+                self.policies.len()
+            )));
+        }
+        let interval_hit = <Vec<u64> as Deserialize>::from_value(state.get_field("interval_hit")?)?;
+        let interval_move =
+            <Vec<u64> as Deserialize>::from_value(state.get_field("interval_move")?)?;
+        if interval_hit.len() != self.ell_prime as usize
+            || interval_move.len() != self.ell_prime as usize
+        {
+            return Err(DeError("interval cost arity mismatch".into()));
+        }
+        let setup_migrations = u64::from_value(state.get_field("setup_migrations")?)?;
+        // Top-level fields are parsed and validated before any mutation.
+        // The per-policy restores below mutate as they go, so an error
+        // partway through this loop leaves some policies restored and
+        // others not — per the trait contract, a failed restore means
+        // the instance must be discarded (Session::restore does).
+        for (policy, snap) in self.policies.iter_mut().zip(policies) {
+            policy.restore_state(snap)?;
+        }
+        self.shift = shift;
+        self.cut_state = cut_state;
+        self.placement = placement;
+        self.interval_hit = interval_hit;
+        self.interval_move = interval_move;
+        self.setup_migrations = setup_migrations;
+        Ok(())
     }
 }
 

@@ -9,17 +9,14 @@ use crate::registry::Registries;
 use crate::spec::{AuditSpec, Scenario, SpecError};
 
 /// Derives the workload's sub-seed from the scenario seed (one
-/// SplitMix64 step). The algorithm consumes the scenario seed
-/// directly; mixing the workload's keeps the two `StdRng` streams
-/// decoupled — an oblivious workload must not be correlated with the
-/// algorithm's random choices (the independence the Theorem 2.1
-/// guarantee is stated under).
+/// [`rdbp_model::split_mix64`] step). The algorithm consumes the
+/// scenario seed directly; mixing the workload's keeps the two
+/// `StdRng` streams decoupled — an oblivious workload must not be
+/// correlated with the algorithm's random choices (the independence
+/// the Theorem 2.1 guarantee is stated under).
 #[must_use]
 pub fn workload_seed(seed: u64) -> u64 {
-    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    rdbp_model::split_mix64(seed)
 }
 
 /// A scenario resolved into live objects, ready to execute. Produced
@@ -77,6 +74,32 @@ impl PreparedScenario {
     /// Same contract as [`rdbp_model::run_trace`].
     pub fn replay(mut self, requests: &[Edge], observer: &mut dyn Observer) -> RunReport {
         run_trace_observed(self.algorithm.as_mut(), requests, self.audit, observer)
+    }
+
+    /// Decomposes the resolution into its live parts — what a
+    /// long-lived session (the serve subsystem) owns instead of
+    /// running to completion: the instance, the boxed algorithm and
+    /// workload, the declared step budget, the concrete audit level,
+    /// and the algorithm's guaranteed load bound.
+    #[must_use]
+    pub fn into_parts(
+        self,
+    ) -> (
+        RingInstance,
+        Box<dyn OnlineAlgorithm>,
+        Box<dyn Workload>,
+        u64,
+        AuditLevel,
+        u32,
+    ) {
+        (
+            self.instance,
+            self.algorithm,
+            self.workload,
+            self.steps,
+            self.audit,
+            self.load_bound,
+        )
     }
 }
 

@@ -28,6 +28,7 @@ mod instance;
 mod ledger;
 pub mod observers;
 mod placement;
+pub mod seed;
 mod sim;
 pub mod trace;
 pub mod workload;
@@ -35,8 +36,9 @@ pub mod workload;
 pub use instance::{Edge, Process, RingInstance, Segment, Server};
 pub use ledger::CostLedger;
 pub use placement::Placement;
+pub use seed::split_mix64;
 pub use sim::{
-    run, run_observed, run_trace, run_trace_observed, AuditLevel, NoopObserver, Observer,
+    run, run_observed, run_trace, run_trace_observed, AuditLevel, Driver, NoopObserver, Observer,
     OnlineAlgorithm, RunReport, StepEvent,
 };
 pub use workload::Workload;

@@ -1,5 +1,7 @@
 //! Process→server assignments with incrementally maintained loads.
 
+use serde::{DeError, Deserialize, Serialize, Value};
+
 use crate::{Edge, Process, RingInstance, Segment, Server};
 
 /// An assignment of every process to a server, with server loads kept
@@ -150,6 +152,40 @@ impl Placement {
     #[must_use]
     pub fn assignment(&self) -> &[u32] {
         &self.servers_of
+    }
+}
+
+/// Placements serialize as `{instance, assignment}`; loads are
+/// recomputed on deserialization, and the assignment is re-validated
+/// against the instance (wrong length or out-of-range server indices
+/// are rejected instead of panicking).
+impl Serialize for Placement {
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("instance".into(), self.instance.to_value()),
+            ("assignment".into(), self.servers_of.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Placement {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let instance = RingInstance::from_value(v.get_field("instance")?)?;
+        let servers_of = <Vec<u32> as Deserialize>::from_value(v.get_field("assignment")?)?;
+        if servers_of.len() != instance.n() as usize {
+            return Err(DeError(format!(
+                "assignment length {} != n={}",
+                servers_of.len(),
+                instance.n()
+            )));
+        }
+        if let Some(&s) = servers_of.iter().find(|&&s| s >= instance.servers()) {
+            return Err(DeError(format!(
+                "server index {s} out of range 0..{}",
+                instance.servers()
+            )));
+        }
+        Ok(Self::from_assignment(&instance, servers_of))
     }
 }
 

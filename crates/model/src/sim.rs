@@ -12,7 +12,7 @@
 //!    placement diff,
 //! 4. audits the capacity constraint `max load ≤ limit`.
 
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 use crate::workload::Workload;
 use crate::{CostLedger, Edge, Placement};
@@ -34,6 +34,36 @@ pub trait OnlineAlgorithm {
     /// Human-readable name (for reports).
     fn name(&self) -> &'static str {
         "online"
+    }
+
+    /// Exports a serializable snapshot of every piece of mutable state,
+    /// or `None` if the algorithm does not support checkpointing.
+    ///
+    /// The contract (shared with [`Workload::export_state`]): restoring
+    /// the snapshot into a *freshly constructed* instance — same
+    /// instance, same configuration, same seed — via
+    /// [`Self::restore_state`] must make every subsequent `serve` call
+    /// behave bit-identically to the instance the snapshot was taken
+    /// from. Construction-time randomness (e.g. a random shift) need
+    /// not be captured separately as long as the snapshot overwrites
+    /// everything it influenced.
+    fn export_state(&self) -> Option<Value> {
+        None
+    }
+
+    /// Restores a snapshot produced by [`Self::export_state`] on an
+    /// identically-configured instance.
+    ///
+    /// # Errors
+    /// Returns a [`DeError`] if the algorithm does not support
+    /// checkpointing or the snapshot does not fit this instance. On
+    /// error the instance may have been partially updated and must be
+    /// discarded — restore into a freshly constructed instance.
+    fn restore_state(&mut self, _state: &Value) -> Result<(), DeError> {
+        Err(DeError(format!(
+            "algorithm `{}` does not support snapshot/restore",
+            self.name()
+        )))
     }
 }
 
@@ -171,21 +201,11 @@ where
     A: OnlineAlgorithm + ?Sized,
     W: Workload + ?Sized,
 {
-    let mut report = RunReport::new(algorithm.name(), workload.name());
-    let mut before: Option<Placement> = None;
+    let mut driver = Driver::new(algorithm.name(), workload.name(), audit);
     for _ in 0..steps {
-        let request = workload.next_request(algorithm.placement());
-        step(
-            algorithm,
-            request,
-            audit,
-            &mut report,
-            &mut before,
-            observer,
-        );
+        driver.step_generated(algorithm, workload, observer);
     }
-    observer.on_finish(&report);
-    report
+    driver.finish(observer)
 }
 
 /// Replays a fixed request trace against `algorithm`.
@@ -213,75 +233,158 @@ pub fn run_trace_observed<A>(
 where
     A: OnlineAlgorithm + ?Sized,
 {
-    let mut report = RunReport::new(algorithm.name(), "trace");
-    let mut before: Option<Placement> = None;
+    let mut driver = Driver::new(algorithm.name(), "trace", audit);
     for &request in requests {
-        step(
-            algorithm,
-            request,
-            audit,
-            &mut report,
-            &mut before,
-            observer,
-        );
+        driver.step(algorithm, request, observer);
     }
-    observer.on_finish(&report);
-    report
+    driver.finish(observer)
 }
 
-fn step<A>(
-    algorithm: &mut A,
-    request: Edge,
+/// The incremental driver: the referee state of a run in flight.
+///
+/// [`run_observed`] and [`run_trace_observed`] are thin loops over
+/// this; long-lived callers (the serve subsystem's sessions) hold a
+/// `Driver` open and feed it requests as they arrive. Cost charging and
+/// auditing are identical in both shapes — a run assembled from any
+/// interleaving of [`Driver::step`] calls produces the same
+/// [`RunReport`] as the equivalent batch run.
+///
+/// A driver can also be [resumed](Driver::resume) from a persisted
+/// [`RunReport`], which continues the accounting exactly where the
+/// report left off (the snapshot/restore path).
+#[derive(Debug, Clone)]
+pub struct Driver {
+    report: RunReport,
     audit: AuditLevel,
-    report: &mut RunReport,
-    scratch: &mut Option<Placement>,
-    observer: &mut dyn Observer,
-) where
-    A: OnlineAlgorithm + ?Sized,
-{
-    let charged = algorithm.placement().is_cut(request);
-    if charged {
-        report.ledger.communication += 1;
-    }
-    if let AuditLevel::Full { .. } = audit {
-        // Reuse the scratch placement to avoid an allocation per step.
-        match scratch {
-            Some(prev) => prev.clone_from(algorithm.placement()),
-            None => *scratch = Some(algorithm.placement().clone()),
-        }
-    }
-    let step_index = report.steps;
-    let reported = algorithm.serve(request);
-    report.ledger.migration += reported;
-    report.steps += 1;
+    /// Scratch placement reused across steps to avoid an allocation per
+    /// step under full auditing. Pure cache — never part of a snapshot.
+    scratch: Option<Placement>,
+}
 
-    let max_load = algorithm.placement().max_load();
-    report.max_load_seen = report.max_load_seen.max(max_load);
-
-    let mut violated = false;
-    if let AuditLevel::Full { load_limit } = audit {
-        let actual = scratch
-            .as_ref()
-            .expect("scratch placement set above")
-            .migration_distance(algorithm.placement());
-        assert!(
-            reported >= actual,
-            "algorithm under-reported migrations: reported {reported}, actual {actual}"
-        );
-        if max_load > load_limit {
-            report.capacity_violations += 1;
-            violated = true;
+impl Driver {
+    /// A fresh driver for the named algorithm × workload pair.
+    #[must_use]
+    pub fn new(
+        algorithm: impl Into<String>,
+        workload: impl Into<String>,
+        audit: AuditLevel,
+    ) -> Self {
+        Self {
+            report: RunReport::new(algorithm, workload),
+            audit,
+            scratch: None,
         }
     }
 
-    observer.on_step(&StepEvent {
-        step: step_index,
-        request,
-        charged,
-        migrations: reported,
-        max_load,
-        violated,
-    });
+    /// Resumes accounting from a mid-run report (snapshot restore).
+    #[must_use]
+    pub fn resume(report: RunReport, audit: AuditLevel) -> Self {
+        Self {
+            report,
+            audit,
+            scratch: None,
+        }
+    }
+
+    /// The audit level every step runs under.
+    #[must_use]
+    pub fn audit(&self) -> AuditLevel {
+        self.audit
+    }
+
+    /// The accumulated report so far.
+    #[must_use]
+    pub fn report(&self) -> &RunReport {
+        &self.report
+    }
+
+    /// Draws the next request from `workload` and serves it.
+    ///
+    /// # Panics
+    /// Same contract as [`run`].
+    pub fn step_generated<A, W>(
+        &mut self,
+        algorithm: &mut A,
+        workload: &mut W,
+        observer: &mut dyn Observer,
+    ) -> StepEvent
+    where
+        A: OnlineAlgorithm + ?Sized,
+        W: Workload + ?Sized,
+    {
+        let request = workload.next_request(algorithm.placement());
+        self.step(algorithm, request, observer)
+    }
+
+    /// Serves one request: charges communication from the current
+    /// placement, lets the algorithm react, charges reported
+    /// migrations, audits, and emits the [`StepEvent`].
+    ///
+    /// # Panics
+    /// Same contract as [`run`].
+    pub fn step<A>(
+        &mut self,
+        algorithm: &mut A,
+        request: Edge,
+        observer: &mut dyn Observer,
+    ) -> StepEvent
+    where
+        A: OnlineAlgorithm + ?Sized,
+    {
+        let charged = algorithm.placement().is_cut(request);
+        if charged {
+            self.report.ledger.communication += 1;
+        }
+        if let AuditLevel::Full { .. } = self.audit {
+            // Reuse the scratch placement to avoid an allocation per step.
+            match &mut self.scratch {
+                Some(prev) => prev.clone_from(algorithm.placement()),
+                None => self.scratch = Some(algorithm.placement().clone()),
+            }
+        }
+        let step_index = self.report.steps;
+        let reported = algorithm.serve(request);
+        self.report.ledger.migration += reported;
+        self.report.steps += 1;
+
+        let max_load = algorithm.placement().max_load();
+        self.report.max_load_seen = self.report.max_load_seen.max(max_load);
+
+        let mut violated = false;
+        if let AuditLevel::Full { load_limit } = self.audit {
+            let actual = self
+                .scratch
+                .as_ref()
+                .expect("scratch placement set above")
+                .migration_distance(algorithm.placement());
+            assert!(
+                reported >= actual,
+                "algorithm under-reported migrations: reported {reported}, actual {actual}"
+            );
+            if max_load > load_limit {
+                self.report.capacity_violations += 1;
+                violated = true;
+            }
+        }
+
+        let event = StepEvent {
+            step: step_index,
+            request,
+            charged,
+            migrations: reported,
+            max_load,
+            violated,
+        };
+        observer.on_step(&event);
+        event
+    }
+
+    /// Ends the run: emits `on_finish` and yields the final report.
+    #[must_use]
+    pub fn finish(self, observer: &mut dyn Observer) -> RunReport {
+        observer.on_finish(&self.report);
+        self.report
+    }
 }
 
 #[cfg(test)]

@@ -11,7 +11,9 @@
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use serde::{DeError, Deserialize, Serialize, Value};
 
+use crate::seed::{rng_from_value, rng_to_value};
 use crate::{Edge, Placement, RingInstance};
 
 /// A source of communication requests on the ring.
@@ -22,6 +24,34 @@ pub trait Workload {
 
     /// Human-readable name (for reports).
     fn name(&self) -> &'static str;
+
+    /// Exports a serializable snapshot of all mutable state, or `None`
+    /// if the workload does not support checkpointing. Same contract as
+    /// [`crate::OnlineAlgorithm::export_state`]: restoring into a
+    /// freshly constructed (same parameters, same seed) instance must
+    /// continue the request stream bit-identically.
+    fn export_state(&self) -> Option<Value> {
+        None
+    }
+
+    /// Restores a snapshot produced by [`Self::export_state`] on an
+    /// identically-configured instance.
+    ///
+    /// # Errors
+    /// Returns a [`DeError`] if the workload does not support
+    /// checkpointing or the snapshot does not fit.
+    fn restore_state(&mut self, _state: &Value) -> Result<(), DeError> {
+        Err(DeError(format!(
+            "workload `{}` does not support snapshot/restore",
+            self.name()
+        )))
+    }
+}
+
+/// Shorthand for the `{field: value}` objects the workload snapshots
+/// are built from.
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
 }
 
 /// Deterministic ring-allreduce traffic: request edge `t mod n` at step
@@ -50,6 +80,15 @@ impl Workload for Sequential {
     fn name(&self) -> &'static str {
         "allreduce"
     }
+
+    fn export_state(&self) -> Option<Value> {
+        Some(obj(vec![("t", self.t.to_value())]))
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), DeError> {
+        self.t = u64::from_value(state.get_field("t")?)?;
+        Ok(())
+    }
 }
 
 /// Uniformly random edges.
@@ -76,6 +115,15 @@ impl Workload for UniformRandom {
 
     fn name(&self) -> &'static str {
         "uniform"
+    }
+
+    fn export_state(&self) -> Option<Value> {
+        Some(obj(vec![("rng", rng_to_value(&self.rng))]))
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), DeError> {
+        self.rng = rng_from_value(state.get_field("rng")?)?;
+        Ok(())
     }
 }
 
@@ -135,6 +183,18 @@ impl Workload for Zipf {
     fn name(&self) -> &'static str {
         "zipf"
     }
+
+    // The cdf and rank permutation are construction-derived (same
+    // parameters + seed ⇒ identical tables), so only the RNG position
+    // is live state.
+    fn export_state(&self) -> Option<Value> {
+        Some(obj(vec![("rng", rng_to_value(&self.rng))]))
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), DeError> {
+        self.rng = rng_from_value(state.get_field("rng")?)?;
+        Ok(())
+    }
 }
 
 /// A hot window of `width` consecutive edges; requests are uniform
@@ -177,6 +237,19 @@ impl Workload for SlidingWindow {
 
     fn name(&self) -> &'static str {
         "sliding-window"
+    }
+
+    fn export_state(&self) -> Option<Value> {
+        Some(obj(vec![
+            ("rng", rng_to_value(&self.rng)),
+            ("t", self.t.to_value()),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), DeError> {
+        self.rng = rng_from_value(state.get_field("rng")?)?;
+        self.t = u64::from_value(state.get_field("t")?)?;
+        Ok(())
     }
 }
 
@@ -226,6 +299,19 @@ impl Workload for RotatingHotspot {
     fn name(&self) -> &'static str {
         "rotating-hotspot"
     }
+
+    fn export_state(&self) -> Option<Value> {
+        Some(obj(vec![
+            ("rng", rng_to_value(&self.rng)),
+            ("t", self.t.to_value()),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), DeError> {
+        self.rng = rng_from_value(state.get_field("rng")?)?;
+        self.t = u64::from_value(state.get_field("t")?)?;
+        Ok(())
+    }
 }
 
 /// Geometric bursts: keep requesting the same edge with probability
@@ -271,6 +357,20 @@ impl Workload for Bursty {
     fn name(&self) -> &'static str {
         "bursty"
     }
+
+    fn export_state(&self) -> Option<Value> {
+        Some(obj(vec![
+            ("rng", rng_to_value(&self.rng)),
+            ("current", self.current.map(|e| e.0).to_value()),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), DeError> {
+        self.rng = rng_from_value(state.get_field("rng")?)?;
+        self.current =
+            <Option<u32> as Deserialize>::from_value(state.get_field("current")?)?.map(Edge);
+        Ok(())
+    }
 }
 
 /// The requested edge performs a lazy ±1 random walk on the ring.
@@ -305,6 +405,19 @@ impl Workload for RandomWalk {
 
     fn name(&self) -> &'static str {
         "random-walk"
+    }
+
+    fn export_state(&self) -> Option<Value> {
+        Some(obj(vec![
+            ("rng", rng_to_value(&self.rng)),
+            ("position", self.position.to_value()),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), DeError> {
+        self.rng = rng_from_value(state.get_field("rng")?)?;
+        self.position = u64::from_value(state.get_field("position")?)?;
+        Ok(())
     }
 }
 
@@ -345,6 +458,15 @@ impl Workload for CutChaser {
     fn name(&self) -> &'static str {
         "cut-chaser"
     }
+
+    fn export_state(&self) -> Option<Value> {
+        Some(obj(vec![("cursor", self.cursor.to_value())]))
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), DeError> {
+        self.cursor = u32::from_value(state.get_field("cursor")?)?;
+        Ok(())
+    }
 }
 
 /// Replays a fixed request vector, cycling when exhausted.
@@ -375,6 +497,17 @@ impl Workload for Replay {
 
     fn name(&self) -> &'static str {
         "replay"
+    }
+
+    // The request vector is a construction parameter; only the cursor
+    // is live state.
+    fn export_state(&self) -> Option<Value> {
+        Some(obj(vec![("t", self.t.to_value())]))
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), DeError> {
+        self.t = usize::from_value(state.get_field("t")?)?;
+        Ok(())
     }
 }
 

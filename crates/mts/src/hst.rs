@@ -29,7 +29,9 @@ use rand::{RngExt, SeedableRng};
 
 use rdbp_smin::{Distribution, QuantileCoupling};
 
-use crate::policy::{validate_costs, MtsPolicy};
+use serde::{DeError, Deserialize, Serialize, Value};
+
+use crate::policy::{coupling_from_value, coupling_to_value, validate_costs, MtsPolicy};
 
 /// One internal node of the dyadic hierarchy over `[lo, hi)`.
 #[derive(Debug, Clone)]
@@ -276,6 +278,44 @@ impl MtsPolicy for HstHedge {
 
     fn name(&self) -> &'static str {
         "hst-hedge"
+    }
+
+    // The tree topology is construction-derived from `num_states`;
+    // only each node's Hedge weights and phase accumulators are live
+    // state (stored flat in arena order), plus the coupling and RNG.
+    fn export_state(&self) -> Option<Value> {
+        let log_w: Vec<Vec<f64>> = self.nodes.iter().map(|n| n.log_w.to_vec()).collect();
+        let phase: Vec<Vec<f64>> = self.nodes.iter().map(|n| n.phase_cost.to_vec()).collect();
+        Some(Value::Obj(vec![
+            ("log_w".into(), log_w.to_value()),
+            ("phase_cost".into(), phase.to_value()),
+            ("coupling".into(), coupling_to_value(&self.coupling)),
+            ("rng".into(), self.rng.to_value()),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), DeError> {
+        let log_w = <Vec<Vec<f64>> as Deserialize>::from_value(state.get_field("log_w")?)?;
+        let phase = <Vec<Vec<f64>> as Deserialize>::from_value(state.get_field("phase_cost")?)?;
+        if log_w.len() != self.nodes.len() || phase.len() != self.nodes.len() {
+            return Err(DeError(format!(
+                "node count mismatch: snapshot has {}/{} nodes, tree has {}",
+                log_w.len(),
+                phase.len(),
+                self.nodes.len()
+            )));
+        }
+        if log_w.iter().chain(&phase).any(|pair| pair.len() != 2) {
+            return Err(DeError("per-node state must have 2 entries".into()));
+        }
+        let coupling = coupling_from_value(state.get_field("coupling")?, self.num_states)?;
+        self.rng = StdRng::from_value(state.get_field("rng")?)?;
+        self.coupling = coupling;
+        for (node, (w, p)) in self.nodes.iter_mut().zip(log_w.iter().zip(&phase)) {
+            node.log_w = [w[0], w[1]];
+            node.phase_cost = [p[0], p[1]];
+        }
+        Ok(())
     }
 }
 

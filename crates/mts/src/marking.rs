@@ -8,6 +8,8 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
+use serde::{DeError, Deserialize, Serialize, Value};
+
 use crate::policy::{validate_costs, MtsPolicy};
 
 /// Phase-based randomized marking for MTS on the **uniform** metric
@@ -98,6 +100,35 @@ impl MtsPolicy for Marking {
 
     fn name(&self) -> &'static str {
         "marking"
+    }
+
+    fn export_state(&self) -> Option<Value> {
+        Some(Value::Obj(vec![
+            ("phase_cost".into(), self.phase_cost.to_value()),
+            ("state".into(), self.state.to_value()),
+            ("rng".into(), self.rng.to_value()),
+            ("moves".into(), self.moves.to_value()),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), DeError> {
+        let phase = <Vec<f64> as Deserialize>::from_value(state.get_field("phase_cost")?)?;
+        let s = usize::from_value(state.get_field("state")?)?;
+        if phase.len() != self.phase_cost.len() {
+            return Err(DeError(format!(
+                "phase cost arity {} != {}",
+                phase.len(),
+                self.phase_cost.len()
+            )));
+        }
+        if s >= phase.len() {
+            return Err(DeError(format!("state {s} out of range")));
+        }
+        self.rng = StdRng::from_value(state.get_field("rng")?)?;
+        self.moves = u64::from_value(state.get_field("moves")?)?;
+        self.phase_cost = phase;
+        self.state = s;
+        Ok(())
     }
 }
 

@@ -1,5 +1,7 @@
 //! The policy interface and the MTS cost model.
 
+use serde::{DeError, Value};
+
 /// An online policy for a metrical task system on the **line metric**
 /// with states `0..num_states` and `d(i,j) = |i−j|`.
 ///
@@ -23,6 +25,54 @@ pub trait MtsPolicy {
 
     /// Human-readable name (for reports).
     fn name(&self) -> &'static str;
+
+    /// Exports a serializable snapshot of all mutable state, or `None`
+    /// if the policy does not support checkpointing. Restoring the
+    /// snapshot into a freshly built (same `num_states`/`initial`/
+    /// `seed`) policy must continue the `serve` stream bit-identically —
+    /// the contract higher layers (the serve subsystem's
+    /// snapshot/restore) are built on.
+    fn export_state(&self) -> Option<Value> {
+        None
+    }
+
+    /// Restores a snapshot produced by [`Self::export_state`] on an
+    /// identically-configured policy.
+    ///
+    /// # Errors
+    /// Returns a [`DeError`] if the policy does not support
+    /// checkpointing or the snapshot does not fit.
+    fn restore_state(&mut self, _state: &Value) -> Result<(), DeError> {
+        Err(DeError(format!(
+            "policy `{}` does not support snapshot/restore",
+            self.name()
+        )))
+    }
+}
+
+/// Serializes a [`rdbp_smin::QuantileCoupling`] as `[u, state, moved]`.
+#[must_use]
+pub(crate) fn coupling_to_value(c: &rdbp_smin::QuantileCoupling) -> Value {
+    use serde::Serialize;
+    (c.u(), c.state(), c.distance_moved()).to_value()
+}
+
+/// Restores a [`rdbp_smin::QuantileCoupling`] from
+/// [`coupling_to_value`] output, validating the state range.
+pub(crate) fn coupling_from_value(
+    v: &Value,
+    num_states: usize,
+) -> Result<rdbp_smin::QuantileCoupling, DeError> {
+    let (u, state, moved) = <(f64, usize, u64) as serde::Deserialize>::from_value(v)?;
+    if !(0.0..=1.0).contains(&u) {
+        return Err(DeError(format!("coupling u {u} outside [0,1]")));
+    }
+    if state >= num_states {
+        return Err(DeError(format!(
+            "coupling state {state} out of range 0..{num_states}"
+        )));
+    }
+    Ok(rdbp_smin::QuantileCoupling::from_parts(u, state, moved))
 }
 
 /// Which MTS policy to instantiate inside higher-level algorithms.

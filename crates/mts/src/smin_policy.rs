@@ -5,7 +5,9 @@ use rand::{RngExt, SeedableRng};
 
 use rdbp_smin::{grad_smin_scaled, Distribution, QuantileCoupling};
 
-use crate::policy::{validate_costs, MtsPolicy};
+use serde::{DeError, Deserialize, Serialize, Value};
+
+use crate::policy::{coupling_from_value, coupling_to_value, validate_costs, MtsPolicy};
 
 /// Randomized policy that maintains the distribution
 /// `p⁽ᵗ⁾ = ∇smin_c(x⁽ᵗ⁾)` over cumulative state costs `x⁽ᵗ⁾` and plays
@@ -105,6 +107,29 @@ impl MtsPolicy for SminGradient {
 
     fn name(&self) -> &'static str {
         "smin-gradient"
+    }
+
+    fn export_state(&self) -> Option<Value> {
+        Some(Value::Obj(vec![
+            ("x".into(), self.x.to_value()),
+            ("coupling".into(), coupling_to_value(&self.coupling)),
+            ("rng".into(), self.rng.to_value()),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), DeError> {
+        let x = <Vec<f64> as Deserialize>::from_value(state.get_field("x")?)?;
+        if x.len() != self.x.len() {
+            return Err(DeError(format!(
+                "cumulative cost arity {} != {}",
+                x.len(),
+                self.x.len()
+            )));
+        }
+        self.coupling = coupling_from_value(state.get_field("coupling")?, self.x.len())?;
+        self.rng = StdRng::from_value(state.get_field("rng")?)?;
+        self.x = x;
+        Ok(())
     }
 }
 

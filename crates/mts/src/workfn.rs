@@ -1,5 +1,7 @@
 //! The deterministic work-function algorithm on the line.
 
+use serde::{DeError, Deserialize, Serialize, Value};
+
 use crate::policy::{validate_costs, MtsPolicy};
 
 /// Work-function algorithm (Borodin–Linial–Saks \[21\]), specialized to
@@ -105,6 +107,31 @@ impl MtsPolicy for WorkFunction {
 
     fn name(&self) -> &'static str {
         "work-function"
+    }
+
+    fn export_state(&self) -> Option<Value> {
+        Some(Value::Obj(vec![
+            ("w".into(), self.w.to_value()),
+            ("state".into(), self.state.to_value()),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), DeError> {
+        let w = <Vec<f64> as Deserialize>::from_value(state.get_field("w")?)?;
+        let s = usize::from_value(state.get_field("state")?)?;
+        if w.len() != self.w.len() {
+            return Err(DeError(format!(
+                "work function arity {} != {}",
+                w.len(),
+                self.w.len()
+            )));
+        }
+        if s >= self.w.len() {
+            return Err(DeError(format!("state {s} out of range")));
+        }
+        self.w = w;
+        self.state = s;
+        Ok(())
     }
 }
 

@@ -1,0 +1,289 @@
+//! `rdbp-load` — load generator for `rdbp-serve`.
+//!
+//! ```text
+//! rdbp-load --addr 127.0.0.1:4117 --sessions 8 --batches 40 --batch-size 250
+//! ```
+//!
+//! Drives `N` concurrent sessions (one connection + one thread each)
+//! from registry workloads: every thread creates a session from the
+//! flag-built scenario (per-session seeds mixed with
+//! `rdbp_model::split_mix64`, so streams are decoupled), submits
+//! `batches × batch-size` requests, queries the final report, and
+//! closes. The process reports aggregate throughput, per-batch latency
+//! percentiles, and total audit violations; the exit code is nonzero
+//! if any request failed or any capacity violation was observed —
+//! which is exactly what the CI smoke job asserts.
+
+use std::net::SocketAddr;
+use std::process::exit;
+use std::time::Instant;
+
+use rdbp_engine::{AlgorithmSpec, InstanceSpec, Scenario, WorkloadSpec};
+use rdbp_model::split_mix64;
+use rdbp_serve::{Client, Request, Response, Work};
+
+struct Config {
+    addr: String,
+    sessions: u64,
+    batches: u64,
+    batch_size: u64,
+    servers: u32,
+    capacity: u32,
+    algorithm: String,
+    workload: String,
+    epsilon: f64,
+    policy: String,
+    seed: u64,
+    audit: bool,
+    shutdown: bool,
+    json: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:4117".into(),
+            sessions: 4,
+            batches: 20,
+            batch_size: 250,
+            servers: 4,
+            capacity: 16,
+            algorithm: "dynamic".into(),
+            workload: "uniform".into(),
+            epsilon: 0.5,
+            policy: "hedge".into(),
+            seed: 0,
+            audit: true,
+            shutdown: false,
+            json: false,
+        }
+    }
+}
+
+fn fail(err: impl std::fmt::Display) -> ! {
+    eprintln!("rdbp-load: {err}");
+    exit(2)
+}
+
+fn print_help() {
+    println!(
+        "rdbp-load — load generator for rdbp-serve\n\n\
+         USAGE: rdbp-load [FLAGS]\n\n\
+         --addr H:P       server address (default 127.0.0.1:4117)\n\
+         --sessions N     concurrent sessions, one connection each (default 4)\n\
+         --batches N      submissions per session (default 20)\n\
+         --batch-size N   requests per submission (default 250)\n\
+         --servers N      scenario: servers ℓ (default 4)\n\
+         --capacity N     scenario: capacity k (default 16)\n\
+         --algorithm A    scenario: algorithm key (default dynamic)\n\
+         --workload W     scenario: workload key (default uniform)\n\
+         --epsilon X      scenario: augmentation slack (default 0.5)\n\
+         --policy P       scenario: MTS policy for dynamic (default hedge)\n\
+         --seed N         base seed; session i uses split_mix64(seed ^ i) (default 0)\n\
+         --no-audit       run sessions without per-step auditing\n\
+         --shutdown       send a shutdown request when done\n\
+         --json           machine-readable summary on stdout\n\n\
+         Exit code: 0 clean, 1 on violations or request failures, 2 on usage errors."
+    );
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--help" => {
+                print_help();
+                exit(0);
+            }
+            "--no-audit" => cfg.audit = false,
+            "--shutdown" => cfg.shutdown = true,
+            "--json" => cfg.json = true,
+            name => {
+                let Some(value) = it.next() else {
+                    fail(format!("flag {name} needs a value"));
+                };
+                let bad = || -> ! { fail(format!("invalid value `{value}` for {name}")) };
+                match name {
+                    "--addr" => cfg.addr = value,
+                    "--sessions" => cfg.sessions = value.parse().unwrap_or_else(|_| bad()),
+                    "--batches" => cfg.batches = value.parse().unwrap_or_else(|_| bad()),
+                    "--batch-size" => cfg.batch_size = value.parse().unwrap_or_else(|_| bad()),
+                    "--servers" => cfg.servers = value.parse().unwrap_or_else(|_| bad()),
+                    "--capacity" => cfg.capacity = value.parse().unwrap_or_else(|_| bad()),
+                    "--algorithm" => cfg.algorithm = value,
+                    "--workload" => cfg.workload = value,
+                    "--epsilon" => cfg.epsilon = value.parse().unwrap_or_else(|_| bad()),
+                    "--policy" => cfg.policy = value,
+                    "--seed" => cfg.seed = value.parse().unwrap_or_else(|_| bad()),
+                    other => fail(format!("unknown flag `{other}` (try --help)")),
+                }
+            }
+        }
+    }
+    if cfg.sessions == 0 || cfg.batches == 0 || cfg.batch_size == 0 {
+        fail("sessions, batches and batch-size must be positive");
+    }
+    cfg
+}
+
+fn scenario_for(cfg: &Config, session_index: u64) -> Scenario {
+    let mut algorithm = AlgorithmSpec::named(cfg.algorithm.clone());
+    algorithm.epsilon = Some(cfg.epsilon);
+    algorithm.policy = Some(cfg.policy.clone());
+    let workload = WorkloadSpec::named(cfg.workload.clone());
+    let mut scenario = Scenario::new(
+        InstanceSpec::packed(cfg.servers, cfg.capacity),
+        algorithm,
+        workload,
+        cfg.batches * cfg.batch_size,
+    );
+    // Decorrelate per-session randomness from one base seed — the same
+    // mixing discipline the engine uses for its workload sub-seeds.
+    scenario.seed = split_mix64(cfg.seed ^ session_index);
+    scenario.audit = if cfg.audit {
+        rdbp_engine::AuditSpec::Full
+    } else {
+        rdbp_engine::AuditSpec::None
+    };
+    scenario
+}
+
+struct SessionOutcome {
+    served: u64,
+    total_cost: u64,
+    violations: u64,
+    /// Per-batch round-trip latencies in microseconds.
+    latencies_us: Vec<u64>,
+}
+
+fn drive_session(addr: SocketAddr, cfg: &Config, index: u64) -> Result<SessionOutcome, String> {
+    let err = |e: &dyn std::fmt::Display| format!("session {index}: {e}");
+    let mut client = Client::connect(addr).map_err(|e| err(&e))?;
+    let created = client
+        .call(&Request::Create {
+            scenario: Box::new(scenario_for(cfg, index)),
+        })
+        .map_err(|e| err(&e))?;
+    let Response::Created { info } = created else {
+        return Err(err(&format!("create failed: {created:?}")));
+    };
+    let mut latencies_us = Vec::with_capacity(cfg.batches as usize);
+    for _ in 0..cfg.batches {
+        let start = Instant::now();
+        let response = client
+            .call(&Request::Submit {
+                session: info.id,
+                work: Work::Generate(cfg.batch_size),
+            })
+            .map_err(|e| err(&e))?;
+        let elapsed = start.elapsed();
+        let Response::Submitted { .. } = response else {
+            return Err(err(&format!("submit failed: {response:?}")));
+        };
+        latencies_us.push(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+    }
+    let closed = client
+        .call(&Request::Close { session: info.id })
+        .map_err(|e| err(&e))?;
+    let Response::Closed { report, .. } = closed else {
+        return Err(err(&format!("close failed: {closed:?}")));
+    };
+    Ok(SessionOutcome {
+        served: report.steps,
+        total_cost: report.ledger.total(),
+        violations: report.capacity_violations,
+        latencies_us,
+    })
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let cfg = parse_args();
+    let addr: SocketAddr = cfg
+        .addr
+        .parse()
+        .unwrap_or_else(|_| fail(format!("invalid address `{}`", cfg.addr)));
+
+    let start = Instant::now();
+    let outcomes: Vec<Result<SessionOutcome, String>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.sessions)
+            .map(|i| {
+                let cfg = &cfg;
+                scope.spawn(move |_| drive_session(addr, cfg, i))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .unwrap_or_else(|_| fail("a session thread panicked"));
+    let wall = start.elapsed();
+
+    let mut served = 0u64;
+    let mut cost = 0u64;
+    let mut violations = 0u64;
+    let mut failures = 0u64;
+    let mut latencies: Vec<u64> = Vec::new();
+    for outcome in &outcomes {
+        match outcome {
+            Ok(o) => {
+                served += o.served;
+                cost += o.total_cost;
+                violations += o.violations;
+                latencies.extend_from_slice(&o.latencies_us);
+            }
+            Err(e) => {
+                eprintln!("rdbp-load: {e}");
+                failures += 1;
+            }
+        }
+    }
+    latencies.sort_unstable();
+    let secs = wall.as_secs_f64();
+    let throughput = if secs > 0.0 {
+        served as f64 / secs
+    } else {
+        0.0
+    };
+    let (p50, p90, p99) = (
+        percentile(&latencies, 50.0),
+        percentile(&latencies, 90.0),
+        percentile(&latencies, 99.0),
+    );
+
+    if cfg.shutdown {
+        match Client::connect(addr).and_then(|mut c| c.call(&Request::Shutdown)) {
+            Ok(Response::Bye) => {}
+            Ok(other) => eprintln!("rdbp-load: unexpected shutdown reply: {other:?}"),
+            Err(e) => eprintln!("rdbp-load: shutdown failed: {e}"),
+        }
+    }
+
+    if cfg.json {
+        println!(
+            "{{\"sessions\":{},\"served\":{served},\"seconds\":{secs:.3},\
+             \"req_per_sec\":{throughput:.1},\"total_cost\":{cost},\
+             \"violations\":{violations},\"failures\":{failures},\
+             \"latency_us\":{{\"p50\":{p50},\"p90\":{p90},\"p99\":{p99}}}}}",
+            cfg.sessions
+        );
+    } else {
+        println!(
+            "{} sessions × {} batches × {} requests ({} against {})",
+            cfg.sessions, cfg.batches, cfg.batch_size, cfg.workload, cfg.algorithm
+        );
+        println!("served {served} requests in {secs:.3}s → {throughput:.0} req/s");
+        println!("batch latency µs: p50={p50} p90={p90} p99={p99}");
+        println!("total cost {cost}, violations {violations}, failures {failures}");
+    }
+
+    if violations > 0 || failures > 0 {
+        exit(1);
+    }
+}

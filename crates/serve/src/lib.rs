@@ -1,0 +1,77 @@
+//! The serving subsystem: long-lived, concurrent partition sessions.
+//!
+//! Everything before this crate runs a [`rdbp_engine::Scenario`] as a
+//! batch — resolve, execute start-to-finish, report. This crate hosts
+//! the *online* operating model the paper actually describes (and the
+//! ROADMAP's north star requires): a server holding many concurrent
+//! partitioner sessions that ingest communication requests as they
+//! arrive, audited live, checkpointable, and restorable.
+//!
+//! Layers, bottom up:
+//!
+//! * [`Session`] — one scenario torn open: resolved algorithm +
+//!   workload + the incremental [`rdbp_model::Driver`], fed through
+//!   [`Session::submit`]. Snapshot/restore captures the spec, the
+//!   mid-run report and the algorithm's/workload's full mutable state;
+//!   restore-then-continue is **bit-identical** to an uninterrupted
+//!   run (pinned by property tests).
+//! * [`SessionManager`] — sessions sharded `id % workers` across a
+//!   worker-thread pool (vendored [`crossbeam`] channels +
+//!   [`parking_lot`] routing locks); per-session FIFO ordering,
+//!   cross-session parallelism, aggregate stats.
+//! * [`proto`] — the newline-delimited-JSON wire protocol (`create`,
+//!   `submit`, `query`, `snapshot`, `restore`, `close`, `stats`,
+//!   `ping`, `shutdown`), hand-written serde like the scenario specs.
+//! * [`server`] — the TCP front end (`rdbp-serve` binary) and the
+//!   blocking [`Client`] the `rdbp-load` load generator drives it
+//!   with.
+//!
+//! ```
+//! use rdbp_engine::{AlgorithmSpec, InstanceSpec, Registries, Scenario, WorkloadSpec};
+//! use rdbp_serve::Session;
+//!
+//! let spec = Scenario::new(
+//!     InstanceSpec::packed(4, 8),
+//!     AlgorithmSpec::named("dynamic"),
+//!     WorkloadSpec::named("zipf"),
+//!     0, // sessions are open-ended; steps arrive via submit
+//! );
+//! let registries = Registries::builtin();
+//! let mut session = Session::new(spec, &registries).unwrap();
+//! session.submit(250);
+//! let snapshot = session.snapshot().unwrap();
+//! session.submit(250);
+//! // A restored session continues exactly where the snapshot was taken.
+//! let mut resumed = Session::restore(&snapshot, &registries).unwrap();
+//! resumed.submit(250);
+//! assert_eq!(resumed.report(), session.report());
+//! ```
+
+pub mod manager;
+pub mod proto;
+pub mod server;
+pub mod session;
+
+pub use manager::{ManagerStats, SessionInfo, SessionManager, SessionStatus, Work, MAX_SUBMIT};
+pub use proto::{Request, Response};
+pub use server::{serve, Client};
+pub use session::{BatchSummary, Session, SNAPSHOT_VERSION};
+
+/// An error from the serving layer: spec resolution, snapshot
+/// round-trips, routing, or worker failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeError(pub String);
+
+impl core::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "serve error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<rdbp_engine::SpecError> for ServeError {
+    fn from(e: rdbp_engine::SpecError) -> Self {
+        ServeError(e.0)
+    }
+}

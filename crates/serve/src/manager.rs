@@ -1,0 +1,537 @@
+//! The multi-session manager: sessions sharded across a worker pool.
+//!
+//! A [`SessionManager`] owns `W` worker threads, each with its own FIFO
+//! queue ([`crossbeam::channel`]) and its own map of live sessions.
+//! Sessions are pinned to `worker = id % W` at creation, so every
+//! operation on one session flows through one queue — **per-session
+//! ordering is guaranteed** while different sessions proceed fully in
+//! parallel. Callers block on a per-request reply channel, which makes
+//! the public API synchronous and lets many connection threads drive
+//! the pool concurrently.
+//!
+//! The manager keeps only routing state ([`parking_lot::RwLock`] over
+//! the id → shard map) and aggregate counters; all partitioning state
+//! lives inside the workers, so no lock is ever held across a
+//! simulation step.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::RwLock;
+use serde::Value;
+
+use rdbp_engine::{Registries, Scenario};
+use rdbp_model::{Edge, RunReport};
+
+use crate::session::{BatchSummary, Session};
+use crate::ServeError;
+
+/// Upper bound on one submission (generated steps or replay length).
+///
+/// Submissions run to completion inside a worker, so this caps how
+/// long one request can occupy a shard: without it, a single
+/// `{"steps": u64::MAX}` line from any client would wedge its worker's
+/// FIFO queue — and the final `shutdown` join — forever. ~1M steps is
+/// a few seconds of worker time; clients stream larger runs as
+/// multiple batches (which is also what gives them progress feedback).
+pub const MAX_SUBMIT: u64 = 1_000_000;
+
+/// What a submission carries: a request count to generate from the
+/// session's workload, or an explicit request batch to replay.
+#[derive(Debug, Clone)]
+pub enum Work {
+    /// Serve this many workload-generated requests.
+    Generate(u64),
+    /// Serve exactly these requests.
+    Replay(Vec<Edge>),
+}
+
+/// Identity and provenance of a created (or restored) session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionInfo {
+    /// The session id all further operations use.
+    pub id: u64,
+    /// Trait-reported algorithm name.
+    pub algorithm: String,
+    /// Trait-reported workload name.
+    pub workload: String,
+    /// The load bound the resolved algorithm guarantees.
+    pub load_bound: u32,
+    /// Steps already served (nonzero when restored from a snapshot).
+    pub steps: u64,
+}
+
+/// A point-in-time view of one session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionStatus {
+    /// The session id.
+    pub id: u64,
+    /// The accumulated report so far.
+    pub report: RunReport,
+    /// The load bound the resolved algorithm guarantees.
+    pub load_bound: u32,
+}
+
+/// Aggregate counters across all workers and sessions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ManagerStats {
+    /// Sessions currently live.
+    pub open_sessions: u64,
+    /// Sessions ever created (including restores).
+    pub created: u64,
+    /// Requests served across all sessions, ever.
+    pub total_served: u64,
+    /// Capacity violations across all sessions, ever.
+    pub total_violations: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    created: AtomicU64,
+    closed: AtomicU64,
+    served: AtomicU64,
+    violations: AtomicU64,
+}
+
+enum Op {
+    Create {
+        id: u64,
+        scenario: Box<Scenario>,
+        reply: Sender<Result<SessionInfo, ServeError>>,
+    },
+    Restore {
+        id: u64,
+        snapshot: Box<Value>,
+        reply: Sender<Result<SessionInfo, ServeError>>,
+    },
+    Submit {
+        id: u64,
+        work: Work,
+        reply: Sender<Result<BatchSummary, ServeError>>,
+    },
+    Query {
+        id: u64,
+        reply: Sender<Result<SessionStatus, ServeError>>,
+    },
+    Snapshot {
+        id: u64,
+        reply: Sender<Result<Value, ServeError>>,
+    },
+    Close {
+        id: u64,
+        reply: Sender<Result<RunReport, ServeError>>,
+    },
+}
+
+/// The concurrent session pool. See the module docs for the sharding
+/// and ordering model.
+pub struct SessionManager {
+    queues: Vec<Sender<Op>>,
+    handles: Vec<JoinHandle<()>>,
+    next_id: AtomicU64,
+    shard_of: RwLock<HashMap<u64, usize>>,
+    counters: Arc<Counters>,
+}
+
+impl SessionManager {
+    /// Spawns a manager with `workers` worker threads resolving specs
+    /// through `registries`.
+    ///
+    /// # Panics
+    /// Panics if `workers == 0`.
+    #[must_use]
+    pub fn new(workers: usize, registries: Registries) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        let registries = Arc::new(registries);
+        let counters = Arc::new(Counters::default());
+        let mut queues = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (tx, rx) = unbounded::<Op>();
+            let regs = Arc::clone(&registries);
+            let stats = Arc::clone(&counters);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("rdbp-worker-{w}"))
+                    .spawn(move || worker_main(&rx, &regs, &stats))
+                    .expect("spawn worker thread"),
+            );
+            queues.push(tx);
+        }
+        Self {
+            queues,
+            handles,
+            next_id: AtomicU64::new(1),
+            shard_of: RwLock::new(HashMap::new()),
+            counters,
+        }
+    }
+
+    /// A manager with one worker per available core (capped at 8) and
+    /// the built-in registries.
+    #[must_use]
+    pub fn with_default_workers() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4)
+            .clamp(1, 8);
+        Self::new(workers, Registries::builtin())
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.queues.len()
+    }
+
+    fn route_new(&self, id: u64) -> &Sender<Op> {
+        let shard = (id % self.queues.len() as u64) as usize;
+        self.shard_of.write().insert(id, shard);
+        &self.queues[shard]
+    }
+
+    fn route(&self, id: u64) -> Result<&Sender<Op>, ServeError> {
+        let shard = self
+            .shard_of
+            .read()
+            .get(&id)
+            .copied()
+            .ok_or_else(|| ServeError(format!("unknown session {id}")))?;
+        Ok(&self.queues[shard])
+    }
+
+    fn ask<T>(
+        &self,
+        queue: &Sender<Op>,
+        make: impl FnOnce(Sender<Result<T, ServeError>>) -> Op,
+    ) -> Result<T, ServeError> {
+        let (tx, rx) = unbounded();
+        queue
+            .send(make(tx))
+            .map_err(|_| ServeError("session worker terminated".into()))?;
+        rx.recv()
+            .map_err(|_| ServeError("session worker terminated".into()))?
+    }
+
+    /// Creates a session from a scenario spec; returns its identity.
+    ///
+    /// # Errors
+    /// Returns a [`ServeError`] if the spec fails to resolve.
+    pub fn create(&self, scenario: Scenario) -> Result<SessionInfo, ServeError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let result = self.ask(self.route_new(id), |reply| Op::Create {
+            id,
+            scenario: Box::new(scenario),
+            reply,
+        });
+        if result.is_err() {
+            self.shard_of.write().remove(&id);
+        }
+        result
+    }
+
+    /// Restores a session from a [`Session::snapshot`] value under a
+    /// fresh id.
+    ///
+    /// # Errors
+    /// Returns a [`ServeError`] on any snapshot mismatch.
+    pub fn restore(&self, snapshot: Value) -> Result<SessionInfo, ServeError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let result = self.ask(self.route_new(id), |reply| Op::Restore {
+            id,
+            snapshot: Box::new(snapshot),
+            reply,
+        });
+        if result.is_err() {
+            self.shard_of.write().remove(&id);
+        }
+        result
+    }
+
+    /// Submits work to a session (FIFO-ordered per session).
+    ///
+    /// # Errors
+    /// Returns a [`ServeError`] for unknown sessions or submissions
+    /// larger than [`MAX_SUBMIT`].
+    pub fn submit(&self, id: u64, work: Work) -> Result<BatchSummary, ServeError> {
+        let size = match &work {
+            Work::Generate(steps) => *steps,
+            Work::Replay(requests) => requests.len() as u64,
+        };
+        if size > MAX_SUBMIT {
+            return Err(ServeError(format!(
+                "submission of {size} requests exceeds the per-call cap {MAX_SUBMIT}; \
+                 split it into batches"
+            )));
+        }
+        self.ask(self.route(id)?, |reply| Op::Submit { id, work, reply })
+    }
+
+    /// Reads a session's current report without advancing it.
+    ///
+    /// # Errors
+    /// Returns a [`ServeError`] for unknown sessions.
+    pub fn query(&self, id: u64) -> Result<SessionStatus, ServeError> {
+        self.ask(self.route(id)?, |reply| Op::Query { id, reply })
+    }
+
+    /// Captures a session's snapshot (the session stays live).
+    ///
+    /// # Errors
+    /// Returns a [`ServeError`] for unknown sessions or unsupported
+    /// algorithms/workloads.
+    pub fn snapshot(&self, id: u64) -> Result<Value, ServeError> {
+        self.ask(self.route(id)?, |reply| Op::Snapshot { id, reply })
+    }
+
+    /// Closes a session, yielding its final report.
+    ///
+    /// # Errors
+    /// Returns a [`ServeError`] for unknown sessions.
+    pub fn close(&self, id: u64) -> Result<RunReport, ServeError> {
+        let result = self.ask(self.route(id)?, |reply| Op::Close { id, reply });
+        if result.is_ok() {
+            self.shard_of.write().remove(&id);
+        }
+        result
+    }
+
+    /// Aggregate counters across all sessions ever.
+    #[must_use]
+    pub fn stats(&self) -> ManagerStats {
+        let created = self.counters.created.load(Ordering::Relaxed);
+        let closed = self.counters.closed.load(Ordering::Relaxed);
+        ManagerStats {
+            open_sessions: created.saturating_sub(closed),
+            created,
+            total_served: self.counters.served.load(Ordering::Relaxed),
+            total_violations: self.counters.violations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops every worker (open sessions are dropped) and joins the
+    /// pool. Returns the final aggregate stats.
+    #[must_use]
+    pub fn shutdown(mut self) -> ManagerStats {
+        let stats = self.stats();
+        self.queues.clear(); // closing the channels ends the workers
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+        stats
+    }
+}
+
+fn worker_main(
+    rx: &crossbeam::channel::Receiver<Op>,
+    registries: &Registries,
+    counters: &Counters,
+) {
+    let mut sessions: HashMap<u64, Session> = HashMap::new();
+    for op in rx.iter() {
+        match op {
+            Op::Create {
+                id,
+                scenario,
+                reply,
+            } => {
+                let result = Session::new(*scenario, registries).map(|session| {
+                    let info = info_of(id, &session);
+                    sessions.insert(id, session);
+                    counters.created.fetch_add(1, Ordering::Relaxed);
+                    info
+                });
+                let _ = reply.send(result);
+            }
+            Op::Restore {
+                id,
+                snapshot,
+                reply,
+            } => {
+                let result = Session::restore(&snapshot, registries).map(|session| {
+                    counters
+                        .served
+                        .fetch_add(session.report().steps, Ordering::Relaxed);
+                    counters
+                        .violations
+                        .fetch_add(session.report().capacity_violations, Ordering::Relaxed);
+                    let info = info_of(id, &session);
+                    sessions.insert(id, session);
+                    counters.created.fetch_add(1, Ordering::Relaxed);
+                    info
+                });
+                let _ = reply.send(result);
+            }
+            Op::Submit { id, work, reply } => {
+                let result = match sessions.get_mut(&id) {
+                    None => Err(unknown(id)),
+                    Some(session) => {
+                        let before_violations = session.report().capacity_violations;
+                        let summary = match work {
+                            Work::Generate(steps) => session.submit(steps),
+                            Work::Replay(requests) => session.submit_trace(&requests),
+                        };
+                        counters.served.fetch_add(summary.served, Ordering::Relaxed);
+                        counters
+                            .violations
+                            .fetch_add(summary.violations - before_violations, Ordering::Relaxed);
+                        Ok(summary)
+                    }
+                };
+                let _ = reply.send(result);
+            }
+            Op::Query { id, reply } => {
+                let result = match sessions.get(&id) {
+                    None => Err(unknown(id)),
+                    Some(session) => Ok(SessionStatus {
+                        id,
+                        report: session.report().clone(),
+                        load_bound: session.load_bound(),
+                    }),
+                };
+                let _ = reply.send(result);
+            }
+            Op::Snapshot { id, reply } => {
+                let result = match sessions.get(&id) {
+                    None => Err(unknown(id)),
+                    Some(session) => session.snapshot(),
+                };
+                let _ = reply.send(result);
+            }
+            Op::Close { id, reply } => {
+                let result = match sessions.remove(&id) {
+                    None => Err(unknown(id)),
+                    Some(session) => {
+                        counters.closed.fetch_add(1, Ordering::Relaxed);
+                        Ok(session.finish())
+                    }
+                };
+                let _ = reply.send(result);
+            }
+        }
+    }
+}
+
+fn unknown(id: u64) -> ServeError {
+    ServeError(format!("unknown session {id}"))
+}
+
+fn info_of(id: u64, session: &Session) -> SessionInfo {
+    let report = session.report();
+    SessionInfo {
+        id,
+        algorithm: report.algorithm.clone(),
+        workload: report.workload.clone(),
+        load_bound: session.load_bound(),
+        steps: report.steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdbp_engine::{AlgorithmSpec, InstanceSpec, WorkloadSpec};
+
+    fn scenario(seed: u64) -> Scenario {
+        let mut s = Scenario::new(
+            InstanceSpec::packed(4, 8),
+            AlgorithmSpec::named("dynamic"),
+            WorkloadSpec::named("uniform"),
+            0,
+        );
+        s.seed = seed;
+        s
+    }
+
+    #[test]
+    fn manager_matches_single_session_run() {
+        let manager = SessionManager::new(3, Registries::builtin());
+        let info = manager.create(scenario(7)).unwrap();
+        assert_eq!(info.algorithm, "dynamic-partitioner");
+        for _ in 0..5 {
+            manager.submit(info.id, Work::Generate(100)).unwrap();
+        }
+        let status = manager.query(info.id).unwrap();
+        let report = manager.close(info.id).unwrap();
+        assert_eq!(status.report, report);
+
+        let mut direct = Session::new(scenario(7), &Registries::builtin()).unwrap();
+        direct.submit(500);
+        assert_eq!(direct.finish(), report);
+        let stats = manager.shutdown();
+        assert_eq!(stats.total_served, 500);
+        assert_eq!(stats.open_sessions, 0);
+    }
+
+    #[test]
+    fn many_concurrent_sessions_stay_isolated() {
+        let manager = std::sync::Arc::new(SessionManager::new(4, Registries::builtin()));
+        let solo: Vec<RunReport> = (0..8)
+            .map(|i| {
+                let mut s = Session::new(scenario(i), &Registries::builtin()).unwrap();
+                s.submit(300);
+                s.finish()
+            })
+            .collect();
+        let ids: Vec<u64> = (0..8)
+            .map(|i| manager.create(scenario(i)).unwrap().id)
+            .collect();
+        crossbeam::thread::scope(|scope| {
+            for &id in &ids {
+                let m = std::sync::Arc::clone(&manager);
+                scope.spawn(move |_| {
+                    for _ in 0..3 {
+                        m.submit(id, Work::Generate(100)).unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(
+                manager.close(id).unwrap(),
+                solo[i],
+                "session {i} diverged under concurrency"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_submissions_are_rejected_up_front() {
+        let manager = SessionManager::new(1, Registries::builtin());
+        let id = manager.create(scenario(1)).unwrap().id;
+        let err = manager
+            .submit(id, Work::Generate(MAX_SUBMIT + 1))
+            .expect_err("cap must hold");
+        assert!(err.0.contains("per-call cap"), "{err}");
+        // The session is untouched and still usable.
+        let summary = manager.submit(id, Work::Generate(10)).unwrap();
+        assert_eq!(summary.steps, 10);
+    }
+
+    #[test]
+    fn unknown_sessions_error() {
+        let manager = SessionManager::new(1, Registries::builtin());
+        assert!(manager.submit(99, Work::Generate(1)).is_err());
+        assert!(manager.query(99).is_err());
+        assert!(manager.close(99).is_err());
+    }
+
+    #[test]
+    fn snapshot_restore_through_the_manager() {
+        let manager = SessionManager::new(2, Registries::builtin());
+        let a = manager.create(scenario(3)).unwrap().id;
+        manager.submit(a, Work::Generate(250)).unwrap();
+        let snap = manager.snapshot(a).unwrap();
+        let b = manager.restore(snap).unwrap();
+        assert_eq!(b.steps, 250);
+        manager.submit(a, Work::Generate(250)).unwrap();
+        manager.submit(b.id, Work::Generate(250)).unwrap();
+        let ra = manager.close(a).unwrap();
+        let rb = manager.close(b.id).unwrap();
+        assert_eq!(ra, rb, "restored session diverged from original");
+    }
+}

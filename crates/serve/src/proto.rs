@@ -1,0 +1,481 @@
+//! The newline-delimited-JSON wire protocol.
+//!
+//! One request line in, one response line out, per connection, in
+//! order. Requests carry an `"op"` discriminator, responses an `"ok"`
+//! discriminator (errors use `{"ok": "error", "message": …}`), so a
+//! client can dispatch on one string. Serialization is hand-written
+//! against the vendored serde value tree — the offline derive stand-in
+//! has no enum support (same approach as `rdbp_engine::spec`).
+//!
+//! ```text
+//! → {"op":"create","scenario":{…}}
+//! ← {"ok":"created","session":1,"algorithm":"dynamic-partitioner",…}
+//! → {"op":"submit","session":1,"steps":500}
+//! ← {"ok":"submitted","session":1,"served":500,"steps":500,…}
+//! → {"op":"snapshot","session":1}
+//! ← {"ok":"snapshot","session":1,"snapshot":{…}}
+//! → {"op":"restore","snapshot":{…}}
+//! ← {"ok":"created","session":2,…}
+//! → {"op":"close","session":1}
+//! ← {"ok":"closed","session":1,"report":{…}}
+//! → {"op":"shutdown"}
+//! ← {"ok":"bye"}
+//! ```
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+use rdbp_engine::Scenario;
+use rdbp_model::{CostLedger, Edge, RunReport};
+
+use crate::manager::{ManagerStats, SessionInfo, SessionStatus, Work};
+use crate::session::BatchSummary;
+
+/// A client → server message.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Create a session from a scenario spec.
+    Create {
+        /// The spec to resolve (boxed: specs dwarf the other variants).
+        scenario: Box<Scenario>,
+    },
+    /// Serve requests on a session: `steps` workload-generated requests
+    /// or an explicit `requests` batch.
+    Submit {
+        /// Target session.
+        session: u64,
+        /// What to serve.
+        work: Work,
+    },
+    /// Read a session's current report.
+    Query {
+        /// Target session.
+        session: u64,
+    },
+    /// Capture a session snapshot (session stays live).
+    Snapshot {
+        /// Target session.
+        session: u64,
+    },
+    /// Recreate a session from a snapshot under a fresh id.
+    Restore {
+        /// A value previously returned by `Snapshot`.
+        snapshot: Value,
+    },
+    /// Close a session and fetch its final report.
+    Close {
+        /// Target session.
+        session: u64,
+    },
+    /// Read server-wide aggregate stats.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Stop the server after replying.
+    Shutdown,
+}
+
+/// A server → client message.
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// A session was created or restored.
+    Created {
+        /// Identity + provenance of the new session.
+        info: SessionInfo,
+    },
+    /// A submission completed.
+    Submitted {
+        /// The session that served it.
+        session: u64,
+        /// Batch + cumulative accounting.
+        summary: BatchSummary,
+    },
+    /// A query result.
+    Status {
+        /// The point-in-time view.
+        status: SessionStatus,
+    },
+    /// A captured snapshot.
+    Snapshot {
+        /// The session it was taken from (still live).
+        session: u64,
+        /// The opaque snapshot value (feed back to `Restore`).
+        snapshot: Value,
+    },
+    /// A session was closed.
+    Closed {
+        /// The closed session's id.
+        session: u64,
+        /// Its final report.
+        report: RunReport,
+    },
+    /// Server-wide aggregate stats.
+    Stats {
+        /// The counters.
+        stats: ManagerStats,
+    },
+    /// Reply to `Ping`.
+    Pong,
+    /// Reply to `Shutdown` (the server stops after sending it).
+    Bye,
+    /// Any failure (the connection stays usable).
+    Error {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+fn tag(kind: &str, mut rest: Vec<(String, Value)>, key: &str) -> Value {
+    let mut pairs = vec![(key.to_string(), Value::Str(kind.into()))];
+    pairs.append(&mut rest);
+    Value::Obj(pairs)
+}
+
+impl Serialize for Request {
+    fn to_value(&self) -> Value {
+        match self {
+            Request::Create { scenario } => tag(
+                "create",
+                vec![("scenario".into(), scenario.to_value())],
+                "op",
+            ),
+            Request::Submit { session, work } => {
+                let payload = match work {
+                    Work::Generate(steps) => ("steps".to_string(), steps.to_value()),
+                    Work::Replay(requests) => {
+                        let edges: Vec<u32> = requests.iter().map(|e| e.0).collect();
+                        ("requests".to_string(), edges.to_value())
+                    }
+                };
+                tag(
+                    "submit",
+                    vec![("session".into(), session.to_value()), payload],
+                    "op",
+                )
+            }
+            Request::Query { session } => {
+                tag("query", vec![("session".into(), session.to_value())], "op")
+            }
+            Request::Snapshot { session } => tag(
+                "snapshot",
+                vec![("session".into(), session.to_value())],
+                "op",
+            ),
+            Request::Restore { snapshot } => {
+                tag("restore", vec![("snapshot".into(), snapshot.clone())], "op")
+            }
+            Request::Close { session } => {
+                tag("close", vec![("session".into(), session.to_value())], "op")
+            }
+            Request::Stats => tag("stats", vec![], "op"),
+            Request::Ping => tag("ping", vec![], "op"),
+            Request::Shutdown => tag("shutdown", vec![], "op"),
+        }
+    }
+}
+
+fn opt_field<T: Deserialize>(v: &Value, key: &str) -> Result<Option<T>, DeError> {
+    match v {
+        Value::Obj(pairs) => match pairs.iter().find(|(k, _)| k == key) {
+            None | Some((_, Value::Null)) => Ok(None),
+            Some((_, val)) => Ok(Some(T::from_value(val)?)),
+        },
+        other => Err(DeError(format!("expected object, got {other:?}"))),
+    }
+}
+
+impl Deserialize for Request {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let op = String::from_value(v.get_field("op")?)?;
+        match op.as_str() {
+            "create" => Ok(Request::Create {
+                scenario: Box::new(Scenario::from_value(v.get_field("scenario")?)?),
+            }),
+            "submit" => {
+                let session = u64::from_value(v.get_field("session")?)?;
+                let steps: Option<u64> = opt_field(v, "steps")?;
+                let requests: Option<Vec<u32>> = opt_field(v, "requests")?;
+                let work = match (steps, requests) {
+                    (Some(steps), None) => Work::Generate(steps),
+                    (None, Some(edges)) => Work::Replay(edges.into_iter().map(Edge).collect()),
+                    _ => {
+                        return Err(DeError(
+                            "submit needs exactly one of `steps` or `requests`".into(),
+                        ))
+                    }
+                };
+                Ok(Request::Submit { session, work })
+            }
+            "query" => Ok(Request::Query {
+                session: u64::from_value(v.get_field("session")?)?,
+            }),
+            "snapshot" => Ok(Request::Snapshot {
+                session: u64::from_value(v.get_field("session")?)?,
+            }),
+            "restore" => Ok(Request::Restore {
+                snapshot: v.get_field("snapshot")?.clone(),
+            }),
+            "close" => Ok(Request::Close {
+                session: u64::from_value(v.get_field("session")?)?,
+            }),
+            "stats" => Ok(Request::Stats),
+            "ping" => Ok(Request::Ping),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(DeError(format!(
+                "unknown op `{other}` (valid: create, submit, query, snapshot, restore, \
+                 close, stats, ping, shutdown)"
+            ))),
+        }
+    }
+}
+
+impl Serialize for Response {
+    fn to_value(&self) -> Value {
+        match self {
+            Response::Created { info } => tag(
+                "created",
+                vec![
+                    ("session".into(), info.id.to_value()),
+                    ("algorithm".into(), info.algorithm.to_value()),
+                    ("workload".into(), info.workload.to_value()),
+                    ("load_bound".into(), info.load_bound.to_value()),
+                    ("steps".into(), info.steps.to_value()),
+                ],
+                "ok",
+            ),
+            Response::Submitted { session, summary } => tag(
+                "submitted",
+                vec![
+                    ("session".into(), session.to_value()),
+                    ("served".into(), summary.served.to_value()),
+                    ("steps".into(), summary.steps.to_value()),
+                    ("ledger".into(), summary.ledger.to_value()),
+                    ("batch_cost".into(), summary.batch_cost.to_value()),
+                    ("max_load".into(), summary.max_load.to_value()),
+                    ("violations".into(), summary.violations.to_value()),
+                ],
+                "ok",
+            ),
+            Response::Status { status } => tag(
+                "status",
+                vec![
+                    ("session".into(), status.id.to_value()),
+                    ("report".into(), status.report.to_value()),
+                    ("load_bound".into(), status.load_bound.to_value()),
+                ],
+                "ok",
+            ),
+            Response::Snapshot { session, snapshot } => tag(
+                "snapshot",
+                vec![
+                    ("session".into(), session.to_value()),
+                    ("snapshot".into(), snapshot.clone()),
+                ],
+                "ok",
+            ),
+            Response::Closed { session, report } => tag(
+                "closed",
+                vec![
+                    ("session".into(), session.to_value()),
+                    ("report".into(), report.to_value()),
+                ],
+                "ok",
+            ),
+            Response::Stats { stats } => tag(
+                "stats",
+                vec![
+                    ("open_sessions".into(), stats.open_sessions.to_value()),
+                    ("created".into(), stats.created.to_value()),
+                    ("total_served".into(), stats.total_served.to_value()),
+                    ("total_violations".into(), stats.total_violations.to_value()),
+                ],
+                "ok",
+            ),
+            Response::Pong => tag("pong", vec![], "ok"),
+            Response::Bye => tag("bye", vec![], "ok"),
+            Response::Error { message } => {
+                tag("error", vec![("message".into(), message.to_value())], "ok")
+            }
+        }
+    }
+}
+
+impl Deserialize for Response {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let kind = String::from_value(v.get_field("ok")?)?;
+        match kind.as_str() {
+            "created" => Ok(Response::Created {
+                info: SessionInfo {
+                    id: u64::from_value(v.get_field("session")?)?,
+                    algorithm: String::from_value(v.get_field("algorithm")?)?,
+                    workload: String::from_value(v.get_field("workload")?)?,
+                    load_bound: u32::from_value(v.get_field("load_bound")?)?,
+                    steps: u64::from_value(v.get_field("steps")?)?,
+                },
+            }),
+            "submitted" => Ok(Response::Submitted {
+                session: u64::from_value(v.get_field("session")?)?,
+                summary: BatchSummary {
+                    served: u64::from_value(v.get_field("served")?)?,
+                    steps: u64::from_value(v.get_field("steps")?)?,
+                    ledger: CostLedger::from_value(v.get_field("ledger")?)?,
+                    batch_cost: u64::from_value(v.get_field("batch_cost")?)?,
+                    max_load: u32::from_value(v.get_field("max_load")?)?,
+                    violations: u64::from_value(v.get_field("violations")?)?,
+                },
+            }),
+            "status" => Ok(Response::Status {
+                status: SessionStatus {
+                    id: u64::from_value(v.get_field("session")?)?,
+                    report: RunReport::from_value(v.get_field("report")?)?,
+                    load_bound: u32::from_value(v.get_field("load_bound")?)?,
+                },
+            }),
+            "snapshot" => Ok(Response::Snapshot {
+                session: u64::from_value(v.get_field("session")?)?,
+                snapshot: v.get_field("snapshot")?.clone(),
+            }),
+            "closed" => Ok(Response::Closed {
+                session: u64::from_value(v.get_field("session")?)?,
+                report: RunReport::from_value(v.get_field("report")?)?,
+            }),
+            "stats" => Ok(Response::Stats {
+                stats: ManagerStats {
+                    open_sessions: u64::from_value(v.get_field("open_sessions")?)?,
+                    created: u64::from_value(v.get_field("created")?)?,
+                    total_served: u64::from_value(v.get_field("total_served")?)?,
+                    total_violations: u64::from_value(v.get_field("total_violations")?)?,
+                },
+            }),
+            "pong" => Ok(Response::Pong),
+            "bye" => Ok(Response::Bye),
+            "error" => Ok(Response::Error {
+                message: String::from_value(v.get_field("message")?)?,
+            }),
+            other => Err(DeError(format!("unknown response kind `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdbp_engine::{AlgorithmSpec, InstanceSpec, WorkloadSpec};
+
+    fn round_trip_request(req: &Request) -> Request {
+        let text = serde_json::to_string(req).unwrap();
+        serde_json::from_str(&text).unwrap()
+    }
+
+    fn round_trip_response(resp: &Response) -> Response {
+        let text = serde_json::to_string(resp).unwrap();
+        serde_json::from_str(&text).unwrap()
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let scenario = Scenario::new(
+            InstanceSpec::packed(4, 8),
+            AlgorithmSpec::named("dynamic"),
+            WorkloadSpec::named("zipf"),
+            100,
+        );
+        for req in [
+            Request::Create {
+                scenario: Box::new(scenario.clone()),
+            },
+            Request::Submit {
+                session: 7,
+                work: Work::Generate(500),
+            },
+            Request::Submit {
+                session: 7,
+                work: Work::Replay(vec![Edge(1), Edge(2)]),
+            },
+            Request::Query { session: 3 },
+            Request::Snapshot { session: 3 },
+            Request::Restore {
+                snapshot: Value::Obj(vec![("x".into(), Value::UInt(1))]),
+            },
+            Request::Close { session: 3 },
+            Request::Stats,
+            Request::Ping,
+            Request::Shutdown,
+        ] {
+            let text = serde_json::to_string(&req).unwrap();
+            let back = round_trip_request(&req);
+            assert_eq!(
+                serde_json::to_string(&back).unwrap(),
+                text,
+                "request round trip changed the wire form"
+            );
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in [
+            Response::Created {
+                info: SessionInfo {
+                    id: 1,
+                    algorithm: "dynamic-partitioner".into(),
+                    workload: "zipf".into(),
+                    load_bound: 24,
+                    steps: 0,
+                },
+            },
+            Response::Submitted {
+                session: 1,
+                summary: BatchSummary {
+                    served: 10,
+                    steps: 30,
+                    ledger: CostLedger {
+                        communication: 5,
+                        migration: 6,
+                    },
+                    batch_cost: 3,
+                    max_load: 9,
+                    violations: 0,
+                },
+            },
+            Response::Pong,
+            Response::Bye,
+            Response::Error {
+                message: "nope".into(),
+            },
+            Response::Stats {
+                stats: ManagerStats {
+                    open_sessions: 2,
+                    created: 5,
+                    total_served: 1000,
+                    total_violations: 0,
+                },
+            },
+        ] {
+            let text = serde_json::to_string(&resp).unwrap();
+            let back = round_trip_response(&resp);
+            assert_eq!(serde_json::to_string(&back).unwrap(), text);
+        }
+    }
+
+    #[test]
+    fn submit_requires_exactly_one_payload() {
+        assert!(serde_json::from_str::<Request>(r#"{"op":"submit","session":1}"#).is_err());
+        assert!(serde_json::from_str::<Request>(
+            r#"{"op":"submit","session":1,"steps":5,"requests":[1]}"#
+        )
+        .is_err());
+        assert!(
+            serde_json::from_str::<Request>(r#"{"op":"submit","session":1,"steps":5}"#).is_ok()
+        );
+    }
+
+    #[test]
+    fn unknown_ops_list_the_valid_ones() {
+        let err = serde_json::from_str::<Request>(r#"{"op":"frobnicate"}"#)
+            .err()
+            .expect("must fail");
+        let msg = format!("{err}");
+        assert!(msg.contains("unknown op"), "{msg}");
+        assert!(msg.contains("snapshot"), "{msg}");
+    }
+}

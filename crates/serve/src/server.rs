@@ -1,0 +1,206 @@
+//! The TCP front end: accept loop, per-connection protocol threads.
+//!
+//! Each connection gets its own thread reading NDJSON requests and
+//! writing one NDJSON response per request, in order. All connections
+//! dispatch into one shared [`SessionManager`], whose worker queues
+//! serialize per-session work — so concurrent connections submitting to
+//! *different* sessions run in parallel, while submissions to the
+//! *same* session from one connection keep their order.
+//!
+//! `shutdown` stops the accept loop (waking it with a loopback
+//! connection), waits for open connections to finish their current
+//! line, then tears the manager down.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::manager::SessionManager;
+use crate::proto::{Request, Response};
+
+/// Runs the server on `listener` until a client sends `shutdown`.
+///
+/// Shutdown force-closes every open connection (a client holding an
+/// idle connection open must not be able to wedge the server), then
+/// joins the connection threads and tears the worker pool down. The
+/// same force-close runs if the accept loop itself fails, so an
+/// accept error can never strand the server behind a parked reader.
+///
+/// # Errors
+/// Returns any I/O error from the accept loop itself (per-connection
+/// errors only end that connection).
+pub fn serve(listener: TcpListener, manager: SessionManager) -> std::io::Result<()> {
+    let manager = Arc::new(manager);
+    let stopping = Arc::new(AtomicBool::new(false));
+    // Streams of live connections, keyed by a per-connection token so
+    // each handler prunes its own entry on exit (no fd accumulates
+    // past its connection's lifetime).
+    let connections: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
+    let local = listener.local_addr()?;
+
+    let outcome = crossbeam::thread::scope(|scope| -> std::io::Result<()> {
+        let mut next_token: u64 = 0;
+        let result = loop {
+            let stream = match listener.accept() {
+                Ok((stream, _peer)) => stream,
+                Err(e) => break Err(e),
+            };
+            if stopping.load(Ordering::SeqCst) {
+                break Ok(());
+            }
+            let token = next_token;
+            next_token += 1;
+            if let Ok(clone) = stream.try_clone() {
+                connections.lock().insert(token, clone);
+            }
+            let manager = Arc::clone(&manager);
+            let stopping = Arc::clone(&stopping);
+            let registry = Arc::clone(&connections);
+            scope.spawn(move |_| {
+                let asked_shutdown = handle_connection(&stream, &manager);
+                registry.lock().remove(&token);
+                if asked_shutdown {
+                    // Stop accepting and wake the accept loop with a
+                    // dummy connection.
+                    stopping.store(true, Ordering::SeqCst);
+                    let _ = TcpStream::connect(local);
+                }
+            });
+        };
+        // Unblock every connection thread still parked in a read —
+        // on the error path too, or the scope join below would hang on
+        // live sockets. The scope then joins them all.
+        for (_, connection) in connections.lock().drain() {
+            let _ = connection.shutdown(Shutdown::Both);
+        }
+        result
+    })
+    .unwrap_or_else(|panic| std::panic::resume_unwind(panic));
+
+    // The scope joined every connection thread; now stop the workers.
+    let manager = Arc::into_inner(manager).expect("all connection threads joined");
+    let _ = manager.shutdown();
+    outcome
+}
+
+/// Serves one connection; returns `true` if it requested shutdown.
+fn handle_connection(stream: &TcpStream, manager: &SessionManager) -> bool {
+    let Ok(read) = stream.try_clone() else {
+        return false;
+    };
+    let reader = BufReader::new(read);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, stop) = match serde_json::from_str::<Request>(&line) {
+            Err(e) => (
+                Response::Error {
+                    message: e.to_string(),
+                },
+                false,
+            ),
+            Ok(request) => dispatch(request, manager),
+        };
+        let Ok(text) = serde_json::to_string(&response) else {
+            break;
+        };
+        if writer
+            .write_all(text.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+        if stop {
+            return true;
+        }
+    }
+    false
+}
+
+fn dispatch(request: Request, manager: &SessionManager) -> (Response, bool) {
+    let response = match request {
+        Request::Create { scenario } => match manager.create(*scenario) {
+            Ok(info) => Response::Created { info },
+            Err(e) => Response::Error { message: e.0 },
+        },
+        Request::Submit { session, work } => match manager.submit(session, work) {
+            Ok(summary) => Response::Submitted { session, summary },
+            Err(e) => Response::Error { message: e.0 },
+        },
+        Request::Query { session } => match manager.query(session) {
+            Ok(status) => Response::Status { status },
+            Err(e) => Response::Error { message: e.0 },
+        },
+        Request::Snapshot { session } => match manager.snapshot(session) {
+            Ok(snapshot) => Response::Snapshot { session, snapshot },
+            Err(e) => Response::Error { message: e.0 },
+        },
+        Request::Restore { snapshot } => match manager.restore(snapshot) {
+            Ok(info) => Response::Created { info },
+            Err(e) => Response::Error { message: e.0 },
+        },
+        Request::Close { session } => match manager.close(session) {
+            Ok(report) => Response::Closed { session, report },
+            Err(e) => Response::Error { message: e.0 },
+        },
+        Request::Stats => Response::Stats {
+            stats: manager.stats(),
+        },
+        Request::Ping => Response::Pong,
+        Request::Shutdown => return (Response::Bye, true),
+    };
+    (response, false)
+}
+
+/// A blocking protocol client over one TCP connection — what
+/// `rdbp-load` and the end-to-end tests drive the server with.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    /// Returns any underlying I/O error.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one request and reads its response.
+    ///
+    /// # Errors
+    /// Returns an I/O error on a broken connection or a protocol error
+    /// on an unparseable response line.
+    pub fn call(&mut self, request: &Request) -> std::io::Result<Response> {
+        let text = serde_json::to_string(request).map_err(std::io::Error::from)?;
+        self.writer.write_all(text.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        serde_json::from_str(&line).map_err(std::io::Error::from)
+    }
+}

@@ -1,0 +1,205 @@
+//! End-to-end tests driving the real `rdbp-serve` binary over TCP —
+//! the same path the CI smoke job exercises: ephemeral port via
+//! `--addr-file`, full protocol flow including snapshot/restore over
+//! the wire, the `rdbp-load` client binary, and a clean shutdown.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::{Child, Command};
+use std::time::Duration;
+
+use rdbp_engine::{AlgorithmSpec, InstanceSpec, Scenario, WorkloadSpec};
+use rdbp_serve::{Client, Request, Response, Work};
+
+struct ServerUnderTest {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl ServerUnderTest {
+    /// Starts `rdbp-serve` on an ephemeral loopback port and waits for
+    /// the address handshake file.
+    fn start(tag: &str) -> Self {
+        let addr_file: PathBuf =
+            std::env::temp_dir().join(format!("rdbp-serve-e2e-{}-{tag}.addr", std::process::id()));
+        let _ = std::fs::remove_file(&addr_file);
+        let child = Command::new(env!("CARGO_BIN_EXE_rdbp-serve"))
+            .args(["--port", "0", "--workers", "4", "--addr-file"])
+            .arg(&addr_file)
+            .spawn()
+            .expect("spawn rdbp-serve");
+        let mut addr = None;
+        for _ in 0..200 {
+            if let Ok(text) = std::fs::read_to_string(&addr_file) {
+                if let Ok(parsed) = text.trim().parse() {
+                    addr = Some(parsed);
+                    break;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        let _ = std::fs::remove_file(&addr_file);
+        let addr = addr.expect("server never wrote its address file");
+        Self { child, addr }
+    }
+
+    /// Sends `shutdown` and asserts the server exits cleanly.
+    fn shutdown(mut self) {
+        let mut client = Client::connect(self.addr).expect("connect for shutdown");
+        match client.call(&Request::Shutdown).expect("shutdown call") {
+            Response::Bye => {}
+            other => panic!("expected bye, got {other:?}"),
+        }
+        let status = self.child.wait().expect("wait for server");
+        assert!(status.success(), "server exited with {status}");
+    }
+}
+
+fn scenario(seed: u64) -> Scenario {
+    let mut s = Scenario::new(
+        InstanceSpec::packed(4, 8),
+        AlgorithmSpec::named("dynamic"),
+        WorkloadSpec::named("zipf"),
+        0,
+    );
+    s.seed = seed;
+    s
+}
+
+#[test]
+fn full_protocol_flow_over_tcp() {
+    let server = ServerUnderTest::start("proto");
+    let mut client = Client::connect(server.addr).expect("connect");
+
+    // Ping.
+    assert!(matches!(
+        client.call(&Request::Ping).unwrap(),
+        Response::Pong
+    ));
+
+    // Create + submit.
+    let Response::Created { info } = client
+        .call(&Request::Create {
+            scenario: Box::new(scenario(5)),
+        })
+        .unwrap()
+    else {
+        panic!("create failed")
+    };
+    assert_eq!(info.algorithm, "dynamic-partitioner");
+    let Response::Submitted { summary, .. } = client
+        .call(&Request::Submit {
+            session: info.id,
+            work: Work::Generate(400),
+        })
+        .unwrap()
+    else {
+        panic!("submit failed")
+    };
+    assert_eq!(summary.steps, 400);
+    assert_eq!(summary.violations, 0);
+
+    // Snapshot over the wire, restore under a fresh id, drive both
+    // sessions on — they must stay bit-identical.
+    let Response::Snapshot { snapshot, .. } = client
+        .call(&Request::Snapshot { session: info.id })
+        .unwrap()
+    else {
+        panic!("snapshot failed")
+    };
+    let Response::Created { info: twin } = client.call(&Request::Restore { snapshot }).unwrap()
+    else {
+        panic!("restore failed")
+    };
+    assert_eq!(twin.steps, 400);
+    assert_ne!(twin.id, info.id);
+    for session in [info.id, twin.id] {
+        let Response::Submitted { .. } = client
+            .call(&Request::Submit {
+                session,
+                work: Work::Generate(300),
+            })
+            .unwrap()
+        else {
+            panic!("continue failed")
+        };
+    }
+    let Response::Closed { report: a, .. } =
+        client.call(&Request::Close { session: info.id }).unwrap()
+    else {
+        panic!("close failed")
+    };
+    let Response::Closed { report: b, .. } =
+        client.call(&Request::Close { session: twin.id }).unwrap()
+    else {
+        panic!("close failed")
+    };
+    assert_eq!(a, b, "restored session diverged over the wire");
+
+    // Replay submission + error surface.
+    let Response::Created { info } = client
+        .call(&Request::Create {
+            scenario: Box::new(scenario(6)),
+        })
+        .unwrap()
+    else {
+        panic!("create failed")
+    };
+    let Response::Submitted { summary, .. } = client
+        .call(&Request::Submit {
+            session: info.id,
+            work: Work::Replay((0..32).map(rdbp_model::Edge).collect()),
+        })
+        .unwrap()
+    else {
+        panic!("replay failed")
+    };
+    assert_eq!(summary.served, 32);
+    let Response::Error { message } = client.call(&Request::Query { session: 999 }).unwrap() else {
+        panic!("expected an error for an unknown session")
+    };
+    assert!(message.contains("unknown session"), "{message}");
+
+    // Stats reflect everything this test did.
+    let Response::Stats { stats } = client.call(&Request::Stats).unwrap() else {
+        panic!("stats failed")
+    };
+    assert_eq!(stats.open_sessions, 1);
+    assert_eq!(stats.total_served, 400 + 400 + 300 + 300 + 32);
+    assert_eq!(stats.total_violations, 0);
+
+    server.shutdown();
+}
+
+#[test]
+fn load_generator_drives_concurrent_sessions_cleanly() {
+    let server = ServerUnderTest::start("load");
+    let status = Command::new(env!("CARGO_BIN_EXE_rdbp-load"))
+        .args([
+            "--addr",
+            &server.addr.to_string(),
+            "--sessions",
+            "6",
+            "--batches",
+            "8",
+            "--batch-size",
+            "200",
+            "--workload",
+            "zipf",
+            "--json",
+        ])
+        .status()
+        .expect("run rdbp-load");
+    assert!(
+        status.success(),
+        "rdbp-load reported violations or failures: {status}"
+    );
+    let mut client = Client::connect(server.addr).expect("connect");
+    let Response::Stats { stats } = client.call(&Request::Stats).unwrap() else {
+        panic!("stats failed")
+    };
+    assert_eq!(stats.total_served, 6 * 8 * 200);
+    assert_eq!(stats.total_violations, 0);
+    assert_eq!(stats.open_sessions, 0, "rdbp-load must close its sessions");
+    server.shutdown();
+}

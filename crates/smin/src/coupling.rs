@@ -51,6 +51,26 @@ impl QuantileCoupling {
         self.state
     }
 
+    /// The fixed uniform draw `u` the coupling realizes states through
+    /// (exposed for checkpoint/restore).
+    #[must_use]
+    pub fn u(&self) -> f64 {
+        self.u
+    }
+
+    /// Rebuilds a coupling from a previously captured
+    /// `(u, state, distance_moved)` triple. Paired with [`Self::u`],
+    /// [`Self::state`] and [`Self::distance_moved`], this lets callers
+    /// persist a coupling and resume it bit-identically.
+    ///
+    /// # Panics
+    /// Panics if `u` is outside `[0, 1]`.
+    #[must_use]
+    pub fn from_parts(u: f64, state: usize, moved: u64) -> Self {
+        assert!((0.0..=1.0).contains(&u), "u must be in [0,1], got {u}");
+        Self { u, state, moved }
+    }
+
     /// Total line distance moved so far (sum over updates of
     /// `|new - old|`), excluding distance charged by [`Self::resample`]
     /// callers.

@@ -39,7 +39,10 @@ impl Args {
                 print_help();
                 exit(0);
             }
-            if matches!(name, "opt" | "audit" | "json") {
+            if matches!(
+                name,
+                "opt" | "audit" | "json" | "list-algorithms" | "list-workloads"
+            ) {
                 map.insert(name.to_string(), "true".to_string());
                 continue;
             }
@@ -90,7 +93,9 @@ fn print_help() {
          --json           print the run report as JSON\n\
          --save-scenario F  write the effective scenario spec as JSON\n\
          --save-trace F   write the request trace as JSON\n\
-         --load-trace F   replay a JSON trace (ignores --workload/--steps)"
+         --load-trace F   replay a JSON trace (ignores --workload/--steps)\n\
+         --list-algorithms  print the registered algorithm keys and exit\n\
+         --list-workloads   print the registered workload keys and exit"
     );
 }
 
@@ -122,6 +127,23 @@ fn scenario_from_flags(args: &Args) -> Scenario {
 
 fn main() {
     let args = Args::parse();
+
+    // Key listings come straight from the registries — the same lists
+    // the unknown-key errors cite, so they can never drift apart.
+    if args.flag("list-algorithms") || args.flag("list-workloads") {
+        let registries = Registries::builtin();
+        if args.flag("list-algorithms") {
+            for key in registries.algorithms.keys() {
+                println!("{key}");
+            }
+        }
+        if args.flag("list-workloads") {
+            for key in registries.workloads.keys() {
+                println!("{key}");
+            }
+        }
+        return;
+    }
 
     let mut scenario = match args.0.get("scenario") {
         Some(path) => Scenario::load(Path::new(path))

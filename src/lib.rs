@@ -30,7 +30,12 @@
 //!   [`Scenario`](rdbp_engine::Scenario) specs, algorithm/workload
 //!   registries, the [`ScenarioGrid`](rdbp_engine::ScenarioGrid)
 //!   multi-run executor, and streaming
-//!   [`Observer`](rdbp_model::Observer) hooks (DESIGN.md §7).
+//!   [`Observer`](rdbp_model::Observer) hooks (DESIGN.md §7);
+//! * [`serve`](rdbp_serve) — the serving subsystem: long-lived
+//!   concurrent partition [`Session`](rdbp_serve::Session)s with
+//!   snapshot/restore, the sharded
+//!   [`SessionManager`](rdbp_serve::SessionManager) worker pool, and
+//!   the `rdbp-serve`/`rdbp-load` NDJSON-over-TCP pair (DESIGN.md §8).
 //!
 //! ## Quickstart
 //!
@@ -61,6 +66,7 @@ pub use rdbp_engine as engine;
 pub use rdbp_model as model;
 pub use rdbp_mts as mts;
 pub use rdbp_offline as offline;
+pub use rdbp_serve as serve;
 pub use rdbp_smin as smin;
 
 /// The commonly needed surface in one import.
@@ -80,4 +86,5 @@ pub mod prelude {
     };
     pub use rdbp_mts::PolicyKind;
     pub use rdbp_offline::{dynamic_opt, interval_opt, static_opt, IntervalLayout};
+    pub use rdbp_serve::{Session, SessionManager};
 }

@@ -1,9 +1,113 @@
-//! Offline stand-in for `crossbeam`: only the scoped-thread API,
-//! implemented over `std::thread::scope` (which has subsumed it since
-//! Rust 1.63). The differences crossbeam callers rely on are preserved:
-//! `scope` returns a `Result` capturing child panics, and `spawn`
-//! closures receive the scope as an argument so they can spawn
-//! recursively.
+//! Offline stand-in for `crossbeam`: the scoped-thread API over
+//! `std::thread::scope` (which has subsumed it since Rust 1.63) and
+//! the `channel` module over `std::sync::mpsc`. The differences
+//! crossbeam callers rely on are preserved: `scope` returns a `Result`
+//! capturing child panics, `spawn` closures receive the scope as an
+//! argument so they can spawn recursively, and channel `Sender`s are
+//! cloneable with `Receiver` iteration ending when every sender is
+//! dropped.
+
+pub mod channel {
+    //! MPSC channels with crossbeam's API shape.
+    //!
+    //! Real crossbeam channels are also multi-*consumer*; the workspace
+    //! only ever gives a channel to one consumer (each worker owns its
+    //! queue, each request owns its reply channel), so the `mpsc`
+    //! stand-in is faithful for every use here. `Receiver` is
+    //! intentionally not `Clone`.
+
+    use std::sync::mpsc::{Receiver as StdReceiver, Sender as StdSender};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// The sending half of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Sender<T> {
+        inner: StdSender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Self {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, failing only when the receiver is gone.
+        ///
+        /// # Errors
+        /// Returns the message back if the channel is disconnected.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.inner.send(msg)
+        }
+    }
+
+    /// The receiving half of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        inner: StdReceiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender is dropped.
+        ///
+        /// # Errors
+        /// Returns [`RecvError`] when the channel is disconnected.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        /// Blocks with a timeout.
+        ///
+        /// # Errors
+        /// Returns [`RecvTimeoutError`] on timeout or disconnection.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout)
+        }
+
+        /// Non-blocking receive.
+        ///
+        /// # Errors
+        /// Returns [`TryRecvError`] when empty or disconnected.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv()
+        }
+
+        /// Blocking iterator draining the channel until disconnection.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.inner.iter()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn cloned_senders_feed_one_receiver() {
+            let (tx, rx) = super::unbounded::<u32>();
+            let tx2 = tx.clone();
+            std::thread::spawn(move || tx.send(1).unwrap());
+            std::thread::spawn(move || tx2.send(2).unwrap());
+            let mut got: Vec<u32> = rx.iter().collect();
+            got.sort_unstable();
+            assert_eq!(got, vec![1, 2]);
+        }
+
+        #[test]
+        fn recv_fails_once_senders_are_gone() {
+            let (tx, rx) = super::unbounded::<u32>();
+            drop(tx);
+            assert!(rx.recv().is_err());
+        }
+    }
+}
 
 pub mod thread {
     use std::panic::{catch_unwind, AssertUnwindSafe};

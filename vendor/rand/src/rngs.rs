@@ -1,5 +1,7 @@
 //! Concrete generators.
 
+use serde::{DeError, Deserialize, Serialize, Value};
+
 use crate::{Rng, SeedableRng};
 
 /// Deterministic xoshiro256** generator (stand-in for rand's `StdRng`).
@@ -24,6 +26,45 @@ impl SeedableRng for StdRng {
         Self {
             s: [next(), next(), next(), next()],
         }
+    }
+}
+
+impl StdRng {
+    /// The full 256-bit generator state, for checkpoint/restore.
+    ///
+    /// Real `rand` exposes this via `serde` on the underlying
+    /// generator; the stand-in exposes the words directly so callers
+    /// can persist and later resume an RNG stream bit-identically.
+    #[must_use]
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a previously captured [`Self::state`].
+    /// The restored generator continues the stream exactly where the
+    /// captured one left off.
+    #[must_use]
+    pub fn from_state(s: [u64; 4]) -> Self {
+        Self { s }
+    }
+}
+
+/// The state serializes as an array of four u64 words; restoring
+/// continues the stream exactly where the captured generator left off
+/// (the stand-in for real rand's optional `serde` support).
+impl Serialize for StdRng {
+    fn to_value(&self) -> Value {
+        self.s[..].to_value()
+    }
+}
+
+impl Deserialize for StdRng {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let words = <Vec<u64> as Deserialize>::from_value(v)?;
+        let s: [u64; 4] = words
+            .try_into()
+            .map_err(|w: Vec<u64>| DeError(format!("rng state needs 4 words, got {}", w.len())))?;
+        Ok(Self { s })
     }
 }
 
