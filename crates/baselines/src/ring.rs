@@ -47,6 +47,10 @@ impl OnlineAlgorithm for NeverMove {
         &self.placement
     }
 
+    fn placement_mut(&mut self) -> &mut Placement {
+        &mut self.placement
+    }
+
     fn serve(&mut self, _request: Edge) -> u64 {
         0
     }
@@ -98,6 +102,10 @@ impl GreedySwap {
 impl OnlineAlgorithm for GreedySwap {
     fn placement(&self) -> &Placement {
         &self.placement
+    }
+
+    fn placement_mut(&mut self) -> &mut Placement {
+        &mut self.placement
     }
 
     fn serve(&mut self, request: Edge) -> u64 {
@@ -235,6 +243,10 @@ impl ComponentSweep {
 impl OnlineAlgorithm for ComponentSweep {
     fn placement(&self) -> &Placement {
         &self.placement
+    }
+
+    fn placement_mut(&mut self) -> &mut Placement {
+        &mut self.placement
     }
 
     fn serve(&mut self, request: Edge) -> u64 {

@@ -1,13 +1,20 @@
-//! **S1** — serve-path throughput: sustained requests/second through
-//! the `rdbp_serve::SessionManager` at 1, 4 and 16 concurrent
-//! sessions.
+//! **S2** — batched serve-path throughput: sustained requests/second
+//! through the `rdbp_serve::SessionManager` at 1, 4 and 16 concurrent
+//! sessions, after the delta-driven hot-path refactor (journal audit,
+//! batched driver, allocation-free serve loop).
 //!
 //! One client thread per session submits fixed-size batches through
 //! the manager's sharded worker pool (the same path `rdbp-serve`
 //! drives, minus TCP), so this measures the serving subsystem itself:
-//! channel hops, per-session drivers, audit overhead. Run before/after
-//! server-path changes to keep a perf trajectory; the recorded
-//! baseline lives in `bench_results/s1_serve_throughput.csv`.
+//! channel hops, per-session batched drivers, audit overhead. Same
+//! shape as the PR-3 S1 baseline (`bench_results/s1_serve_throughput
+//! .csv`), so the two CSVs diff directly; the refactor's acceptance
+//! bar is audit=full within ~10% of audit=none and single-session
+//! throughput ≥ 2× S1.
+//!
+//! Doubles as the CI perf-smoke: the process exits nonzero (assert) on
+//! any capacity violation, any lost request, or zero throughput, so
+//! the batch path staying wired end to end is checked on every push.
 
 use std::time::Instant;
 
@@ -61,7 +68,12 @@ fn measure(sessions: u64, total: u64, batch: u64, audit: AuditSpec) -> f64 {
     let stats = manager.shutdown();
     assert_eq!(stats.total_served, sessions * total);
     assert_eq!(stats.total_violations, 0, "audited runs must stay clean");
-    (sessions * total) as f64 / elapsed
+    let throughput = (sessions * total) as f64 / elapsed;
+    assert!(
+        throughput > 0.0 && throughput.is_finite(),
+        "throughput collapsed to zero"
+    );
+    throughput
 }
 
 fn main() {
@@ -71,12 +83,13 @@ fn main() {
         (20_000u64, 500u64)
     };
     let mut table = Table::new(
-        "S1 — serve-path throughput (dynamic×uniform, ℓ=8 k=32)",
+        "S2 — batched serve-path throughput (dynamic×uniform, ℓ=8 k=32)",
         &[
             "sessions",
             "requests",
             "audit=none req/s",
             "audit=full req/s",
+            "full/none",
         ],
     );
     for sessions in [1u64, 4, 16] {
@@ -89,9 +102,11 @@ fn main() {
             (sessions * per_session).to_string(),
             f3(unaudited),
             f3(audited),
+            f3(audited / unaudited),
         ]);
     }
     table.print();
-    table.write_csv("s1_serve_throughput");
+    table.write_csv("s2_serve_throughput");
     println!("\nNote: run with --release for meaningful numbers.");
+    println!("Compare against the PR-3 baseline in bench_results/s1_serve_throughput.csv.");
 }

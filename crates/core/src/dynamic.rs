@@ -70,8 +70,9 @@ pub struct DynamicPartitioner {
     /// index inside its interval).
     cut_state: Vec<u32>,
     placement: Placement,
-    /// One-hot task scratch buffer (length `k′`).
-    scratch: Vec<f64>,
+    /// Scratch: per-request interval routes for [`Self::serve_batch`]
+    /// (reused across batches).
+    route_buf: Vec<[(u32, u32); 2]>,
     /// Proxy costs per interval: hits on the cut edge…
     interval_hit: Vec<u64>,
     /// …and cut-edge movement distance (Observation 3.2 upper-bounds
@@ -150,7 +151,7 @@ impl DynamicPartitioner {
             policies,
             cut_state,
             placement,
-            scratch: vec![0.0; k_prime as usize],
+            route_buf: Vec::new(),
             interval_hit: vec![0; ell_prime as usize],
             interval_move: vec![0; ell_prime as usize],
             setup_migrations,
@@ -290,6 +291,31 @@ impl DynamicPartitioner {
         moved
     }
 
+    /// Serves one request along its pre-computed interval route —
+    /// the shared body of [`OnlineAlgorithm::serve`] and the batched
+    /// [`OnlineAlgorithm::serve_batch`]. Each hit goes through the
+    /// policies' [`MtsPolicy::serve_hit`] point fast path, so no cost
+    /// vector is ever materialized.
+    fn serve_routed(&mut self, route: [(u32, u32); 2]) -> u64 {
+        let mut migrations = 0;
+        for (i, local) in route {
+            if i == u32::MAX {
+                continue;
+            }
+            let (i, local) = (i as usize, local as usize);
+            let new_state = self.policies[i].serve_hit(local);
+            if new_state == local {
+                self.interval_hit[i] += 1;
+            }
+            let old_state = self.cut_state[i];
+            if new_state as u32 != old_state {
+                self.interval_move[i] += u64::from(old_state.abs_diff(new_state as u32));
+                migrations += self.set_cut(i, new_state as u32);
+            }
+        }
+        migrations
+    }
+
     /// Moves boundary `j` (separating server `j−1` and server `j`) from
     /// unwrapped edge position `from` to `to`; migrates the processes in
     /// between. Returns the number of migrations.
@@ -364,26 +390,32 @@ impl OnlineAlgorithm for DynamicPartitioner {
         &self.placement
     }
 
+    fn placement_mut(&mut self) -> &mut Placement {
+        &mut self.placement
+    }
+
     fn serve(&mut self, request: Edge) -> u64 {
-        let mut migrations = 0;
-        for (i, local) in self.intervals_of(request) {
-            if i == u32::MAX {
-                continue;
-            }
-            let (i, local) = (i as usize, local as usize);
-            self.scratch[local] = 1.0;
-            let new_state = self.policies[i].serve(&self.scratch);
-            self.scratch[local] = 0.0;
-            if new_state == local {
-                self.interval_hit[i] += 1;
-            }
-            let old_state = self.cut_state[i];
-            if new_state as u32 != old_state {
-                self.interval_move[i] += u64::from(old_state.abs_diff(new_state as u32));
-                migrations += self.set_cut(i, new_state as u32);
-            }
+        let route = self.intervals_of(request);
+        self.serve_routed(route)
+    }
+
+    // Batch specialization: interval routing depends only on the fixed
+    // geometry (shift, k′), never on the placement, so the whole batch
+    // is routed up front in one tight pass; serving then touches the
+    // policies with the is-cut check interleaved per request, exactly
+    // like the per-step path (identical ledgers guaranteed).
+    fn serve_batch(&mut self, requests: &[Edge]) -> rdbp_model::BatchOutcome {
+        let mut route = std::mem::take(&mut self.route_buf);
+        route.clear();
+        route.extend(requests.iter().map(|&e| self.intervals_of(e)));
+        let mut out = rdbp_model::BatchOutcome::default();
+        for (&request, &pairs) in requests.iter().zip(&route) {
+            out.charged += u64::from(self.placement.is_cut(request));
+            out.migrations += self.serve_routed(pairs);
+            out.max_load_seen = out.max_load_seen.max(self.placement.max_load());
         }
-        migrations
+        self.route_buf = route;
+        out
     }
 
     fn name(&self) -> &'static str {

@@ -486,6 +486,10 @@ impl OnlineAlgorithm for StaticPartitioner {
         &self.placement
     }
 
+    fn placement_mut(&mut self) -> &mut Placement {
+        &mut self.placement
+    }
+
     fn serve(&mut self, request: Edge) -> u64 {
         let e = request.0;
         self.x[e as usize] += 1;

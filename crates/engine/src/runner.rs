@@ -1,9 +1,14 @@
 //! Executing a [`Scenario`]: spec → registries → audited driver run.
 
 use rdbp_model::{
-    run_observed, run_trace_observed, AuditLevel, Edge, NoopObserver, Observer, OnlineAlgorithm,
-    RingInstance, RunReport, Workload,
+    run_batch, run_observed, run_trace_observed, AuditLevel, Edge, NoopObserver, Observer,
+    OnlineAlgorithm, RingInstance, RunReport, Workload,
 };
+
+/// Batch size [`PreparedScenario::run`] uses when no observer needs
+/// per-step events (identical accounting either way; this only sets
+/// the [`rdbp_model::BatchEvent`] granularity).
+const DEFAULT_RUN_BATCH: u64 = 4096;
 
 use crate::registry::Registries;
 use crate::spec::{AuditSpec, Scenario, SpecError};
@@ -53,14 +58,45 @@ impl PreparedScenario {
     /// Runs the scenario to completion, streaming step events to
     /// `observer`.
     ///
+    /// When no observer asks for per-step events
+    /// ([`Observer::wants_steps`] — e.g. the [`NoopObserver`] behind
+    /// [`Scenario::run`]), the run is routed through the batched driver
+    /// automatically: identical report, one observer dispatch per
+    /// batch, allocation-free serve loop.
+    ///
     /// # Panics
     /// Same contract as [`rdbp_model::run`]: panics under full
-    /// auditing if the algorithm under-reports migrations.
-    pub fn run(mut self, observer: &mut dyn Observer) -> RunReport {
-        run_observed(
+    /// auditing if the algorithm mis-reports migrations.
+    pub fn run(self, observer: &mut dyn Observer) -> RunReport {
+        if observer.wants_steps() {
+            let mut this = self;
+            run_observed(
+                this.algorithm.as_mut(),
+                this.workload.as_mut(),
+                this.steps,
+                this.audit,
+                observer,
+            )
+        } else {
+            self.run_batched(DEFAULT_RUN_BATCH, observer)
+        }
+    }
+
+    /// Runs the scenario through the batched driver with an explicit
+    /// batch size (the `rdbp-sim --batch` entry point). Per-step
+    /// observer events are never emitted; one
+    /// [`rdbp_model::BatchEvent`] fires per batch. The report is
+    /// identical to [`PreparedScenario::run`] for every batch size.
+    ///
+    /// # Panics
+    /// Panics if `batch == 0`; otherwise same contract as
+    /// [`rdbp_model::run`].
+    pub fn run_batched(mut self, batch: u64, observer: &mut dyn Observer) -> RunReport {
+        run_batch(
             self.algorithm.as_mut(),
             self.workload.as_mut(),
             self.steps,
+            batch,
             self.audit,
             observer,
         )
@@ -253,6 +289,30 @@ mod tests {
         assert_eq!(prepared.audit(), AuditLevel::Full { load_limit: 24 });
         let report = s.run().unwrap();
         assert_eq!(report.capacity_violations, 0);
+    }
+
+    #[test]
+    fn batched_and_per_step_scenario_runs_are_identical() {
+        let registries = Registries::builtin();
+        for workload in ["uniform", "zipf", "chaser"] {
+            let s = scenario("dynamic", workload);
+            let per_step = s
+                .resolve(&registries)
+                .unwrap()
+                .run_batched(1, &mut NoopObserver);
+            for batch in [7u64, 64, 100_000] {
+                let batched = s
+                    .resolve(&registries)
+                    .unwrap()
+                    .run_batched(batch, &mut NoopObserver);
+                assert_eq!(batched, per_step, "{workload} batch={batch}");
+            }
+            // The observed (per-step) driver path agrees too.
+            let mut recorder = rdbp_model::observers::TraceRecorder::new();
+            let observed = s.resolve(&registries).unwrap().run(&mut recorder);
+            assert_eq!(observed, per_step, "{workload} observed");
+            assert_eq!(recorder.requests().len(), 500);
+        }
     }
 
     #[test]

@@ -35,10 +35,11 @@ pub mod workload;
 
 pub use instance::{Edge, Process, RingInstance, Segment, Server};
 pub use ledger::CostLedger;
-pub use placement::Placement;
+pub use placement::{MigrationRecord, Placement};
 pub use seed::split_mix64;
 pub use sim::{
-    run, run_observed, run_trace, run_trace_observed, AuditLevel, Driver, NoopObserver, Observer,
-    OnlineAlgorithm, RunReport, StepEvent,
+    run, run_batch, run_observed, run_trace, run_trace_observed, AuditLevel, BatchEvent,
+    BatchOutcome, Driver, NoopObserver, Observer, OnlineAlgorithm, RunReport, StepEvent,
+    StrictAuditor,
 };
 pub use workload::Workload;

@@ -250,6 +250,16 @@ impl Observer for Fanout<'_> {
         }
     }
 
+    fn on_batch(&mut self, event: &crate::BatchEvent) {
+        for obs in &mut self.observers {
+            obs.on_batch(event);
+        }
+    }
+
+    fn wants_steps(&self) -> bool {
+        self.observers.iter().any(|obs| obs.wants_steps())
+    }
+
     fn on_finish(&mut self, report: &RunReport) {
         for obs in &mut self.observers {
             obs.on_finish(report);
@@ -271,6 +281,9 @@ mod tests {
     impl crate::OnlineAlgorithm for Lazy {
         fn placement(&self) -> &Placement {
             &self.placement
+        }
+        fn placement_mut(&mut self) -> &mut Placement {
+            &mut self.placement
         }
         fn serve(&mut self, _request: Edge) -> u64 {
             0

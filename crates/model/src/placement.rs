@@ -4,19 +4,67 @@ use serde::{DeError, Deserialize, Serialize, Value};
 
 use crate::{Edge, Process, RingInstance, Segment, Server};
 
-/// An assignment of every process to a server, with server loads kept
-/// incrementally (O(1) per move, O(ℓ) max-load query).
+/// One recorded migration: process `process` moved `from → to`.
+///
+/// Records are appended by [`Placement::migrate`] (and therefore by
+/// [`Placement::migrate_segment`]) while journaling is enabled, in the
+/// exact order the moves happened — the delta stream the driver's
+/// O(changed) audit consumes instead of re-deriving a placement diff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationRecord {
+    /// The process that moved.
+    pub process: Process,
+    /// The server it left.
+    pub from: Server,
+    /// The server it landed on (always ≠ `from`; same-server moves are
+    /// not migrations and are never journaled).
+    pub to: Server,
+}
+
+/// An assignment of every process to a server, with server loads *and*
+/// the maximum load kept incrementally (O(1) per move, O(1) max-load
+/// query), plus an optional migration journal.
 ///
 /// A placement does **not** enforce capacity — the simulation driver
 /// audits loads against the augmented capacity `α·k`, because online and
 /// offline algorithms are held to different limits (resource
 /// augmentation, Section 2).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// ## The migration journal
+///
+/// When journaling is enabled ([`Placement::set_journaling`]), every
+/// actual migration appends a [`MigrationRecord`]. The driver's full
+/// audit arms journaling, lets the algorithm serve, then verifies the
+/// drained journal against the reported migration count — O(changed)
+/// instead of the former O(n) clone + Hamming diff. Journaling is off
+/// by default so placements used outside an auditing driver never
+/// accumulate records.
+#[derive(Debug, Clone)]
 pub struct Placement {
     servers_of: Vec<u32>,
     loads: Vec<u32>,
+    /// `load_count[l]` = number of servers currently at load `l`
+    /// (length `n + 1`; a load can never exceed `n`).
+    load_count: Vec<u32>,
+    /// Maximum entry of `loads`, maintained incrementally: loads change
+    /// by ±1 per migration, so the max moves by at most 1 per update and
+    /// `load_count` tells us exactly when it drops.
+    max: u32,
+    journal: Vec<MigrationRecord>,
+    record_journal: bool,
     instance: RingInstance,
 }
+
+/// Placements compare by what they assert — the assignment (and its
+/// instance). Loads, the max cache and the journal are derived or
+/// transient state.
+impl PartialEq for Placement {
+    fn eq(&self, other: &Self) -> bool {
+        self.instance == other.instance && self.servers_of == other.servers_of
+    }
+}
+
+impl Eq for Placement {}
 
 impl Placement {
     /// The canonical initial placement: process `pᵢ` on server
@@ -50,9 +98,18 @@ impl Placement {
             assert!(s < instance.servers(), "server index {s} out of range");
             loads[s as usize] += 1;
         }
+        let mut load_count = vec![0u32; instance.n() as usize + 1];
+        for &l in &loads {
+            load_count[l as usize] += 1;
+        }
+        let max = loads.iter().copied().max().unwrap_or(0);
         Self {
             servers_of,
             loads,
+            load_count,
+            max,
+            journal: Vec::new(),
+            record_journal: false,
             instance: *instance,
         }
     }
@@ -69,6 +126,28 @@ impl Placement {
         Server(self.servers_of[p.0 as usize])
     }
 
+    fn dec_load(&mut self, s: u32) {
+        let l = self.loads[s as usize];
+        self.loads[s as usize] = l - 1;
+        self.load_count[l as usize] -= 1;
+        self.load_count[l as usize - 1] += 1;
+        // The max drops (by exactly 1) iff the last max-load server just
+        // left the top bucket.
+        if l == self.max && self.load_count[l as usize] == 0 {
+            self.max -= 1;
+        }
+    }
+
+    fn inc_load(&mut self, s: u32) {
+        let l = self.loads[s as usize];
+        self.loads[s as usize] = l + 1;
+        self.load_count[l as usize] -= 1;
+        self.load_count[l as usize + 1] += 1;
+        if l + 1 > self.max {
+            self.max = l + 1;
+        }
+    }
+
     /// Moves process `p` to server `s`. Returns `true` if this was an
     /// actual migration (different server), which costs 1 in the model.
     ///
@@ -80,9 +159,16 @@ impl Placement {
         if old == s.0 {
             return false;
         }
-        self.loads[old as usize] -= 1;
-        self.loads[s.0 as usize] += 1;
+        self.dec_load(old);
+        self.inc_load(s.0);
         self.servers_of[p.0 as usize] = s.0;
+        if self.record_journal {
+            self.journal.push(MigrationRecord {
+                process: p,
+                from: Server(old),
+                to: s,
+            });
+        }
         true
     }
 
@@ -104,16 +190,51 @@ impl Placement {
         self.loads[s.0 as usize]
     }
 
-    /// Maximum load over all servers.
+    /// Maximum load over all servers — O(1), maintained incrementally
+    /// across migrations (property-tested against a full rescan).
     #[must_use]
     pub fn max_load(&self) -> u32 {
-        self.loads.iter().copied().max().unwrap_or(0)
+        self.max
     }
 
     /// All server loads.
     #[must_use]
     pub fn loads(&self) -> &[u32] {
         &self.loads
+    }
+
+    /// Enables or disables migration journaling. Disabling clears any
+    /// buffered records; enabling starts from an empty journal.
+    pub fn set_journaling(&mut self, enabled: bool) {
+        if self.record_journal != enabled {
+            self.journal.clear();
+        }
+        self.record_journal = enabled;
+    }
+
+    /// Whether migrations are currently being journaled.
+    #[must_use]
+    pub fn journaling(&self) -> bool {
+        self.record_journal
+    }
+
+    /// The migrations journaled since the last drain/clear, in order.
+    #[must_use]
+    pub fn journal(&self) -> &[MigrationRecord] {
+        &self.journal
+    }
+
+    /// Clears the journal, keeping its capacity (the auditing driver
+    /// calls this once per step, so steady-state auditing allocates
+    /// nothing).
+    pub fn clear_journal(&mut self) {
+        self.journal.clear();
+    }
+
+    /// Hands the buffered migration deltas to the caller, leaving the
+    /// journal empty (capacity retained).
+    pub fn drain_journal(&mut self) -> std::vec::Drain<'_, MigrationRecord> {
+        self.journal.drain(..)
     }
 
     /// Whether the endpoints of ring edge `e` sit on different servers
@@ -158,7 +279,8 @@ impl Placement {
 /// Placements serialize as `{instance, assignment}`; loads are
 /// recomputed on deserialization, and the assignment is re-validated
 /// against the instance (wrong length or out-of-range server indices
-/// are rejected instead of panicking).
+/// are rejected instead of panicking). The journal is transient and
+/// never serialized.
 impl Serialize for Placement {
     fn to_value(&self) -> Value {
         Value::Obj(vec![
@@ -192,6 +314,8 @@ impl Deserialize for Placement {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
 
     fn inst() -> RingInstance {
         RingInstance::new(12, 3, 4)
@@ -223,6 +347,83 @@ mod tests {
         // Same-server "move" is free.
         assert!(!p.migrate(Process(0), Server(2)));
         assert_eq!(p.load(Server(2)), 5);
+    }
+
+    #[test]
+    fn incremental_max_matches_rescan_under_random_churn() {
+        // Satellite regression: the O(1) max must equal a brute-force
+        // recompute after every single migration, including the
+        // decreasing direction the incremental path has to get right.
+        let i = RingInstance::new(24, 6, 4);
+        let mut p = Placement::contiguous(&i);
+        let mut rng = StdRng::seed_from_u64(99);
+        for step in 0..4000 {
+            let proc = Process(rng.random_range(0..i.n()));
+            let dst = Server(rng.random_range(0..i.servers()));
+            p.migrate(proc, dst);
+            let brute = p.loads().iter().copied().max().unwrap();
+            assert_eq!(
+                p.max_load(),
+                brute,
+                "step {step}: incremental max diverged from rescan"
+            );
+        }
+    }
+
+    #[test]
+    fn journal_records_actual_moves_in_order() {
+        let mut p = Placement::contiguous(&inst());
+        assert!(!p.journaling());
+        p.migrate(Process(0), Server(1)); // not journaled: disabled
+        p.set_journaling(true);
+        assert!(p.journal().is_empty());
+        p.migrate(Process(1), Server(2));
+        p.migrate(Process(1), Server(2)); // same-server no-op: not journaled
+        p.migrate(Process(1), Server(0));
+        let journal = p.journal().to_vec();
+        assert_eq!(
+            journal,
+            vec![
+                MigrationRecord {
+                    process: Process(1),
+                    from: Server(0),
+                    to: Server(2),
+                },
+                MigrationRecord {
+                    process: Process(1),
+                    from: Server(2),
+                    to: Server(0),
+                },
+            ]
+        );
+        let drained: Vec<_> = p.drain_journal().collect();
+        assert_eq!(drained, journal);
+        assert!(p.journal().is_empty());
+        assert!(p.journaling(), "draining keeps journaling armed");
+        p.set_journaling(false);
+        p.migrate(Process(2), Server(2));
+        assert!(p.journal().is_empty());
+    }
+
+    #[test]
+    fn journal_counts_match_segment_migrations() {
+        let i = inst();
+        let mut p = Placement::contiguous(&i);
+        p.set_journaling(true);
+        let seg = Segment::new(&i, 2, 3);
+        let moved = p.migrate_segment(&seg, Server(1));
+        assert_eq!(p.journal().len() as u64, moved);
+    }
+
+    #[test]
+    fn equality_ignores_journal_state() {
+        let mut a = Placement::contiguous(&inst());
+        let b = Placement::contiguous(&inst());
+        a.set_journaling(true);
+        a.migrate(Process(0), Server(1));
+        a.migrate(Process(0), Server(0));
+        assert!(!a.journal().is_empty());
+        assert_eq!(a, b, "equality is about the assignment, not the journal");
     }
 
     #[test]
@@ -262,6 +463,7 @@ mod tests {
         let i = inst();
         let p = Placement::from_assignment(&i, vec![0; 12]);
         assert_eq!(p.load(Server(0)), 12);
+        assert_eq!(p.max_load(), 12);
         assert_eq!(p.cut_edges().count(), 0);
     }
 

@@ -8,28 +8,86 @@
 //!    requested processes are located on different servers"),
 //! 2. lets the algorithm react (migrations happen here),
 //! 3. charges the migrations the algorithm reports and, in
-//!    [`AuditLevel::Full`], cross-checks them against the actual
-//!    placement diff,
-//! 4. audits the capacity constraint `max load ≤ limit`.
+//!    [`AuditLevel::Full`], cross-checks them against the placement's
+//!    drained migration journal — O(changed) per step instead of the
+//!    former O(n) clone + Hamming diff,
+//! 4. audits the capacity constraint `max load ≤ limit` (an O(1) read
+//!    of the placement's incrementally maintained max).
+//!
+//! ## Batched stepping
+//!
+//! [`Driver::step_batch`] / [`Driver::step_batch_generated`] serve a
+//! whole request batch with one observer dispatch ([`BatchEvent`])
+//! instead of one per request. Accounting is bit-identical to the
+//! per-step entry points: under full auditing every request still runs
+//! every audit; under [`AuditLevel::None`] the batch is handed to
+//! [`OnlineAlgorithm::serve_batch`], whose contract fixes the same
+//! request-at-a-time charging order. Adaptive workloads (those that
+//! inspect the live placement) are automatically generated
+//! request-by-request so batching never changes what an adversary sees.
+
+use std::collections::HashMap;
 
 use serde::{DeError, Deserialize, Serialize, Value};
 
 use crate::workload::Workload;
-use crate::{CostLedger, Edge, Placement};
+use crate::{CostLedger, Edge, Placement, Process};
+
+/// How many requests [`Driver::step_batch_generated`] pre-generates per
+/// [`Workload::fill_batch`] call. Bounds the driver's request buffer
+/// while amortizing the per-edge virtual dispatch.
+const GEN_CHUNK: u64 = 4096;
+
+/// What a whole batch did inside [`OnlineAlgorithm::serve_batch`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Requests whose edge was cut *at request time* (communication
+    /// cost, charged in request order as each request is served).
+    pub charged: u64,
+    /// Total migrations reported across the batch.
+    pub migrations: u64,
+    /// Largest max-load observed after serving each request of the
+    /// batch.
+    pub max_load_seen: u32,
+}
 
 /// An online algorithm for ring-demand balanced partitioning.
 ///
 /// Implementations maintain their own [`Placement`] and react to one
 /// request at a time. They must report the number of migrations each
-/// request triggered; the driver verifies the report in
-/// [`AuditLevel::Full`] runs.
+/// request triggered; the driver verifies the report against the
+/// placement's migration journal in [`AuditLevel::Full`] runs.
 pub trait OnlineAlgorithm {
     /// The algorithm's current placement of processes onto servers.
     fn placement(&self) -> &Placement;
 
+    /// Mutable access to the placement — **driver plumbing**, used to
+    /// arm and drain the migration journal around each audited serve.
+    /// Algorithms must route their own moves through
+    /// [`Placement::migrate`]/[`Placement::migrate_segment`] as usual.
+    fn placement_mut(&mut self) -> &mut Placement;
+
     /// Serves one communication request and returns the number of
     /// process migrations performed while serving it.
     fn serve(&mut self, request: Edge) -> u64;
+
+    /// Serves a request batch, charging communication per request from
+    /// the placement *as it stands when that request is reached* (the
+    /// same order the per-step driver uses).
+    ///
+    /// The default loops over [`OnlineAlgorithm::serve`];
+    /// implementations may specialize (e.g. pre-route the whole batch)
+    /// but must keep the request-at-a-time accounting order so batched
+    /// and unbatched runs produce identical ledgers.
+    fn serve_batch(&mut self, requests: &[Edge]) -> BatchOutcome {
+        let mut out = BatchOutcome::default();
+        for &request in requests {
+            out.charged += u64::from(self.placement().is_cut(request));
+            out.migrations += self.serve(request);
+            out.max_load_seen = out.max_load_seen.max(self.placement().max_load());
+        }
+        out
+    }
 
     /// Human-readable name (for reports).
     fn name(&self) -> &'static str {
@@ -70,8 +128,9 @@ pub trait OnlineAlgorithm {
 /// How strictly the driver validates each step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AuditLevel {
-    /// Verify reported migrations against a placement diff (O(n)/step)
-    /// and check the capacity limit after every step.
+    /// Verify reported migrations against the placement's migration
+    /// journal (O(changed)/step) and check the capacity limit after
+    /// every step.
     Full {
         /// Maximum allowed server load, typically `⌈α·k⌉` for the
         /// algorithm's resource-augmentation factor `α`.
@@ -151,6 +210,46 @@ impl StepEvent {
     }
 }
 
+/// What the driver observed over one request batch. Emitted to
+/// [`Observer::on_batch`] after the whole batch was charged and
+/// audited — one dispatch instead of `served`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchEvent {
+    /// 0-based index of the batch's first step within the run.
+    pub start_step: u64,
+    /// Requests served by this batch.
+    pub served: u64,
+    /// Requests of the batch that were charged communication.
+    pub charged: u64,
+    /// Migrations reported across the batch.
+    pub migrations: u64,
+    /// Largest max-load observed after serving each request.
+    pub max_load: u32,
+    /// Steps of the batch that exceeded the load limit (always 0 under
+    /// [`AuditLevel::None`]).
+    pub violations: u64,
+}
+
+impl BatchEvent {
+    fn at(start_step: u64) -> Self {
+        Self {
+            start_step,
+            served: 0,
+            charged: 0,
+            migrations: 0,
+            max_load: 0,
+            violations: 0,
+        }
+    }
+
+    /// The batch's contribution to the total cost
+    /// (`communication + migration` delta).
+    #[must_use]
+    pub fn cost_delta(&self) -> u64 {
+        self.charged + self.migrations
+    }
+}
+
 /// A streaming consumer of driver events.
 ///
 /// Observers see every step as it happens — per-step cost curves, CSV
@@ -162,6 +261,21 @@ pub trait Observer {
     /// Called once per request, after costs were charged and audits ran.
     fn on_step(&mut self, _event: &StepEvent) {}
 
+    /// Called once per batch by the batched entry points
+    /// ([`Driver::step_batch`], [`Driver::step_batch_generated`],
+    /// [`run_batch`]). Batched runs do **not** call
+    /// [`Observer::on_step`].
+    fn on_batch(&mut self, _event: &BatchEvent) {}
+
+    /// Whether this observer needs per-step events. Executors that are
+    /// free to choose (e.g. the scenario engine) route runs through the
+    /// batched driver when every observer answers `false` — the
+    /// allocation-free fast path. Defaults to `true` so custom per-step
+    /// observers keep working unchanged.
+    fn wants_steps(&self) -> bool {
+        true
+    }
+
     /// Called once when the run completes, with the final report.
     fn on_finish(&mut self, _report: &RunReport) {}
 }
@@ -170,13 +284,17 @@ pub trait Observer {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NoopObserver;
 
-impl Observer for NoopObserver {}
+impl Observer for NoopObserver {
+    fn wants_steps(&self) -> bool {
+        false
+    }
+}
 
 /// Runs `algorithm` against `workload` for `steps` requests.
 ///
 /// # Panics
-/// Panics under [`AuditLevel::Full`] if the algorithm under-reports its
-/// migrations (reported < actual placement diff).
+/// Panics under [`AuditLevel::Full`] if the algorithm mis-reports its
+/// migrations (reported ≠ journaled moves).
 pub fn run<A, W>(algorithm: &mut A, workload: &mut W, steps: u64, audit: AuditLevel) -> RunReport
 where
     A: OnlineAlgorithm + ?Sized,
@@ -204,6 +322,37 @@ where
     let mut driver = Driver::new(algorithm.name(), workload.name(), audit);
     for _ in 0..steps {
         driver.step_generated(algorithm, workload, observer);
+    }
+    driver.finish(observer)
+}
+
+/// Runs `algorithm` against `workload` through the batched driver:
+/// requests are served in batches of `batch`, with one
+/// [`BatchEvent`] dispatched per batch instead of a [`StepEvent`] per
+/// request. Accounting (ledger, max load, violations) is identical to
+/// [`run`] for every batch size.
+///
+/// # Panics
+/// Panics if `batch == 0`; otherwise same contract as [`run`].
+pub fn run_batch<A, W>(
+    algorithm: &mut A,
+    workload: &mut W,
+    steps: u64,
+    batch: u64,
+    audit: AuditLevel,
+    observer: &mut dyn Observer,
+) -> RunReport
+where
+    A: OnlineAlgorithm + ?Sized,
+    W: Workload + ?Sized,
+{
+    assert!(batch > 0, "batch size must be positive");
+    let mut driver = Driver::new(algorithm.name(), workload.name(), audit);
+    let mut left = steps;
+    while left > 0 {
+        let take = left.min(batch);
+        driver.step_batch_generated(algorithm, workload, take, observer);
+        left -= take;
     }
     driver.finish(observer)
 }
@@ -246,8 +395,8 @@ where
 /// this; long-lived callers (the serve subsystem's sessions) hold a
 /// `Driver` open and feed it requests as they arrive. Cost charging and
 /// auditing are identical in both shapes — a run assembled from any
-/// interleaving of [`Driver::step`] calls produces the same
-/// [`RunReport`] as the equivalent batch run.
+/// interleaving of [`Driver::step`]/[`Driver::step_batch`] calls
+/// produces the same [`RunReport`] as the equivalent batch run.
 ///
 /// A driver can also be [resumed](Driver::resume) from a persisted
 /// [`RunReport`], which continues the accounting exactly where the
@@ -256,9 +405,12 @@ where
 pub struct Driver {
     report: RunReport,
     audit: AuditLevel,
-    /// Scratch placement reused across steps to avoid an allocation per
-    /// step under full auditing. Pure cache — never part of a snapshot.
-    scratch: Option<Placement>,
+    /// Scratch: request buffer reused across generated batches. Pure
+    /// cache — never part of a snapshot.
+    gen_buf: Vec<Edge>,
+    /// Scratch: process → latest destination while verifying one step's
+    /// journal (cleared per step, capacity retained).
+    chain: HashMap<u32, u32>,
 }
 
 impl Driver {
@@ -272,7 +424,8 @@ impl Driver {
         Self {
             report: RunReport::new(algorithm, workload),
             audit,
-            scratch: None,
+            gen_buf: Vec::new(),
+            chain: HashMap::new(),
         }
     }
 
@@ -282,7 +435,8 @@ impl Driver {
         Self {
             report,
             audit,
-            scratch: None,
+            gen_buf: Vec::new(),
+            chain: HashMap::new(),
         }
     }
 
@@ -331,15 +485,141 @@ impl Driver {
     where
         A: OnlineAlgorithm + ?Sized,
     {
+        let event = self.step_inner(algorithm, request);
+        observer.on_step(&event);
+        event
+    }
+
+    /// Serves an explicit request batch, emitting one [`BatchEvent`] to
+    /// `observer` (no per-step events). Under full auditing every
+    /// request still runs the journal and capacity audits.
+    ///
+    /// # Panics
+    /// Same contract as [`run`].
+    pub fn step_batch<A>(
+        &mut self,
+        algorithm: &mut A,
+        requests: &[Edge],
+        observer: &mut dyn Observer,
+    ) -> BatchEvent
+    where
+        A: OnlineAlgorithm + ?Sized,
+    {
+        let mut event = BatchEvent::at(self.report.steps);
+        self.step_batch_inner(algorithm, requests, &mut event);
+        observer.on_batch(&event);
+        event
+    }
+
+    /// Serves `steps` workload-generated requests as one batch,
+    /// emitting one [`BatchEvent`].
+    ///
+    /// Oblivious workloads are pre-generated chunk-wise through
+    /// [`Workload::fill_batch`] (one virtual call per chunk); adaptive
+    /// workloads ([`Workload::is_adaptive`]) fall back to per-request
+    /// generation so the adversary sees exactly the placements it would
+    /// see unbatched.
+    ///
+    /// # Panics
+    /// Same contract as [`run`].
+    pub fn step_batch_generated<A, W>(
+        &mut self,
+        algorithm: &mut A,
+        workload: &mut W,
+        steps: u64,
+        observer: &mut dyn Observer,
+    ) -> BatchEvent
+    where
+        A: OnlineAlgorithm + ?Sized,
+        W: Workload + ?Sized,
+    {
+        let mut event = BatchEvent::at(self.report.steps);
+        if workload.is_adaptive() {
+            for _ in 0..steps {
+                let request = workload.next_request(algorithm.placement());
+                let step = self.step_inner(algorithm, request);
+                accumulate(&mut event, &step);
+            }
+        } else {
+            let mut buf = std::mem::take(&mut self.gen_buf);
+            let mut left = steps;
+            while left > 0 {
+                let take = left.min(GEN_CHUNK);
+                buf.clear();
+                workload.fill_batch(algorithm.placement(), take, &mut buf);
+                debug_assert_eq!(buf.len() as u64, take, "fill_batch under-filled");
+                self.step_batch_inner(algorithm, &buf, &mut event);
+                left -= take;
+            }
+            self.gen_buf = buf;
+        }
+        observer.on_batch(&event);
+        event
+    }
+
+    /// Batch body shared by [`Driver::step_batch`] and
+    /// [`Driver::step_batch_generated`]: accounts the requests without
+    /// dispatching any observer event.
+    fn step_batch_inner<A>(&mut self, algorithm: &mut A, requests: &[Edge], event: &mut BatchEvent)
+    where
+        A: OnlineAlgorithm + ?Sized,
+    {
+        match self.audit {
+            AuditLevel::Full { .. } => {
+                // Full audit is inherently per-request: the journal is
+                // drained and the capacity limit checked after every
+                // serve, exactly as in the unbatched path.
+                for &request in requests {
+                    let step = self.step_inner(algorithm, request);
+                    accumulate(event, &step);
+                }
+            }
+            AuditLevel::None => {
+                if algorithm.placement().journaling() {
+                    algorithm.placement_mut().set_journaling(false);
+                }
+                let out = algorithm.serve_batch(requests);
+                self.report.ledger.communication += out.charged;
+                self.report.ledger.migration += out.migrations;
+                self.report.steps += requests.len() as u64;
+                self.report.max_load_seen = self.report.max_load_seen.max(out.max_load_seen);
+                event.served += requests.len() as u64;
+                event.charged += out.charged;
+                event.migrations += out.migrations;
+                event.max_load = event.max_load.max(out.max_load_seen);
+            }
+        }
+    }
+
+    /// One fully accounted step, without observer dispatch.
+    fn step_inner<A>(&mut self, algorithm: &mut A, request: Edge) -> StepEvent
+    where
+        A: OnlineAlgorithm + ?Sized,
+    {
         let charged = algorithm.placement().is_cut(request);
         if charged {
             self.report.ledger.communication += 1;
         }
-        if let AuditLevel::Full { .. } = self.audit {
-            // Reuse the scratch placement to avoid an allocation per step.
-            match &mut self.scratch {
-                Some(prev) => prev.clone_from(algorithm.placement()),
-                None => self.scratch = Some(algorithm.placement().clone()),
+        match self.audit {
+            AuditLevel::Full { .. } => {
+                // Arm the journal so this step's migrations are
+                // recorded (idempotent; re-armed every step because
+                // snapshot restores replace the placement wholesale).
+                let placement = algorithm.placement_mut();
+                if !placement.journaling() {
+                    placement.set_journaling(true);
+                }
+                debug_assert!(
+                    placement.journal().is_empty(),
+                    "journal must be drained between steps"
+                );
+            }
+            AuditLevel::None => {
+                // Disarm journaling left over from an earlier audited
+                // driver so unaudited serving never buffers records.
+                if algorithm.placement().journaling() {
+                    algorithm.placement_mut().set_journaling(false);
+                }
             }
         }
         let step_index = self.report.steps;
@@ -352,31 +632,67 @@ impl Driver {
 
         let mut violated = false;
         if let AuditLevel::Full { load_limit } = self.audit {
-            let actual = self
-                .scratch
-                .as_ref()
-                .expect("scratch placement set above")
-                .migration_distance(algorithm.placement());
-            assert!(
-                reported >= actual,
-                "algorithm under-reported migrations: reported {reported}, actual {actual}"
-            );
+            self.verify_journal(algorithm.placement(), reported);
+            algorithm.placement_mut().clear_journal();
             if max_load > load_limit {
                 self.report.capacity_violations += 1;
                 violated = true;
             }
         }
 
-        let event = StepEvent {
+        StepEvent {
             step: step_index,
             request,
             charged,
             migrations: reported,
             max_load,
             violated,
-        };
-        observer.on_step(&event);
-        event
+        }
+    }
+
+    /// The O(changed) migration audit: the reported count must equal the
+    /// journaled moves exactly, the journaled moves must chain (a
+    /// process re-moving within one step must depart from where the
+    /// previous record left it), and every chain must end where the
+    /// placement actually has the process.
+    fn verify_journal(&mut self, placement: &Placement, reported: u64) {
+        let journal = placement.journal();
+        let actual = journal.len() as u64;
+        assert!(
+            reported >= actual,
+            "algorithm under-reported migrations: reported {reported}, actual {actual}"
+        );
+        assert!(
+            reported <= actual,
+            "algorithm over-reported migrations: reported {reported}, actual {actual}"
+        );
+        self.chain.clear();
+        for rec in journal {
+            assert!(
+                rec.from != rec.to,
+                "journal records a no-op move of process {}",
+                rec.process.0
+            );
+            if let Some(&prev_to) = self.chain.get(&rec.process.0) {
+                assert!(
+                    prev_to == rec.from.0,
+                    "journal chain broken for process {}: departs server {} but was last \
+                     placed on {}",
+                    rec.process.0,
+                    rec.from.0,
+                    prev_to
+                );
+            }
+            self.chain.insert(rec.process.0, rec.to.0);
+        }
+        for (&p, &s) in &self.chain {
+            assert!(
+                placement.server(Process(p)).0 == s,
+                "journal end position of process {p} (server {s}) disagrees with the \
+                 placement (server {})",
+                placement.server(Process(p)).0
+            );
+        }
     }
 
     /// Ends the run: emits `on_finish` and yields the final report.
@@ -384,6 +700,63 @@ impl Driver {
     pub fn finish(self, observer: &mut dyn Observer) -> RunReport {
         observer.on_finish(&self.report);
         self.report
+    }
+}
+
+fn accumulate(event: &mut BatchEvent, step: &StepEvent) {
+    event.served += 1;
+    event.charged += u64::from(step.charged);
+    event.migrations += step.migrations;
+    event.max_load = event.max_load.max(step.max_load);
+    event.violations += u64::from(step.violated);
+}
+
+/// The pre-journal reference auditor: clones the placement before each
+/// serve and verifies the reported migrations against the O(n) Hamming
+/// diff, exactly as `Driver::step` did before the delta-driven refactor.
+///
+/// Kept as the independent ground truth for the differential-audit
+/// property tests (`tests/differential_audit.rs`): on any honest
+/// algorithm, the journal audit and this reference must agree
+/// step-for-step. Not used on any hot path.
+#[derive(Debug, Default)]
+pub struct StrictAuditor {
+    scratch: Option<Placement>,
+}
+
+impl StrictAuditor {
+    /// A fresh reference auditor.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Captures the pre-serve placement (clone into a reused scratch).
+    pub fn arm(&mut self, placement: &Placement) {
+        match &mut self.scratch {
+            Some(prev) => prev.clone_from(placement),
+            None => self.scratch = Some(placement.clone()),
+        }
+    }
+
+    /// Verifies `reported` against the Hamming distance between the
+    /// armed snapshot and `placement`; returns that distance.
+    ///
+    /// # Panics
+    /// Panics if [`StrictAuditor::arm`] was never called, or if the
+    /// algorithm under-reported (`reported <` actual diff) — the exact
+    /// strictness the old driver enforced.
+    pub fn verify(&self, placement: &Placement, reported: u64) -> u64 {
+        let actual = self
+            .scratch
+            .as_ref()
+            .expect("StrictAuditor::arm before verify")
+            .migration_distance(placement);
+        assert!(
+            reported >= actual,
+            "algorithm under-reported migrations: reported {reported}, actual {actual}"
+        );
+        actual
     }
 }
 
@@ -401,6 +774,10 @@ mod tests {
     impl OnlineAlgorithm for Lazy {
         fn placement(&self) -> &Placement {
             &self.placement
+        }
+
+        fn placement_mut(&mut self) -> &mut Placement {
+            &mut self.placement
         }
 
         fn serve(&mut self, _request: Edge) -> u64 {
@@ -421,6 +798,10 @@ mod tests {
     impl OnlineAlgorithm for GreedyPull {
         fn placement(&self) -> &Placement {
             &self.placement
+        }
+
+        fn placement_mut(&mut self) -> &mut Placement {
+            &mut self.placement
         }
 
         fn serve(&mut self, request: Edge) -> u64 {
@@ -489,6 +870,9 @@ mod tests {
             fn placement(&self) -> &Placement {
                 &self.placement
             }
+            fn placement_mut(&mut self) -> &mut Placement {
+                &mut self.placement
+            }
             fn serve(&mut self, _r: Edge) -> u64 {
                 self.placement.migrate(Process(0), Server(1));
                 0 // lies
@@ -499,5 +883,150 @@ mod tests {
             placement: Placement::contiguous(&inst),
         };
         let _ = run_trace(&mut alg, &[Edge(0)], AuditLevel::Full { load_limit: 10 });
+    }
+
+    #[test]
+    #[should_panic(expected = "over-reported")]
+    fn over_reporting_is_caught() {
+        struct Braggart {
+            placement: Placement,
+        }
+        impl OnlineAlgorithm for Braggart {
+            fn placement(&self) -> &Placement {
+                &self.placement
+            }
+            fn placement_mut(&mut self) -> &mut Placement {
+                &mut self.placement
+            }
+            fn serve(&mut self, _r: Edge) -> u64 {
+                2 // claims migrations it never made
+            }
+        }
+        let inst = RingInstance::new(6, 3, 2);
+        let mut alg = Braggart {
+            placement: Placement::contiguous(&inst),
+        };
+        let _ = run_trace(&mut alg, &[Edge(0)], AuditLevel::Full { load_limit: 10 });
+    }
+
+    #[test]
+    fn batched_runs_match_per_step_runs_exactly() {
+        // Same seeds, same workload, every batch size: identical report.
+        let inst = RingInstance::new(12, 3, 4);
+        let baseline = {
+            let mut alg = GreedyPull {
+                placement: Placement::contiguous(&inst),
+            };
+            let mut w = crate::workload::UniformRandom::new(7);
+            run(&mut alg, &mut w, 500, AuditLevel::Full { load_limit: 12 })
+        };
+        for (batch, audit) in [
+            (1u64, AuditLevel::Full { load_limit: 12 }),
+            (7, AuditLevel::Full { load_limit: 12 }),
+            (500, AuditLevel::Full { load_limit: 12 }),
+            (64, AuditLevel::None),
+        ] {
+            let mut alg = GreedyPull {
+                placement: Placement::contiguous(&inst),
+            };
+            let mut w = crate::workload::UniformRandom::new(7);
+            let report = run_batch(&mut alg, &mut w, 500, batch, audit, &mut NoopObserver);
+            assert_eq!(report.ledger, baseline.ledger, "batch={batch}");
+            assert_eq!(report.steps, baseline.steps, "batch={batch}");
+            assert_eq!(
+                report.max_load_seen, baseline.max_load_seen,
+                "batch={batch}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_events_sum_to_the_report() {
+        struct Sum {
+            served: u64,
+            cost: u64,
+            batches: u64,
+            steps_seen: u64,
+        }
+        impl Observer for Sum {
+            fn on_step(&mut self, _e: &StepEvent) {
+                self.steps_seen += 1;
+            }
+            fn on_batch(&mut self, e: &BatchEvent) {
+                self.served += e.served;
+                self.cost += e.cost_delta();
+                self.batches += 1;
+            }
+        }
+        let inst = RingInstance::new(12, 3, 4);
+        let mut alg = GreedyPull {
+            placement: Placement::contiguous(&inst),
+        };
+        let mut w = crate::workload::UniformRandom::new(3);
+        let mut sum = Sum {
+            served: 0,
+            cost: 0,
+            batches: 0,
+            steps_seen: 0,
+        };
+        let report = run_batch(
+            &mut alg,
+            &mut w,
+            300,
+            64,
+            AuditLevel::Full { load_limit: 12 },
+            &mut sum,
+        );
+        assert_eq!(sum.served, report.steps);
+        assert_eq!(sum.cost, report.ledger.total());
+        assert_eq!(sum.batches, 5); // ⌈300/64⌉
+        assert_eq!(sum.steps_seen, 0, "batched runs never emit step events");
+    }
+
+    #[test]
+    fn adaptive_workloads_are_generated_per_request_in_batches() {
+        // The cut-chaser inspects the live placement; batching must not
+        // change what it sees, so batched == unbatched bit-for-bit.
+        let inst = RingInstance::new(12, 3, 4);
+        let mut a = GreedyPull {
+            placement: Placement::contiguous(&inst),
+        };
+        let mut wa = crate::workload::CutChaser::new();
+        let unbatched = run(&mut a, &mut wa, 200, AuditLevel::None);
+        let mut b = GreedyPull {
+            placement: Placement::contiguous(&inst),
+        };
+        let mut wb = crate::workload::CutChaser::new();
+        let batched = run_batch(
+            &mut b,
+            &mut wb,
+            200,
+            50,
+            AuditLevel::None,
+            &mut NoopObserver,
+        );
+        assert_eq!(unbatched.ledger, batched.ledger);
+        assert_eq!(
+            a.placement.assignment(),
+            b.placement.assignment(),
+            "final placements must coincide"
+        );
+    }
+
+    #[test]
+    fn strict_auditor_matches_honest_reports() {
+        let inst = RingInstance::new(12, 3, 4);
+        let mut alg = GreedyPull {
+            placement: Placement::contiguous(&inst),
+        };
+        let mut strict = StrictAuditor::new();
+        let mut w = crate::workload::UniformRandom::new(11);
+        for _ in 0..200 {
+            let request = w.next_request(&alg.placement);
+            strict.arm(&alg.placement);
+            let reported = alg.serve(request);
+            let actual = strict.verify(&alg.placement, reported);
+            assert_eq!(reported, actual);
+        }
     }
 }

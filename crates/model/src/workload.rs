@@ -22,6 +22,33 @@ pub trait Workload {
     /// inspect `placement`; oblivious workloads ignore it.
     fn next_request(&mut self, placement: &Placement) -> Edge;
 
+    /// Whether this workload inspects the live placement (an adaptive
+    /// adversary). Batched executors must generate adaptive requests
+    /// one at a time, interleaved with serving — pre-generating a batch
+    /// would show the adversary a stale placement. Oblivious workloads
+    /// (the default) may be pre-generated freely.
+    fn is_adaptive(&self) -> bool {
+        false
+    }
+
+    /// Appends `n` requests to `out`, generated against `placement`.
+    ///
+    /// For oblivious workloads this is exactly `n` calls to
+    /// [`Workload::next_request`] — same RNG stream, same requests —
+    /// with one virtual dispatch per batch instead of one per edge;
+    /// implementations specialize it with tight loops that hoist the
+    /// per-request instance lookups. For adaptive workloads the default
+    /// generates against the *fixed* `placement` snapshot, which is
+    /// only correct when the placement cannot change mid-batch — the
+    /// batched driver never calls `fill_batch` on an adaptive workload
+    /// (see [`Workload::is_adaptive`]).
+    fn fill_batch(&mut self, placement: &Placement, n: u64, out: &mut Vec<Edge>) {
+        out.reserve(n as usize);
+        for _ in 0..n {
+            out.push(self.next_request(placement));
+        }
+    }
+
     /// Human-readable name (for reports).
     fn name(&self) -> &'static str;
 
@@ -77,6 +104,15 @@ impl Workload for Sequential {
         e
     }
 
+    fn fill_batch(&mut self, placement: &Placement, n: u64, out: &mut Vec<Edge>) {
+        let inst = *placement.instance();
+        out.reserve(n as usize);
+        for _ in 0..n {
+            out.push(inst.edge(self.t));
+            self.t += 1;
+        }
+    }
+
     fn name(&self) -> &'static str {
         "allreduce"
     }
@@ -111,6 +147,14 @@ impl Workload for UniformRandom {
     fn next_request(&mut self, placement: &Placement) -> Edge {
         let n = placement.instance().n();
         Edge(self.rng.random_range(0..n))
+    }
+
+    fn fill_batch(&mut self, placement: &Placement, n: u64, out: &mut Vec<Edge>) {
+        let edges = placement.instance().n();
+        out.reserve(n as usize);
+        for _ in 0..n {
+            out.push(Edge(self.rng.random_range(0..edges)));
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -180,6 +224,16 @@ impl Workload for Zipf {
         Edge(self.edge_of_rank[rank])
     }
 
+    fn fill_batch(&mut self, _placement: &Placement, n: u64, out: &mut Vec<Edge>) {
+        let last = self.edge_of_rank.len() - 1;
+        out.reserve(n as usize);
+        for _ in 0..n {
+            let u: f64 = self.rng.random();
+            let rank = self.cdf.partition_point(|&c| c < u).min(last);
+            out.push(Edge(self.edge_of_rank[rank]));
+        }
+    }
+
     fn name(&self) -> &'static str {
         "zipf"
     }
@@ -233,6 +287,18 @@ impl Workload for SlidingWindow {
         let offset = u64::from(self.rng.random_range(0..self.width.min(inst.n())));
         self.t += 1;
         inst.edge(base + offset)
+    }
+
+    fn fill_batch(&mut self, placement: &Placement, n: u64, out: &mut Vec<Edge>) {
+        let inst = *placement.instance();
+        let width = self.width.min(inst.n());
+        out.reserve(n as usize);
+        for _ in 0..n {
+            let base = self.t / self.period;
+            let offset = u64::from(self.rng.random_range(0..width));
+            self.t += 1;
+            out.push(inst.edge(base + offset));
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -296,6 +362,20 @@ impl Workload for RotatingHotspot {
         }
     }
 
+    fn fill_batch(&mut self, placement: &Placement, n: u64, out: &mut Vec<Edge>) {
+        let inst = *placement.instance();
+        out.reserve(n as usize);
+        for _ in 0..n {
+            let epoch = self.t / self.dwell;
+            self.t += 1;
+            out.push(if self.rng.random::<f64>() < self.p_hot {
+                inst.edge(epoch * u64::from(self.jump))
+            } else {
+                Edge(self.rng.random_range(0..inst.n()))
+            });
+        }
+    }
+
     fn name(&self) -> &'static str {
         "rotating-hotspot"
     }
@@ -354,6 +434,19 @@ impl Workload for Bursty {
         fresh
     }
 
+    fn fill_batch(&mut self, placement: &Placement, n: u64, out: &mut Vec<Edge>) {
+        let edges = placement.instance().n();
+        out.reserve(n as usize);
+        for _ in 0..n {
+            let fresh = match self.current {
+                Some(e) if self.rng.random::<f64>() < self.p_continue => e,
+                _ => Edge(self.rng.random_range(0..edges)),
+            };
+            self.current = Some(fresh);
+            out.push(fresh);
+        }
+    }
+
     fn name(&self) -> &'static str {
         "bursty"
     }
@@ -403,6 +496,20 @@ impl Workload for RandomWalk {
         placement.instance().edge(self.position)
     }
 
+    fn fill_batch(&mut self, placement: &Placement, n: u64, out: &mut Vec<Edge>) {
+        let inst = *placement.instance();
+        let edges = u64::from(inst.n());
+        out.reserve(n as usize);
+        for _ in 0..n {
+            match self.rng.random_range(0..3u8) {
+                0 => self.position = (self.position + 1) % edges,
+                1 => self.position = (self.position + edges - 1) % edges,
+                _ => {}
+            }
+            out.push(inst.edge(self.position));
+        }
+    }
+
     fn name(&self) -> &'static str {
         "random-walk"
     }
@@ -443,6 +550,12 @@ impl CutChaser {
 }
 
 impl Workload for CutChaser {
+    // Adaptive: inspects the live placement, so batched executors must
+    // generate its requests one serve at a time.
+    fn is_adaptive(&self) -> bool {
+        true
+    }
+
     fn next_request(&mut self, placement: &Placement) -> Edge {
         let n = placement.instance().n();
         for off in 1..=n {
@@ -493,6 +606,15 @@ impl Workload for Replay {
         let e = self.requests[self.t % self.requests.len()];
         self.t += 1;
         e
+    }
+
+    fn fill_batch(&mut self, _placement: &Placement, n: u64, out: &mut Vec<Edge>) {
+        let len = self.requests.len();
+        out.reserve(n as usize);
+        for _ in 0..n {
+            out.push(self.requests[self.t % len]);
+            self.t += 1;
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -629,6 +751,54 @@ mod tests {
         let reqs = record(&mut w, &p, 50);
         let hot = reqs.iter().filter(|e| e.0 == 0).count();
         assert!(hot >= 35, "first epoch hotspot is edge 0, got {hot}");
+    }
+
+    #[test]
+    fn fill_batch_matches_repeated_next_request() {
+        // The batched generation path must consume the identical RNG
+        // stream as per-request generation — split points must not
+        // matter (the property the batched driver's bit-identity
+        // relies on).
+        let p = placement();
+        let make: Vec<(&str, Box<dyn Fn() -> Box<dyn Workload>>)> = vec![
+            ("allreduce", Box::new(|| Box::new(Sequential::new()))),
+            ("uniform", Box::new(|| Box::new(UniformRandom::new(9)))),
+            (
+                "zipf",
+                Box::new(|| Box::new(Zipf::new(placement().instance(), 1.2, 4))),
+            ),
+            (
+                "sliding",
+                Box::new(|| Box::new(SlidingWindow::new(4, 10, 3))),
+            ),
+            (
+                "hotspot",
+                Box::new(|| Box::new(RotatingHotspot::new(0.8, 3, 20, 6))),
+            ),
+            ("bursty", Box::new(|| Box::new(Bursty::new(0.9, 5)))),
+            ("random-walk", Box::new(|| Box::new(RandomWalk::new(5, 9)))),
+            (
+                "replay",
+                Box::new(|| Box::new(Replay::new(vec![Edge(1), Edge(2), Edge(3)]))),
+            ),
+        ];
+        for (name, build) in make {
+            let mut per_step = build();
+            let want = record(per_step.as_mut(), &p, 300);
+            let mut batched = build();
+            assert!(!batched.is_adaptive(), "{name} must be oblivious");
+            let mut got = Vec::new();
+            for chunk in [1u64, 7, 100, 192] {
+                batched.fill_batch(&p, chunk, &mut got);
+            }
+            assert_eq!(got, want, "{name}: batched stream diverged");
+        }
+    }
+
+    #[test]
+    fn cut_chaser_is_adaptive() {
+        assert!(CutChaser::new().is_adaptive());
+        assert!(!UniformRandom::new(0).is_adaptive());
     }
 
     #[test]

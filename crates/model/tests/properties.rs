@@ -140,6 +140,9 @@ proptest! {
             fn placement(&self) -> &Placement {
                 &self.0
             }
+            fn placement_mut(&mut self) -> &mut Placement {
+                &mut self.0
+            }
             fn serve(&mut self, _e: Edge) -> u64 {
                 0
             }

@@ -62,8 +62,18 @@ pub struct HstHedge {
     num_states: usize,
     coupling: QuantileCoupling,
     rng: StdRng,
+    /// Cache: per-node conditional child probabilities
+    /// `hedge_probs(log_w)`, updated write-through whenever a node's
+    /// weights change. Serving a one-hot task only touches the O(log N)
+    /// nodes on the hit's root→leaf path, so this turns the two
+    /// exponentials per node per serve into two per *changed* node.
+    cond: Vec<(f64, f64)>,
     /// Scratch: leaf probabilities.
     probs: Vec<f64>,
+    /// Whether `probs` currently holds the leaf distribution for the
+    /// current weights (set at the end of every serve; the next serve
+    /// then skips its leading recompute).
+    probs_fresh: bool,
     /// Scratch: per-subtree total probability mass (aligned with nodes).
     mass: Vec<f64>,
     /// Scratch: per-subtree expected cost under the conditional leaf
@@ -87,6 +97,7 @@ impl HstHedge {
         let root = build(&mut nodes, 0, num_states);
         let rng = StdRng::seed_from_u64(seed);
         let n_nodes = nodes.len();
+        let cond = nodes.iter().map(|n| hedge_probs(n.log_w)).collect();
         let mut policy = Self {
             nodes,
             root,
@@ -94,7 +105,9 @@ impl HstHedge {
             // Placeholder; replaced right below once probs exist.
             coupling: QuantileCoupling::with_u(&Distribution::uniform(num_states.max(1)), 0.5),
             rng,
+            cond,
             probs: vec![0.0; num_states],
+            probs_fresh: false,
             mass: vec![0.0; n_nodes],
             exp_cost: vec![0.0; n_nodes],
         };
@@ -134,7 +147,7 @@ impl HstHedge {
             out[n.lo] += p;
             return;
         }
-        let (pl, pr) = hedge_probs(n.log_w);
+        let (pl, pr) = self.cond[node];
         for (side, q) in [(0usize, pl), (1usize, pr)] {
             let (lo, hi) = if side == 0 {
                 (n.lo, n.mid)
@@ -152,14 +165,39 @@ impl HstHedge {
         }
     }
 
-    /// Bottom-up pass: per-node subtree probability mass and expected
-    /// task cost under the current leaf distribution.
-    fn accumulate(&mut self, costs: &[f64]) {
-        let dist = self.leaf_distribution();
-        self.probs.copy_from_slice(dist.probs());
-        // Process nodes in reverse creation order: children are always
-        // created before parents in `build`, so a reverse iteration is a
-        // valid bottom-up order... (build pushes parent AFTER children).
+    /// Writes the current leaf distribution into the `probs` scratch,
+    /// normalized exactly as [`rdbp_smin::Distribution::new`] would —
+    /// the allocation-free twin of [`HstHedge::leaf_distribution`].
+    fn refresh_probs(&mut self) {
+        let mut probs = std::mem::take(&mut self.probs);
+        probs.fill(0.0);
+        self.fill_probs(self.root, 1.0, &mut probs);
+        let sum: f64 = probs.iter().sum();
+        for p in &mut probs {
+            *p /= sum;
+        }
+        self.probs = probs;
+    }
+
+    /// The whole serve body, parameterized over the task shape:
+    /// `leaf_cost(i)` is the task's cost on state `i`, `range_sum(lo,
+    /// hi)` its total over `[lo, hi)`. `serve` instantiates it with the
+    /// explicit cost vector, `serve_hit` with the implicit one-hot —
+    /// same arithmetic, no vector.
+    fn serve_with(
+        &mut self,
+        leaf_cost: impl Fn(usize) -> f64,
+        range_sum: impl Fn(usize, usize) -> f64,
+    ) -> usize {
+        // Bottom-up pass: per-node subtree probability mass and
+        // expected task cost under the current leaf distribution.
+        // Children are always created before parents in `build`, so
+        // forward arena order is a valid bottom-up order. The leading
+        // recompute is skipped when the scratch still holds the
+        // distribution from the previous serve's trailing refresh.
+        if !self.probs_fresh {
+            self.refresh_probs();
+        }
         for idx in 0..self.nodes.len() {
             self.mass[idx] = 0.0;
             self.exp_cost[idx] = 0.0;
@@ -175,7 +213,7 @@ impl HstHedge {
                 if child[side] == NO_CHILD {
                     debug_assert_eq!(chi - clo, 1);
                     mass += self.probs[clo];
-                    cost += self.probs[clo] * costs[clo];
+                    cost += self.probs[clo] * leaf_cost(clo);
                 } else {
                     mass += self.mass[child[side]];
                     cost += self.exp_cost[child[side]];
@@ -184,12 +222,52 @@ impl HstHedge {
             self.mass[idx] = mass;
             self.exp_cost[idx] = cost;
         }
+        for idx in 0..self.nodes.len() {
+            let span = self.nodes[idx].span();
+            let eta = 1.0 / span;
+            let c = [
+                self.child_cost(idx, 0, &leaf_cost, &range_sum),
+                self.child_cost(idx, 1, &leaf_cost, &range_sum),
+            ];
+            // A node whose subtree carries no task cost is a no-op
+            // (subtracting 0 leaves the weights bit-identical, and the
+            // phase condition was already false after the last serve) —
+            // for a one-hot task that skips every node off the hit's
+            // root→leaf path, keeping the conditional-probability cache
+            // valid without recomputing it.
+            if c[0] == 0.0 && c[1] == 0.0 {
+                continue;
+            }
+            let n = &mut self.nodes[idx];
+            for (side, &side_cost) in c.iter().enumerate() {
+                n.log_w[side] -= eta * side_cost;
+                n.phase_cost[side] += side_cost;
+            }
+            // Phase end: both children have suffered ≥ span — any
+            // strategy inside this subtree paid Ω(span); forgive the
+            // past.
+            if n.phase_cost[0] >= span && n.phase_cost[1] >= span {
+                n.log_w = [0.0, 0.0];
+                n.phase_cost = [0.0, 0.0];
+            }
+            self.cond[idx] = hedge_probs(self.nodes[idx].log_w);
+        }
+        self.refresh_probs();
+        self.probs_fresh = true;
+        self.coupling.follow_probs(&self.probs);
+        self.coupling.state()
     }
 
     /// Per-child expected cost, conditioned on being inside the child
     /// (falls back to the plain average when the child carries ≈ no
     /// mass).
-    fn child_cost(&self, node: usize, side: usize, costs: &[f64]) -> f64 {
+    fn child_cost(
+        &self,
+        node: usize,
+        side: usize,
+        leaf_cost: &impl Fn(usize) -> f64,
+        range_sum: &impl Fn(usize, usize) -> f64,
+    ) -> f64 {
         let n = &self.nodes[node];
         let (lo, hi) = if side == 0 {
             (n.lo, n.mid)
@@ -197,14 +275,14 @@ impl HstHedge {
             (n.mid, n.hi)
         };
         let (mass, total) = if n.child[side] == NO_CHILD {
-            (self.probs[lo], self.probs[lo] * costs[lo])
+            (self.probs[lo], self.probs[lo] * leaf_cost(lo))
         } else {
             (self.mass[n.child[side]], self.exp_cost[n.child[side]])
         };
         if mass > 1e-12 {
             total / mass
         } else {
-            costs[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+            range_sum(lo, hi) / (hi - lo) as f64
         }
     }
 }
@@ -250,30 +328,22 @@ impl MtsPolicy for HstHedge {
         if self.num_states == 1 {
             return 0;
         }
-        self.accumulate(costs);
-        for idx in 0..self.nodes.len() {
-            let span = self.nodes[idx].span();
-            let eta = 1.0 / span;
-            let c = [
-                self.child_cost(idx, 0, costs),
-                self.child_cost(idx, 1, costs),
-            ];
-            let n = &mut self.nodes[idx];
-            for (side, &side_cost) in c.iter().enumerate() {
-                n.log_w[side] -= eta * side_cost;
-                n.phase_cost[side] += side_cost;
-            }
-            // Phase end: both children have suffered ≥ span — any
-            // strategy inside this subtree paid Ω(span); forgive the
-            // past.
-            if n.phase_cost[0] >= span && n.phase_cost[1] >= span {
-                n.log_w = [0.0, 0.0];
-                n.phase_cost = [0.0, 0.0];
-            }
+        self.serve_with(|i| costs[i], |lo, hi| costs[lo..hi].iter().sum::<f64>())
+    }
+
+    fn serve_hit(&mut self, index: usize) -> usize {
+        assert!(
+            index < self.num_states,
+            "hit index {index} out of range 0..{}",
+            self.num_states
+        );
+        if self.num_states == 1 {
+            return 0;
         }
-        let dist = self.leaf_distribution();
-        self.coupling.follow(&dist);
-        self.coupling.state()
+        self.serve_with(
+            move |i| if i == index { 1.0 } else { 0.0 },
+            move |lo, hi| if lo <= index && index < hi { 1.0 } else { 0.0 },
+        )
     }
 
     fn name(&self) -> &'static str {
@@ -315,6 +385,11 @@ impl MtsPolicy for HstHedge {
             node.log_w = [w[0], w[1]];
             node.phase_cost = [p[0], p[1]];
         }
+        // Rebuild the derived caches for the restored weights.
+        for (idx, node) in self.nodes.iter().enumerate() {
+            self.cond[idx] = hedge_probs(node.log_w);
+        }
+        self.probs_fresh = false;
         Ok(())
     }
 }

@@ -64,22 +64,11 @@ impl Marking {
             .map(|(i, _)| i)
             .collect()
     }
-}
 
-impl MtsPolicy for Marking {
-    fn num_states(&self) -> usize {
-        self.phase_cost.len()
-    }
-
-    fn state(&self) -> usize {
-        self.state
-    }
-
-    fn serve(&mut self, costs: &[f64]) -> usize {
-        validate_costs(costs, self.phase_cost.len());
-        for (acc, c) in self.phase_cost.iter_mut().zip(costs) {
-            *acc += c;
-        }
+    /// Shared tail of `serve`/`serve_hit`: react to the already-updated
+    /// phase costs (reset the phase if everything is marked, flee a
+    /// marked state).
+    fn advance(&mut self) -> usize {
         let mut unmarked = self.unmarked();
         if unmarked.is_empty() {
             // Phase ends: clear all marks, keep the accrued randomness.
@@ -96,6 +85,30 @@ impl MtsPolicy for Marking {
             self.state = pick;
         }
         self.state
+    }
+}
+
+impl MtsPolicy for Marking {
+    fn num_states(&self) -> usize {
+        self.phase_cost.len()
+    }
+
+    fn state(&self) -> usize {
+        self.state
+    }
+
+    fn serve(&mut self, costs: &[f64]) -> usize {
+        validate_costs(costs, self.phase_cost.len());
+        for (acc, c) in self.phase_cost.iter_mut().zip(costs) {
+            *acc += c;
+        }
+        self.advance()
+    }
+
+    fn serve_hit(&mut self, index: usize) -> usize {
+        assert!(index < self.phase_cost.len(), "hit index out of range");
+        self.phase_cost[index] += 1.0;
+        self.advance()
     }
 
     fn name(&self) -> &'static str {

@@ -23,6 +23,32 @@ pub trait MtsPolicy {
     /// cost is negative/NaN.
     fn serve(&mut self, costs: &[f64]) -> usize;
 
+    /// Point-request fast path: serves the unit task `e_index` (cost 1
+    /// on state `index`, 0 elsewhere) without the caller materializing
+    /// a cost vector.
+    ///
+    /// This is the only task shape the ring-partitioning reduction ever
+    /// produces (a request inside an interval becomes a unit cost on
+    /// its cut-edge state), so the partitioning hot loop calls this
+    /// instead of building an O(N) one-hot scratch vector per request.
+    /// The default falls back to the cost-vector path (allocating);
+    /// implementations specialize it to the equivalent allocation-free
+    /// update. A specialization must behave exactly like
+    /// `serve(&one_hot(index))`.
+    ///
+    /// # Panics
+    /// Panics if `index >= num_states()`.
+    fn serve_hit(&mut self, index: usize) -> usize {
+        assert!(
+            index < self.num_states(),
+            "hit index {index} out of range 0..{}",
+            self.num_states()
+        );
+        let mut costs = vec![0.0; self.num_states()];
+        costs[index] = 1.0;
+        self.serve(&costs)
+    }
+
     /// Human-readable name (for reports).
     fn name(&self) -> &'static str;
 
@@ -222,5 +248,41 @@ mod tests {
     fn wrong_arity_panics() {
         let mut p = Sitter { n: 3, s: 0 };
         let _ = p.serve(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn serve_hit_equals_one_hot_serve_for_every_policy() {
+        // Two identically-seeded twins of each policy: one fed one-hot
+        // cost vectors through `serve`, one fed the same hits through
+        // `serve_hit`. The realized state sequences must coincide — the
+        // fast path may not change behaviour, only skip the vector.
+        let n = 23;
+        let make: Vec<Box<dyn Fn() -> Box<dyn MtsPolicy>>> = vec![
+            Box::new(|| Box::new(crate::WorkFunction::new(23, 11))),
+            Box::new(|| Box::new(crate::SminGradient::new(23, 11, 42))),
+            Box::new(|| Box::new(crate::HstHedge::new(23, 11, 42))),
+            Box::new(|| Box::new(crate::Marking::new(23, 11, 42))),
+        ];
+        for build in make {
+            let mut by_vector = build();
+            let mut by_hit = build();
+            let name = by_hit.name();
+            let mut costs = vec![0.0; n];
+            for t in 0..400usize {
+                let hit = (t * 7 + t * t % 5) % n;
+                costs[hit] = 1.0;
+                let a = by_vector.serve(&costs);
+                costs[hit] = 0.0;
+                let b = by_hit.serve_hit(hit);
+                assert_eq!(a, b, "{name}: diverged at step {t} (hit {hit})");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn serve_hit_rejects_bad_index() {
+        let mut p = Sitter { n: 3, s: 0 };
+        let _ = p.serve_hit(3);
     }
 }

@@ -3,7 +3,7 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-use rdbp_smin::{grad_smin_scaled, Distribution, QuantileCoupling};
+use rdbp_smin::{grad_smin_scaled, grad_smin_scaled_into, Distribution, QuantileCoupling};
 
 use serde::{DeError, Deserialize, Serialize, Value};
 
@@ -27,6 +27,9 @@ pub struct SminGradient {
     scale: f64,
     coupling: QuantileCoupling,
     rng: StdRng,
+    /// Scratch: normalized gradient probabilities for the hit fast
+    /// path (never part of a snapshot).
+    probs: Vec<f64>,
 }
 
 impl SminGradient {
@@ -62,6 +65,7 @@ impl SminGradient {
             scale: ((num_states - 1).max(1)) as f64,
             coupling,
             rng,
+            probs: vec![0.0; num_states],
         }
     }
 
@@ -102,6 +106,24 @@ impl MtsPolicy for SminGradient {
         }
         let dist = self.distribution();
         self.coupling.follow(&dist);
+        self.coupling.state()
+    }
+
+    fn serve_hit(&mut self, index: usize) -> usize {
+        assert!(index < self.x.len(), "hit index {index} out of range");
+        self.x[index] += 1.0;
+        // Allocation-free equivalent of `Distribution::new(grad)` +
+        // `follow`: gradient into the scratch, then the same final
+        // normalization `Distribution::new` applies, then the raw-slice
+        // quantile follow. Bit-identical to the cost-vector path.
+        let mut probs = std::mem::take(&mut self.probs);
+        grad_smin_scaled_into(&self.x, self.scale, &mut probs);
+        let sum: f64 = probs.iter().sum();
+        for p in &mut probs {
+            *p /= sum;
+        }
+        self.coupling.follow_probs(&probs);
+        self.probs = probs;
         self.coupling.state()
     }
 

@@ -51,26 +51,12 @@ impl WorkFunction {
     pub fn work_function(&self) -> &[f64] {
         &self.w
     }
-}
 
-impl MtsPolicy for WorkFunction {
-    fn num_states(&self) -> usize {
-        self.w.len()
-    }
-
-    fn state(&self) -> usize {
-        self.state
-    }
-
-    fn serve(&mut self, costs: &[f64]) -> usize {
+    /// Shared tail of `serve`/`serve_hit`: min-plus convolve the
+    /// prepared `scratch` (= `w_{t-1} + T_t`) with the line metric and
+    /// move to the best state.
+    fn settle(&mut self) -> usize {
         let n = self.w.len();
-        validate_costs(costs, n);
-
-        // tmp(y) = w_{t-1}(y) + T_t(y); then min-plus with |y − x| via a
-        // forward and a backward sweep.
-        for (s, (wv, c)) in self.scratch.iter_mut().zip(self.w.iter().zip(costs)) {
-            *s = wv + c;
-        }
         // Forward: w_t(x) = min(w_t(x-1) + 1, tmp(x)).
         let mut best = f64::INFINITY;
         for x in 0..n {
@@ -103,6 +89,34 @@ impl MtsPolicy for WorkFunction {
         }
         self.state = best_x;
         best_x
+    }
+}
+
+impl MtsPolicy for WorkFunction {
+    fn num_states(&self) -> usize {
+        self.w.len()
+    }
+
+    fn state(&self) -> usize {
+        self.state
+    }
+
+    fn serve(&mut self, costs: &[f64]) -> usize {
+        validate_costs(costs, self.w.len());
+        // tmp(y) = w_{t-1}(y) + T_t(y); then min-plus with |y − x| via a
+        // forward and a backward sweep (in `settle`).
+        for (s, (wv, c)) in self.scratch.iter_mut().zip(self.w.iter().zip(costs)) {
+            *s = wv + c;
+        }
+        self.settle()
+    }
+
+    fn serve_hit(&mut self, index: usize) -> usize {
+        assert!(index < self.w.len(), "hit index {index} out of range");
+        // One-hot task: tmp = w except tmp(index) = w(index) + 1.
+        self.scratch.copy_from_slice(&self.w);
+        self.scratch[index] += 1.0;
+        self.settle()
     }
 
     fn name(&self) -> &'static str {

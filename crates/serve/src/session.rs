@@ -114,33 +114,36 @@ impl Session {
         self.driver.report()
     }
 
-    /// Serves `steps` workload-generated requests.
+    /// Serves `steps` workload-generated requests as one driver batch:
+    /// one [`rdbp_model::Driver::step_batch_generated`] call serves the
+    /// whole submission (requests pre-generated chunk-wise for
+    /// oblivious workloads, per-request for adaptive adversaries), so a
+    /// submission costs one dispatch instead of one per request.
+    /// Accounting is identical to per-step serving.
     ///
     /// # Panics
     /// Same contract as [`rdbp_model::run`]: panics under full auditing
-    /// if the algorithm under-reports its migrations.
+    /// if the algorithm mis-reports its migrations.
     pub fn submit(&mut self, steps: u64) -> BatchSummary {
         let before = self.driver.report().clone();
-        for _ in 0..steps {
-            self.driver.step_generated(
-                self.algorithm.as_mut(),
-                self.workload.as_mut(),
-                &mut NoopObserver,
-            );
-        }
+        self.driver.step_batch_generated(
+            self.algorithm.as_mut(),
+            self.workload.as_mut(),
+            steps,
+            &mut NoopObserver,
+        );
         self.summarize(&before, steps)
     }
 
-    /// Serves an explicit request batch (bypasses the workload).
+    /// Serves an explicit request batch (bypasses the workload) through
+    /// the batched driver.
     ///
     /// # Panics
     /// Same contract as [`Session::submit`].
     pub fn submit_trace(&mut self, requests: &[Edge]) -> BatchSummary {
         let before = self.driver.report().clone();
-        for &request in requests {
-            self.driver
-                .step(self.algorithm.as_mut(), request, &mut NoopObserver);
-        }
+        self.driver
+            .step_batch(self.algorithm.as_mut(), requests, &mut NoopObserver);
         self.summarize(&before, requests.len() as u64)
     }
 

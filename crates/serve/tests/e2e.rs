@@ -174,7 +174,9 @@ fn full_protocol_flow_over_tcp() {
 #[test]
 fn load_generator_drives_concurrent_sessions_cleanly() {
     let server = ServerUnderTest::start("load");
-    let status = Command::new(env!("CARGO_BIN_EXE_rdbp-load"))
+    let csv_path = std::env::temp_dir().join(format!("rdbp-load-e2e-{}.csv", std::process::id()));
+    let _ = std::fs::remove_file(&csv_path);
+    let output = Command::new(env!("CARGO_BIN_EXE_rdbp-load"))
         .args([
             "--addr",
             &server.addr.to_string(),
@@ -187,13 +189,32 @@ fn load_generator_drives_concurrent_sessions_cleanly() {
             "--workload",
             "zipf",
             "--json",
+            "--csv",
         ])
-        .status()
+        .arg(&csv_path)
+        .output()
         .expect("run rdbp-load");
     assert!(
-        status.success(),
-        "rdbp-load reported violations or failures: {status}"
+        output.status.success(),
+        "rdbp-load reported violations or failures: {}",
+        String::from_utf8_lossy(&output.stderr)
     );
+    // The JSON summary reports latency percentiles…
+    let summary = String::from_utf8_lossy(&output.stdout);
+    for key in ["\"p50\"", "\"p95\"", "\"p99\"", "\"req_per_sec\""] {
+        assert!(summary.contains(key), "summary missing {key}: {summary}");
+    }
+    // …and the CSV records them alongside the aggregate throughput.
+    let csv = std::fs::read_to_string(&csv_path).expect("csv written");
+    let _ = std::fs::remove_file(&csv_path);
+    let mut lines = csv.lines();
+    let header = lines.next().expect("csv header");
+    for column in ["req_per_sec", "p50_us", "p95_us", "p99_us"] {
+        assert!(header.contains(column), "csv header missing {column}");
+    }
+    let row = lines.next().expect("csv data row");
+    assert_eq!(row.split(',').count(), header.split(',').count());
+    assert!(row.starts_with("6,8,200,dynamic,zipf,full,9600,"));
     let mut client = Client::connect(server.addr).expect("connect");
     let Response::Stats { stats } = client.call(&Request::Stats).unwrap() else {
         panic!("stats failed")

@@ -82,7 +82,15 @@ impl QuantileCoupling {
     /// Updates the realized state to follow `dist`, returning the line
     /// distance moved.
     pub fn follow(&mut self, dist: &Distribution) -> u64 {
-        let next = dist.quantile(self.u);
+        self.follow_probs(dist.probs())
+    }
+
+    /// [`QuantileCoupling::follow`] over a raw normalized probability
+    /// slice — the allocation-free path for policies that keep their
+    /// distribution in a scratch buffer. Identical arithmetic to
+    /// following an owned [`Distribution`] built from the same slice.
+    pub fn follow_probs(&mut self, probs: &[f64]) -> u64 {
+        let next = Distribution::quantile_of(probs, self.u);
         let d = self.state.abs_diff(next) as u64;
         self.moved += d;
         self.state = next;

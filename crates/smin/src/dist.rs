@@ -95,10 +95,22 @@ impl Distribution {
     /// Panics if `u` is not in `[0, 1]`.
     #[must_use]
     pub fn quantile(&self, u: f64) -> usize {
+        Self::quantile_of(&self.probs, u)
+    }
+
+    /// [`Distribution::quantile`] over a raw (already normalized)
+    /// probability slice — the allocation-free path for callers that
+    /// maintain their probabilities in a scratch buffer. Identical
+    /// arithmetic to the owned variant.
+    ///
+    /// # Panics
+    /// Panics if `u` is not in `[0, 1]`.
+    #[must_use]
+    pub fn quantile_of(probs: &[f64], u: f64) -> usize {
         assert!((0.0..=1.0).contains(&u), "quantile of u={u} outside [0,1]");
         let mut cdf = 0.0;
         let mut last_positive = 0;
-        for (i, &p) in self.probs.iter().enumerate() {
+        for (i, &p) in probs.iter().enumerate() {
             if p > 0.0 {
                 last_positive = i;
             }

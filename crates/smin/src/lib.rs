@@ -27,4 +27,4 @@ mod logsumexp;
 
 pub use coupling::QuantileCoupling;
 pub use dist::Distribution;
-pub use logsumexp::{grad_smin, grad_smin_scaled, smin, smin_scaled};
+pub use logsumexp::{grad_smin, grad_smin_scaled, grad_smin_scaled_into, smin, smin_scaled};

@@ -58,6 +58,18 @@ pub fn grad_smin(x: &[f64]) -> Vec<f64> {
 /// # Panics
 /// Panics if `x` is empty, contains a NaN, or `c < 1`.
 pub fn grad_smin_scaled(x: &[f64], c: f64) -> Vec<f64> {
+    let mut g = Vec::new();
+    grad_smin_scaled_into(x, c, &mut g);
+    g
+}
+
+/// Allocation-free form of [`grad_smin_scaled`]: writes the gradient
+/// into `out` (cleared first, capacity reused). Bit-identical to the
+/// allocating variant — the hot serve loop's building block.
+///
+/// # Panics
+/// Same contract as [`grad_smin_scaled`].
+pub fn grad_smin_scaled_into(x: &[f64], c: f64, out: &mut Vec<f64>) {
     assert!(c >= 1.0, "grad smin_c requires c >= 1, got {c}");
     assert!(!x.is_empty(), "gradient of empty vector is undefined");
     let m = x
@@ -65,12 +77,12 @@ pub fn grad_smin_scaled(x: &[f64], c: f64) -> Vec<f64> {
         .copied()
         .fold(f64::INFINITY, |a, b| if b < a { b } else { a });
     assert!(!m.is_nan(), "grad smin_c input contains NaN");
-    let mut g: Vec<f64> = x.iter().map(|&xi| (-((xi - m) / c)).exp()).collect();
-    let sum: f64 = g.iter().sum();
-    for gi in &mut g {
+    out.clear();
+    out.extend(x.iter().map(|&xi| (-((xi - m) / c)).exp()));
+    let sum: f64 = out.iter().sum();
+    for gi in out.iter_mut() {
         *gi /= sum;
     }
-    g
 }
 
 #[cfg(test)]

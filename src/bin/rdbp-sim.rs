@@ -88,6 +88,8 @@ fn print_help() {
          --epsilon X      augmentation slack (default 0.5)\n\
          --seed N         RNG seed (default 0)\n\
          --zipf-s X       Zipf exponent (default 1.2)\n\
+         --batch N        serve in batches of N through the batch driver\n\
+         \x20                (identical report; incompatible with --opt and traces)\n\
          --opt            also compute the exact static-OPT lower bound\n\
          --audit          run with full per-step auditing\n\
          --json           print the run report as JSON\n\
@@ -162,6 +164,29 @@ fn main() {
         eprintln!("scenario saved to {path}");
     }
 
+    // --batch routes the run through the batched driver. Batched runs
+    // emit no per-step events, so the trace- and OPT-features that need
+    // them are rejected up front instead of silently recording nothing.
+    let batch: Option<u64> = args.0.get("batch").map(|raw| {
+        let n = raw
+            .parse()
+            .unwrap_or_else(|_| fail(format!("invalid value `{raw}` for --batch")));
+        if n == 0 {
+            fail("--batch must be positive");
+        }
+        n
+    });
+    if batch.is_some() {
+        for incompatible in ["opt", "save-trace", "load-trace"] {
+            if args.0.contains_key(incompatible) {
+                fail(format!(
+                    "--batch serves without per-step events and cannot be combined \
+                     with --{incompatible}"
+                ));
+            }
+        }
+    }
+
     let registries = Registries::builtin();
     // One resolution serves the whole invocation: the run itself, the
     // displayed limit, and the audit level for trace replays.
@@ -187,9 +212,10 @@ fn main() {
         }
         t
     });
-    let report = match &loaded {
-        Some(t) => prepared.replay(&t.requests, &mut recorder),
-        None => prepared.run(&mut recorder),
+    let report = match (&loaded, batch) {
+        (Some(t), _) => prepared.replay(&t.requests, &mut recorder),
+        (None, Some(n)) => prepared.run_batched(n, &mut rdbp::model::NoopObserver),
+        (None, None) => prepared.run(&mut recorder),
     };
     let requests = recorder.into_requests();
 

@@ -81,8 +81,9 @@ pub mod prelude {
     pub use rdbp_model::observers;
     pub use rdbp_model::workload;
     pub use rdbp_model::{
-        run, run_observed, run_trace, run_trace_observed, AuditLevel, CostLedger, Edge, Observer,
-        OnlineAlgorithm, Placement, Process, RingInstance, RunReport, Segment, Server, StepEvent,
+        run, run_batch, run_observed, run_trace, run_trace_observed, AuditLevel, BatchEvent,
+        CostLedger, Edge, MigrationRecord, Observer, OnlineAlgorithm, Placement, Process,
+        RingInstance, RunReport, Segment, Server, StepEvent,
     };
     pub use rdbp_mts::PolicyKind;
     pub use rdbp_offline::{dynamic_opt, interval_opt, static_opt, IntervalLayout};

@@ -1,0 +1,77 @@
+//! `rdbp-sim --batch` drives the batched driver from the CLI; this
+//! pins the satellite contract that `--batch 1` (and, for good
+//! measure, larger batches) produces the *identical* report — same
+//! ledger, same max load, same violations — as the unbatched path.
+
+use std::process::Command;
+
+fn sim(extra: &[&str]) -> String {
+    let base = [
+        "--servers",
+        "4",
+        "--capacity",
+        "16",
+        "--steps",
+        "3000",
+        "--seed",
+        "11",
+        "--workload",
+        "zipf",
+        "--audit",
+        "--json",
+    ];
+    let output = Command::new(env!("CARGO_BIN_EXE_rdbp-sim"))
+        .args(base)
+        .args(extra)
+        .output()
+        .expect("run rdbp-sim");
+    assert!(
+        output.status.success(),
+        "rdbp-sim {extra:?} failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout).expect("utf8 report")
+}
+
+#[test]
+fn batch_one_is_identical_to_the_unbatched_path() {
+    let unbatched = sim(&[]);
+    let batch_one = sim(&["--batch", "1"]);
+    assert_eq!(
+        batch_one, unbatched,
+        "--batch 1 must reproduce the unbatched report byte-for-byte"
+    );
+    assert!(unbatched.contains("\"steps\""), "sanity: JSON report");
+}
+
+#[test]
+fn larger_batches_keep_the_same_ledger() {
+    let unbatched = sim(&[]);
+    for batch in ["64", "1000", "3000"] {
+        assert_eq!(
+            sim(&["--batch", batch]),
+            unbatched,
+            "--batch {batch} diverged"
+        );
+    }
+}
+
+#[test]
+fn adaptive_adversaries_survive_batching() {
+    // The chaser inspects live placements; the batched driver must
+    // fall back to per-request generation and reproduce the run.
+    let unbatched = sim(&["--workload", "chaser"]);
+    let batched = sim(&["--workload", "chaser", "--batch", "128"]);
+    assert_eq!(batched, unbatched);
+}
+
+#[test]
+fn batch_rejects_per_step_features() {
+    let output = Command::new(env!("CARGO_BIN_EXE_rdbp-sim"))
+        .args(["--batch", "10", "--opt"])
+        .output()
+        .expect("run rdbp-sim");
+    assert!(!output.status.success());
+    let err = String::from_utf8_lossy(&output.stderr);
+    assert!(err.contains("--opt"), "unhelpful error: {err}");
+}

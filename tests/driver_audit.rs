@@ -20,6 +20,10 @@ impl OnlineAlgorithm for Overloader {
         &self.placement
     }
 
+    fn placement_mut(&mut self) -> &mut Placement {
+        &mut self.placement
+    }
+
     fn serve(&mut self, _request: Edge) -> u64 {
         if self.fired {
             return 0;
@@ -79,6 +83,10 @@ struct Scripted {
 impl OnlineAlgorithm for Scripted {
     fn placement(&self) -> &Placement {
         &self.placement
+    }
+
+    fn placement_mut(&mut self) -> &mut Placement {
+        &mut self.placement
     }
 
     fn serve(&mut self, _request: Edge) -> u64 {
@@ -168,6 +176,10 @@ fn driver_catches_migration_under_reporting() {
     impl OnlineAlgorithm for Liar {
         fn placement(&self) -> &Placement {
             &self.placement
+        }
+
+        fn placement_mut(&mut self) -> &mut Placement {
+            &mut self.placement
         }
         fn serve(&mut self, _r: Edge) -> u64 {
             self.placement.migrate(Process(0), Server(2));
