@@ -7,7 +7,7 @@
 //! * [`ComponentSweep`] — a deterministic component-growing
 //!   repartitioner inspired by the connectivity-based algorithms of
 //!   Avin et al. (DISC 2016) and Forner et al. (APOCS 2021).
-//! * [`line`] — deterministic hitting-game strategies (stay-put,
+//! * [`mod@line`] — deterministic hitting-game strategies (stay-put,
 //!   flee-to-minimum, work-function) used as the Ω(k) lower-bound
 //!   victims in experiment F2.
 

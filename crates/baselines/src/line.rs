@@ -1,9 +1,10 @@
 //! Deterministic hitting-game strategies (the Lemma 4.1 victims).
 //!
 //! Each implements a simple `(requested edge, counts) → next position`
-//! policy compatible with
-//! [`rdbp_offline::adversaries::chase_line_strategy`]'s closure shape
-//! (kept decoupled: these are plain `FnMut`-compatible structs).
+//! policy compatible with the closure shape of
+//! `rdbp_offline::adversaries::chase_line_strategy` (kept decoupled:
+//! these are plain `FnMut`-compatible structs, and this crate does not
+//! depend on `rdbp_offline`).
 
 use rdbp_mts::{MtsPolicy, WorkFunction};
 

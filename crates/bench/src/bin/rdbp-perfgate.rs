@@ -1,0 +1,165 @@
+//! `rdbp-perfgate` — run the pinned bench suite and gate on counter
+//! regressions.
+//!
+//! ```text
+//! rdbp-perfgate run [--out FILE] [--suite main] [--repeats N]
+//! rdbp-perfgate compare BASE.json NEW.json [--tolerance PCT]
+//! ```
+//!
+//! `run` executes the pinned suite (see `rdbp_bench::suite`) and writes
+//! a versioned `BENCH_<suite>.json`; `compare` diffs two such reports
+//! and exits nonzero when any deterministic work counter drifted beyond
+//! tolerance (default: exact). Wall-clock differences are printed but
+//! never gate — see DESIGN.md §10 for the contract.
+
+use std::path::{Path, PathBuf};
+use std::process::exit;
+
+use rdbp_bench::{
+    compare, f3, results_dir, run_suite, BenchReport, GateConfig, Table, DEFAULT_REPEATS,
+    MAIN_SUITE,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "rdbp-perfgate — deterministic perf gate over the pinned bench suite\n\n\
+         USAGE:\n\
+         \x20 rdbp-perfgate run [--out FILE] [--suite main] [--repeats N]\n\
+         \x20     run the suite; write BENCH_<suite>.json (default under bench_results/)\n\
+         \x20 rdbp-perfgate compare BASE.json NEW.json [--tolerance PCT]\n\
+         \x20     diff two reports; exit 1 if any counter drifts beyond PCT (default 0)\n"
+    );
+    exit(2)
+}
+
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("rdbp-perfgate: {message}");
+    exit(2)
+}
+
+/// Pulls the value of `--flag` out of `args`, if present.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    if pos + 1 >= args.len() {
+        fail(format!("{flag} needs a value"));
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    Some(value)
+}
+
+fn cmd_run(mut args: Vec<String>) {
+    let suite = take_flag(&mut args, "--suite").unwrap_or_else(|| MAIN_SUITE.to_string());
+    let repeats: u32 = take_flag(&mut args, "--repeats")
+        .map(|raw| raw.parse().unwrap_or_else(|_| fail("invalid --repeats")))
+        .unwrap_or(DEFAULT_REPEATS);
+    let out: PathBuf = take_flag(&mut args, "--out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| results_dir().join(format!("BENCH_{suite}.json")));
+    if !args.is_empty() {
+        fail(format!("unexpected arguments: {args:?}"));
+    }
+    if suite != MAIN_SUITE {
+        fail(format!("unknown suite `{suite}` (valid: {MAIN_SUITE})"));
+    }
+
+    let report = run_suite(&suite, repeats);
+    let mut table = Table::new(
+        &format!("perf-gate suite `{suite}` ({repeats} repeats, min wall-clock)"),
+        &[
+            "case",
+            "steps",
+            "requests",
+            "migrations",
+            "policy hits",
+            "wall ms",
+            "Mreq/s",
+        ],
+    );
+    for case in &report.cases {
+        table.row(vec![
+            case.id.clone(),
+            case.steps.to_string(),
+            case.counters.requests.to_string(),
+            case.counters.migrations.to_string(),
+            case.counters.policy_serve_hit.to_string(),
+            f3(case.wall_ns as f64 / 1e6),
+            f3(case.throughput / 1e6),
+        ]);
+    }
+    table.print();
+    report
+        .save(&out)
+        .unwrap_or_else(|e| fail(format!("cannot write {}: {e}", out.display())));
+    println!("\n[json] {}", out.display());
+}
+
+fn cmd_compare(mut args: Vec<String>) {
+    let tolerance = take_flag(&mut args, "--tolerance")
+        .map(|raw| {
+            let pct: f64 = raw
+                .parse()
+                .unwrap_or_else(|_| fail("invalid --tolerance (percent)"));
+            if !(0.0..=100.0).contains(&pct) {
+                fail("--tolerance must be in [0, 100]");
+            }
+            pct / 100.0
+        })
+        .unwrap_or(0.0);
+    let [base_path, new_path]: [String; 2] = args
+        .try_into()
+        .unwrap_or_else(|_| fail("compare takes exactly BASE.json and NEW.json"));
+    let load = |p: &str| {
+        BenchReport::load(Path::new(p)).unwrap_or_else(|e| fail(format!("cannot load {p}: {e}")))
+    };
+    let base = load(&base_path);
+    let new = load(&new_path);
+    let config = GateConfig {
+        counter_tolerance: tolerance,
+    };
+    let comparison = compare(&base, &new, &config);
+    comparison.table().print();
+    for problem in &comparison.problems {
+        println!("PROBLEM: {problem}");
+    }
+    let drifted = comparison.rows.iter().filter(|r| r.gating).count();
+    if comparison.passed() {
+        println!(
+            "\nPASS: all counters within tolerance across {} case(s){}",
+            base.cases.len(),
+            if drifted > 0 {
+                format!(" ({drifted} drifted but tolerated)")
+            } else {
+                String::new()
+            }
+        );
+    } else {
+        let failures: Vec<String> = comparison
+            .failures()
+            .map(|r| format!("{}/{}", r.case, r.metric))
+            .collect();
+        println!(
+            "\nFAIL: {} problem(s), drifted gating metrics: {}",
+            comparison.problems.len(),
+            if failures.is_empty() {
+                "none".to_string()
+            } else {
+                failures.join(", ")
+            }
+        );
+        exit(1);
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
+        usage();
+    }
+    let command = args.remove(0);
+    match command.as_str() {
+        "run" => cmd_run(args),
+        "compare" => cmd_compare(args),
+        other => fail(format!("unknown command `{other}` (valid: run, compare)")),
+    }
+}

@@ -1,6 +1,6 @@
-//! Runs the complete experiment suite (F1–F7, T1–T3, A1–A2) in
+//! Runs the complete experiment suite (F1–F7, T1–T4, S2, A1–A3) in
 //! sequence, as recorded in EXPERIMENTS.md. Set `RDBP_FULL=1` for
-//! publication-size sweeps.
+//! publication-size sweeps (the nightly CI `full-sweep` job does).
 
 use std::process::Command;
 
@@ -18,6 +18,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp_shift_ablation",
     "exp_strictness",
     "exp_throughput",
+    "exp_serve_throughput",
     "exp_well_behaved",
 ];
 

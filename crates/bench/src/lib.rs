@@ -1,5 +1,8 @@
 //! Experiment harness shared by the `exp_*` binaries (see DESIGN.md §5
-//! for the experiment index and EXPERIMENTS.md for recorded results).
+//! for the experiment index and EXPERIMENTS.md for recorded results),
+//! plus the perf-gate subsystem: the pinned counter-instrumented bench
+//! [`suite`] and the regression-gating [`perfgate`] comparison behind
+//! the `rdbp-perfgate` binary (DESIGN.md §10).
 //!
 //! Conventions:
 //! * every binary prints an aligned text table (the "figure/table" the
@@ -14,10 +17,19 @@ use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
 
+pub mod perfgate;
+pub mod suite;
+
 // The parallel executor and summary stats now live in the scenario
 // engine (promoted so non-bench consumers can batch runs too); the
 // experiment binaries keep importing them from here.
 pub use rdbp_engine::{mean, parallel_map, stddev};
+
+pub use perfgate::{compare, Comparison, DiffRow, GateConfig};
+pub use suite::{
+    pinned_cases, run_cases, run_suite, BenchCase, BenchReport, CaseResult, BENCH_SCHEMA_VERSION,
+    DEFAULT_REPEATS, MAIN_SUITE,
+};
 
 /// Where CSV outputs land (created on demand).
 ///

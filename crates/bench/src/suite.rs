@@ -1,0 +1,453 @@
+//! The pinned perf-gate bench suite and its machine-readable report.
+//!
+//! A suite is a fixed list of [`BenchCase`]s — scenario × batch size ×
+//! serving shape — chosen to span the registries: every `dynamic` MTS
+//! policy (`hedge`, `wfa`, `smin`, `marking`), the baselines, oblivious
+//! and adaptive workloads, trace replay, per-step (`batch = 1`) and
+//! large-batch driving, and both audit levels. Running a suite yields a
+//! [`BenchReport`]: per case the exact [`WorkCounters`] (the *gated*
+//! signal — deterministic for a pinned scenario + seed) and wall-clock
+//! (the *informational* signal — never gated; see DESIGN.md §10).
+//!
+//! Reports serialize as versioned `BENCH_<suite>.json` files under
+//! `bench_results/`; `bench_results/BENCH_main.json` is the committed
+//! baseline CI compares against (see [`crate::perfgate`]).
+
+use std::path::Path;
+use std::time::Instant;
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+use rdbp_engine::{
+    workload_seed, AlgorithmSpec, AuditSpec, InstanceSpec, Registries, Scenario, WorkloadSpec,
+};
+use rdbp_model::{Edge, NoopObserver, Placement, WorkCounters};
+
+/// Version of the `BENCH_*.json` schema. Bumped on any incompatible
+/// change to the report layout or to the [`WorkCounters`] metric set;
+/// [`crate::perfgate::compare`] refuses to diff mismatched versions.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// Name of the pinned default suite (and of its committed baseline,
+/// `bench_results/BENCH_main.json`).
+pub const MAIN_SUITE: &str = "main";
+
+/// Default number of timed repetitions per case (counters are asserted
+/// identical across repetitions; wall-clock takes the minimum).
+pub const DEFAULT_REPEATS: u32 = 3;
+
+/// One pinned benchmark: a scenario plus how to drive it.
+#[derive(Debug, Clone)]
+pub struct BenchCase {
+    /// Stable case id (doubles as the report key — renaming one is a
+    /// baseline change).
+    pub id: String,
+    /// The fully pinned scenario (instance, algorithm, workload, steps,
+    /// seed, audit). Never scaled by `RDBP_FULL`: the gate diffs exact
+    /// counters, so the workload must be bit-identical everywhere.
+    pub scenario: Scenario,
+    /// Driver batch size (1 = the per-step path).
+    pub batch: u64,
+    /// Serve a pre-recorded trace of the scenario's workload instead of
+    /// generating live (exercises the replay path; oblivious workloads
+    /// only).
+    pub replay: bool,
+}
+
+impl BenchCase {
+    fn new(
+        id: &str,
+        algorithm: &str,
+        policy: Option<&str>,
+        workload: &str,
+        steps: u64,
+        batch: u64,
+        audit: AuditSpec,
+    ) -> Self {
+        let mut alg = AlgorithmSpec::named(algorithm);
+        alg.policy = policy.map(Into::into);
+        let mut scenario = Scenario::new(
+            InstanceSpec::packed(8, 32),
+            alg,
+            WorkloadSpec::named(workload),
+            steps,
+        );
+        scenario.seed = 0x5EED + steps; // pinned, distinct per case size
+        scenario.audit = audit;
+        Self {
+            id: id.to_string(),
+            scenario,
+            batch,
+            replay: false,
+        }
+    }
+}
+
+/// The measured outcome of one [`BenchCase`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseResult {
+    /// The case id.
+    pub id: String,
+    /// Requests served.
+    pub steps: u64,
+    /// Exact work counters — identical across repeats and machines for
+    /// a pinned case; this is what the gate diffs.
+    pub counters: WorkCounters,
+    /// Minimum wall-clock over the repeats, nanoseconds
+    /// (informational only).
+    pub wall_ns: u64,
+    /// `steps / wall` requests per second (informational only).
+    pub throughput: f64,
+}
+
+/// A whole suite run: the `BENCH_<suite>.json` payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// [`BENCH_SCHEMA_VERSION`] at write time.
+    pub schema_version: u64,
+    /// Suite name (e.g. [`MAIN_SUITE`]).
+    pub suite: String,
+    /// Per-case results, in suite order.
+    pub cases: Vec<CaseResult>,
+}
+
+impl BenchReport {
+    /// Looks a case up by id.
+    #[must_use]
+    pub fn case(&self, id: &str) -> Option<&CaseResult> {
+        self.cases.iter().find(|c| c.id == id)
+    }
+
+    /// Serializes to JSON text.
+    ///
+    /// # Panics
+    /// Never in practice: reports always serialize.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("bench report serialization cannot fail")
+    }
+
+    /// Parses a report from JSON text (any schema version — the
+    /// version check happens in [`crate::perfgate::compare`]).
+    ///
+    /// # Errors
+    /// Returns a [`DeError`] on malformed JSON or a shape mismatch.
+    pub fn from_json(text: &str) -> Result<Self, DeError> {
+        serde_json::from_str(text).map_err(|e| DeError(e.to_string()))
+    }
+
+    /// Writes the report as JSON to `path`.
+    ///
+    /// # Errors
+    /// Returns any underlying I/O error.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Loads a report from a JSON file.
+    ///
+    /// # Errors
+    /// Returns any underlying I/O or parse error.
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        Self::from_json(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.0))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hand-written serde: the report schema is a contract (pinned by the
+// golden round-trip test), so it is spelled out rather than derived.
+
+impl Serialize for CaseResult {
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("id".into(), self.id.to_value()),
+            ("steps".into(), self.steps.to_value()),
+            ("counters".into(), self.counters.to_value()),
+            ("wall_ns".into(), self.wall_ns.to_value()),
+            ("throughput".into(), self.throughput.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for CaseResult {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Self {
+            id: String::from_value(v.get_field("id")?)?,
+            steps: u64::from_value(v.get_field("steps")?)?,
+            counters: WorkCounters::from_value(v.get_field("counters")?)?,
+            wall_ns: u64::from_value(v.get_field("wall_ns")?)?,
+            throughput: f64::from_value(v.get_field("throughput")?)?,
+        })
+    }
+}
+
+impl Serialize for BenchReport {
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("schema_version".into(), self.schema_version.to_value()),
+            ("suite".into(), self.suite.to_value()),
+            ("cases".into(), self.cases.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for BenchReport {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Self {
+            schema_version: u64::from_value(v.get_field("schema_version")?)?,
+            suite: String::from_value(v.get_field("suite")?)?,
+            cases: <Vec<CaseResult> as Deserialize>::from_value(v.get_field("cases")?)?,
+        })
+    }
+}
+
+/// The pinned `main` suite: ~8 cases spanning the registries. Case ids,
+/// scenarios, seeds, step counts and batch sizes are all frozen — any
+/// change here invalidates the committed `BENCH_main.json` baseline and
+/// requires regenerating it in the same commit.
+#[must_use]
+pub fn pinned_cases() -> Vec<BenchCase> {
+    let mut cases = vec![
+        // The serving hot path: large batches, no audit — the S2/S3
+        // throughput shape.
+        BenchCase::new(
+            "dyn-hedge-zipf-b1000-none",
+            "dynamic",
+            Some("hedge"),
+            "zipf",
+            40_000,
+            1_000,
+            AuditSpec::None,
+        ),
+        // Same shape under the full journal audit.
+        BenchCase::new(
+            "dyn-hedge-uniform-b1000-full",
+            "dynamic",
+            Some("hedge"),
+            "uniform",
+            40_000,
+            1_000,
+            AuditSpec::Full,
+        ),
+        // The per-step driver (batch = 1) with the deterministic
+        // work-function policy.
+        BenchCase::new(
+            "dyn-wfa-uniform-b1-full",
+            "dynamic",
+            Some("wfa"),
+            "uniform",
+            8_000,
+            1,
+            AuditSpec::Full,
+        ),
+        // Randomized smin gradient against a rotating hotspot.
+        BenchCase::new(
+            "dyn-smin-hotspot-b1000-full",
+            "dynamic",
+            Some("smin"),
+            "hotspot",
+            40_000,
+            1_000,
+            AuditSpec::Full,
+        ),
+        // The uniform-metric marking reference policy.
+        BenchCase::new(
+            "dyn-marking-zipf-b1000-none",
+            "dynamic",
+            Some("marking"),
+            "zipf",
+            40_000,
+            1_000,
+            AuditSpec::None,
+        ),
+        // A baseline algorithm against the adaptive cut-chaser (adaptive
+        // workloads force per-request generation inside the batch).
+        BenchCase::new(
+            "greedy-chaser-b1000-full",
+            "greedy",
+            None,
+            "chaser",
+            10_000,
+            1_000,
+            AuditSpec::Full,
+        ),
+        // The static partitioner's serve loop.
+        BenchCase::new(
+            "static-uniform-b1000-full",
+            "static",
+            None,
+            "uniform",
+            40_000,
+            1_000,
+            AuditSpec::Full,
+        ),
+    ];
+    // Trace replay through the per-step driver.
+    let mut replay = BenchCase::new(
+        "dyn-hedge-replay-full",
+        "dynamic",
+        Some("hedge"),
+        "uniform",
+        20_000,
+        1,
+        AuditSpec::Full,
+    );
+    replay.replay = true;
+    cases.push(replay);
+    cases
+}
+
+/// Pre-records `case.scenario.steps` requests of the case's workload
+/// (resolved with the scenario's derived workload seed, exactly as a
+/// live run would) against the canonical contiguous placement.
+///
+/// # Panics
+/// Panics if the workload is adaptive — an adaptive adversary has no
+/// placement-independent trace.
+fn record_trace(case: &BenchCase, registries: &Registries) -> Vec<Edge> {
+    let instance = case
+        .scenario
+        .instance
+        .build()
+        .expect("pinned instance must build");
+    let mut workload = registries
+        .workloads
+        .resolve(
+            &case.scenario.workload,
+            &instance,
+            workload_seed(case.scenario.seed),
+        )
+        .expect("pinned workload must resolve");
+    assert!(
+        !workload.is_adaptive(),
+        "case {}: cannot pre-record an adaptive workload",
+        case.id
+    );
+    let placement = Placement::contiguous(&instance);
+    let mut requests = Vec::with_capacity(case.scenario.steps as usize);
+    workload.fill_batch(&placement, case.scenario.steps, &mut requests);
+    requests
+}
+
+/// Runs `cases` with one warm-up pass and `repeats` timed repetitions
+/// each, returning the suite report.
+///
+/// Counters come from the first timed repetition and are asserted
+/// bit-identical across all of them — a drift here means the scenario
+/// is not actually deterministic, which the perf gate is built on.
+/// Wall-clock takes the minimum over the repetitions.
+///
+/// # Panics
+/// Panics if `repeats == 0`, a case fails to resolve, or counters
+/// drift between repetitions.
+#[must_use]
+pub fn run_cases(suite: &str, cases: &[BenchCase], repeats: u32) -> BenchReport {
+    assert!(repeats > 0, "need at least one repetition");
+    let registries = Registries::builtin();
+    let mut results = Vec::with_capacity(cases.len());
+    for case in cases {
+        let trace = case.replay.then(|| record_trace(case, &registries));
+        let run_once = || {
+            let prepared = case
+                .scenario
+                .resolve(&registries)
+                .unwrap_or_else(|e| panic!("case {}: {e}", case.id));
+            match &trace {
+                Some(requests) => prepared.replay_counted(requests, &mut NoopObserver),
+                None => prepared.run_batched_counted(case.batch, &mut NoopObserver),
+            }
+        };
+        let _ = run_once(); // warm-up (page-in, allocator)
+        let mut counters: Option<WorkCounters> = None;
+        let mut best_ns = u64::MAX;
+        for rep in 0..repeats {
+            let start = Instant::now();
+            let (report, c) = run_once();
+            let elapsed = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            assert_eq!(
+                report.steps, case.scenario.steps,
+                "case {}: short run",
+                case.id
+            );
+            match &counters {
+                None => counters = Some(c),
+                Some(first) => assert_eq!(
+                    *first, c,
+                    "case {}: counters drifted between repetitions {rep} — scenario \
+                     is not deterministic",
+                    case.id
+                ),
+            }
+            best_ns = best_ns.min(elapsed.max(1));
+        }
+        let counters = counters.expect("at least one repetition ran");
+        results.push(CaseResult {
+            id: case.id.clone(),
+            steps: case.scenario.steps,
+            counters,
+            wall_ns: best_ns,
+            throughput: case.scenario.steps as f64 / (best_ns as f64 / 1e9),
+        });
+    }
+    BenchReport {
+        schema_version: BENCH_SCHEMA_VERSION,
+        suite: suite.to_string(),
+        cases: results,
+    }
+}
+
+/// Runs a named suite ([`MAIN_SUITE`] is the only built-in one).
+///
+/// # Panics
+/// Panics on an unknown suite name (callers validate beforehand) and
+/// under the same conditions as [`run_cases`].
+#[must_use]
+pub fn run_suite(suite: &str, repeats: u32) -> BenchReport {
+    assert_eq!(suite, MAIN_SUITE, "unknown suite `{suite}` (valid: main)");
+    run_cases(suite, &pinned_cases(), repeats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinned_case_ids_are_unique_and_cover_the_policy_matrix() {
+        let cases = pinned_cases();
+        assert!(cases.len() >= 8, "the suite spans ≥ 8 cases");
+        let mut ids: Vec<&str> = cases.iter().map(|c| c.id.as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), cases.len(), "case ids must be unique");
+        for policy in ["hedge", "wfa", "smin", "marking"] {
+            assert!(
+                cases
+                    .iter()
+                    .any(|c| c.scenario.algorithm.policy.as_deref() == Some(policy)),
+                "suite must cover dynamic×{policy}"
+            );
+        }
+        assert!(cases.iter().any(|c| c.batch == 1), "per-step case");
+        assert!(cases.iter().any(|c| c.batch >= 1000), "batched case");
+        assert!(cases.iter().any(|c| c.replay), "replay case");
+        assert!(
+            cases.iter().any(|c| c.scenario.audit == AuditSpec::None)
+                && cases.iter().any(|c| c.scenario.audit == AuditSpec::Full),
+            "both audit levels"
+        );
+    }
+
+    #[test]
+    fn every_pinned_case_resolves() {
+        let registries = Registries::builtin();
+        for case in pinned_cases() {
+            assert!(
+                case.scenario.resolve(&registries).is_ok(),
+                "case {} must resolve",
+                case.id
+            );
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Perf-gate integration tests: counter determinism across the
+//! algorithm registry, the pinned `BENCH_*.json` schema, and the
+//! compare gate's pass/fail behaviour on real suite output.
+//!
+//! The suite cases here are *small twins* of the pinned `main` suite
+//! (same shapes, far fewer steps) so the tests stay fast in debug
+//! builds; the pinned suite itself is exercised by `rdbp-perfgate run`
+//! in the CI perf-gate job.
+
+use rdbp_bench::{
+    compare, pinned_cases, run_cases, BenchCase, BenchReport, GateConfig, BENCH_SCHEMA_VERSION,
+};
+use rdbp_engine::{AlgorithmSpec, AuditSpec, InstanceSpec, Registries, Scenario, WorkloadSpec};
+use rdbp_model::{NoopObserver, WorkCounters};
+
+fn scenario(algorithm: &str, policy: Option<&str>, workload: &str, audit: AuditSpec) -> Scenario {
+    let mut alg = AlgorithmSpec::named(algorithm);
+    alg.policy = policy.map(Into::into);
+    let mut s = Scenario::new(
+        InstanceSpec::packed(4, 8),
+        alg,
+        WorkloadSpec::named(workload),
+        600,
+    );
+    s.seed = 11;
+    s.audit = audit;
+    s
+}
+
+/// Small twins of the pinned suite: one case per dynamic policy plus a
+/// baseline, both audit levels, batched and per-step.
+fn mini_cases() -> Vec<BenchCase> {
+    let mk = |id: &str, alg: &str, policy: Option<&str>, workload: &str, audit, batch| BenchCase {
+        id: id.into(),
+        scenario: scenario(alg, policy, workload, audit),
+        batch,
+        replay: false,
+    };
+    vec![
+        mk(
+            "mini-hedge",
+            "dynamic",
+            Some("hedge"),
+            "zipf",
+            AuditSpec::Full,
+            64,
+        ),
+        mk(
+            "mini-wfa",
+            "dynamic",
+            Some("wfa"),
+            "uniform",
+            AuditSpec::None,
+            1,
+        ),
+        mk(
+            "mini-marking",
+            "dynamic",
+            Some("marking"),
+            "uniform",
+            AuditSpec::Full,
+            64,
+        ),
+        mk("mini-greedy", "greedy", None, "chaser", AuditSpec::Full, 64),
+    ]
+}
+
+#[test]
+fn same_scenario_and_seed_yield_bit_identical_counters() {
+    // The property the whole gate rests on: re-running a pinned
+    // scenario reproduces every counter exactly, for every algorithm
+    // family and audit level (run_cases itself asserts equality across
+    // its repeats; this checks two *independent* harness invocations).
+    let a = run_cases("mini", &mini_cases(), 2);
+    let b = run_cases("mini", &mini_cases(), 2);
+    for (ca, cb) in a.cases.iter().zip(&b.cases) {
+        assert_eq!(ca.id, cb.id);
+        assert_eq!(ca.counters, cb.counters, "case {}", ca.id);
+        assert_eq!(ca.steps, cb.steps);
+    }
+}
+
+#[test]
+fn counters_reflect_real_work_per_family() {
+    let report = run_cases("mini", &mini_cases(), 1);
+    let hedge = report.case("mini-hedge").unwrap();
+    assert_eq!(hedge.counters.requests, 600);
+    assert_eq!(hedge.counters.audited_steps, 600, "full audit audits all");
+    assert_eq!(
+        hedge.counters.journal_records, hedge.counters.migrations,
+        "every real move is journaled under full audit"
+    );
+    assert!(hedge.counters.policy_serve_hit > 0, "point fast path used");
+    assert_eq!(
+        hedge.counters.policy_serve_vector, 0,
+        "the partitioner never materializes cost vectors"
+    );
+    assert!(hedge.counters.hst_node_visits > 0);
+    assert!(hedge.counters.coupling_follows > 0);
+
+    let wfa = report.case("mini-wfa").unwrap();
+    assert_eq!(wfa.counters.audited_steps, 0, "audit=none");
+    assert_eq!(wfa.counters.journal_records, 0);
+    assert_eq!(wfa.counters.hst_node_visits, 0, "wfa has no hierarchy");
+
+    let greedy = report.case("mini-greedy").unwrap();
+    assert_eq!(greedy.counters.policy_serve_hit, 0, "baselines have no MTS");
+    assert!(greedy.counters.migrations > 0, "the chaser forces moves");
+}
+
+#[test]
+fn engine_counted_runs_match_plain_runs() {
+    // run_counted is the same run with counters on the side: the report
+    // must be identical to the plain path's.
+    let registries = Registries::builtin();
+    let spec = scenario("dynamic", Some("hedge"), "zipf", AuditSpec::Full);
+    let plain = spec.run().unwrap();
+    let (counted, counters) = spec
+        .resolve(&registries)
+        .unwrap()
+        .run_counted(&mut NoopObserver);
+    assert_eq!(plain, counted);
+    assert_eq!(counters.requests, plain.steps);
+}
+
+#[test]
+fn golden_bench_json_schema_round_trips_and_pins_the_version() {
+    let report = run_cases("mini", &mini_cases()[..1], 1);
+    let text = report.to_json();
+    let back = BenchReport::from_json(&text).unwrap();
+    assert_eq!(back, report, "JSON round trip must be lossless");
+
+    // Golden schema pin: the exact field names the committed baseline
+    // uses, down at the JSON text layer. Renaming any of these is a
+    // schema change and must bump BENCH_SCHEMA_VERSION.
+    assert_eq!(back.schema_version, BENCH_SCHEMA_VERSION);
+    let mut expected = vec![
+        "schema_version",
+        "suite",
+        "cases",
+        "id",
+        "steps",
+        "counters",
+        "wall_ns",
+        "throughput",
+    ];
+    expected.extend(WorkCounters::default().named().iter().map(|&(n, _)| n));
+    for field in expected {
+        assert!(
+            text.contains(&format!("\"{field}\"")),
+            "field `{field}` missing from the JSON schema: {text}"
+        );
+    }
+}
+
+#[test]
+fn gate_passes_on_identical_runs_and_names_injected_regressions() {
+    let base = run_cases("mini", &mini_cases(), 1);
+    let rerun = run_cases("mini", &mini_cases(), 1);
+    let config = GateConfig::default();
+    assert!(
+        compare(&base, &rerun, &config).passed(),
+        "identical-seed reruns must pass the exact gate"
+    );
+
+    // Inject a counter regression (as a perf bug would: extra policy
+    // work) and require the gate to fail naming the exact metric.
+    let mut regressed = rerun.clone();
+    regressed.cases[0].counters.policy_serve_hit += 17;
+    let comparison = compare(&base, &regressed, &config);
+    assert!(!comparison.passed());
+    let failures: Vec<_> = comparison.failures().collect();
+    assert_eq!(failures.len(), 1);
+    assert_eq!(failures[0].case, "mini-hedge");
+    assert_eq!(failures[0].metric, "policy_serve_hit");
+
+    // Wall-clock noise alone never fails the gate.
+    let mut slow = rerun.clone();
+    for case in &mut slow.cases {
+        case.wall_ns *= 10;
+        case.throughput /= 10.0;
+    }
+    assert!(compare(&base, &slow, &config).passed());
+}
+
+#[test]
+fn committed_baseline_matches_the_pinned_suite_shape() {
+    // The committed BENCH_main.json must stay loadable, carry the
+    // current schema version, and cover exactly the pinned case ids —
+    // otherwise `rdbp-perfgate compare` in CI gates on a stale file.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../bench_results/BENCH_main.json");
+    let baseline = BenchReport::load(&path).expect("committed baseline must parse");
+    assert_eq!(baseline.schema_version, BENCH_SCHEMA_VERSION);
+    assert_eq!(baseline.suite, "main");
+    let pinned: Vec<String> = pinned_cases().into_iter().map(|c| c.id).collect();
+    let committed: Vec<String> = baseline.cases.iter().map(|c| c.id.clone()).collect();
+    assert_eq!(
+        committed, pinned,
+        "baseline cases diverged from the pinned suite — regenerate BENCH_main.json"
+    );
+}

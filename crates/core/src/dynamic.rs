@@ -422,6 +422,23 @@ impl OnlineAlgorithm for DynamicPartitioner {
         "dynamic-partitioner"
     }
 
+    // Placement counters plus the per-interval MTS policies' counters
+    // (the policy layer is where most of this algorithm's work lives).
+    fn work_counters(&self) -> rdbp_model::WorkCounters {
+        let mut counters = rdbp_model::WorkCounters::default();
+        self.placement.add_work_counters(&mut counters);
+        let mut policy_counters = rdbp_mts::PolicyCounters::default();
+        for policy in &self.policies {
+            policy_counters.merge(&policy.work_counters());
+        }
+        counters.policy_serve_vector = policy_counters.serve_vector;
+        counters.policy_serve_hit = policy_counters.serve_hit;
+        counters.hst_node_visits = policy_counters.node_visits;
+        counters.hst_cache_hits = policy_counters.cache_hits;
+        counters.coupling_follows = policy_counters.coupling_follows;
+        counters
+    }
+
     // Geometry (`k′`, `ℓ′`) is construction-derived; everything the
     // construction randomizes (the shift) or mutates afterwards (cut
     // states, placement, proxy costs, per-interval MTS policies) is

@@ -55,8 +55,9 @@ pub fn parse_policy(name: &str) -> Result<PolicyKind, SpecError> {
         "wfa" | "work-function" => Ok(PolicyKind::WorkFunction),
         "smin" | "smin-gradient" => Ok(PolicyKind::SminGradient),
         "hedge" | "hst-hedge" => Ok(PolicyKind::HstHedge),
+        "marking" => Ok(PolicyKind::Marking),
         other => Err(SpecError(format!(
-            "unknown policy `{other}` (valid: wfa, smin, hedge)"
+            "unknown policy `{other}` (valid: wfa, smin, hedge, marking)"
         ))),
     }
 }

@@ -1,8 +1,9 @@
 //! Executing a [`Scenario`]: spec → registries → audited driver run.
 
 use rdbp_model::{
-    run_batch, run_observed, run_trace_observed, AuditLevel, Edge, NoopObserver, Observer,
-    OnlineAlgorithm, RingInstance, RunReport, Workload,
+    run_batch, run_batch_counted, run_counted, run_observed, run_trace_counted, run_trace_observed,
+    AuditLevel, Edge, NoopObserver, Observer, OnlineAlgorithm, RingInstance, RunReport,
+    WorkCounters, Workload,
 };
 
 /// Batch size [`PreparedScenario::run`] uses when no observer needs
@@ -110,6 +111,60 @@ impl PreparedScenario {
     /// Same contract as [`rdbp_model::run_trace`].
     pub fn replay(mut self, requests: &[Edge], observer: &mut dyn Observer) -> RunReport {
         run_trace_observed(self.algorithm.as_mut(), requests, self.audit, observer)
+    }
+
+    /// [`PreparedScenario::run`] plus the run's merged
+    /// [`WorkCounters`] — the perf-gate entry point. Same
+    /// batched-vs-per-step routing as `run`.
+    ///
+    /// # Panics
+    /// Same contract as [`PreparedScenario::run`].
+    pub fn run_counted(self, observer: &mut dyn Observer) -> (RunReport, WorkCounters) {
+        if observer.wants_steps() {
+            let mut this = self;
+            run_counted(
+                this.algorithm.as_mut(),
+                this.workload.as_mut(),
+                this.steps,
+                this.audit,
+                observer,
+            )
+        } else {
+            self.run_batched_counted(DEFAULT_RUN_BATCH, observer)
+        }
+    }
+
+    /// [`PreparedScenario::run_batched`] plus the run's merged
+    /// [`WorkCounters`].
+    ///
+    /// # Panics
+    /// Same contract as [`PreparedScenario::run_batched`].
+    pub fn run_batched_counted(
+        mut self,
+        batch: u64,
+        observer: &mut dyn Observer,
+    ) -> (RunReport, WorkCounters) {
+        run_batch_counted(
+            self.algorithm.as_mut(),
+            self.workload.as_mut(),
+            self.steps,
+            batch,
+            self.audit,
+            observer,
+        )
+    }
+
+    /// [`PreparedScenario::replay`] plus the run's merged
+    /// [`WorkCounters`].
+    ///
+    /// # Panics
+    /// Same contract as [`PreparedScenario::replay`].
+    pub fn replay_counted(
+        mut self,
+        requests: &[Edge],
+        observer: &mut dyn Observer,
+    ) -> (RunReport, WorkCounters) {
+        run_trace_counted(self.algorithm.as_mut(), requests, self.audit, observer)
     }
 
     /// Decomposes the resolution into its live parts — what a

@@ -106,8 +106,8 @@ pub struct AlgorithmSpec {
     /// Augmentation slack ε (defaults: 0.5 for `dynamic`, 1.0 for
     /// `static`).
     pub epsilon: Option<f64>,
-    /// MTS policy for `dynamic`: `wfa` | `smin` | `hedge` (default
-    /// `hedge`).
+    /// MTS policy for `dynamic`: `wfa` | `smin` | `hedge` | `marking`
+    /// (default `hedge`).
     pub policy: Option<String>,
     /// Fixed interval shift for `dynamic` (`None` = random, as the
     /// analysis requires).

@@ -23,7 +23,11 @@
 //!   rotating hotspots, random walks, and *adaptive adversaries* (the
 //!   cut-chaser used in the Ω(k) lower-bound experiments).
 //! * [`trace`] — (de)serialization of recorded request traces.
+//! * [`WorkCounters`] — the always-on deterministic work-counter ledger
+//!   (requests, migrations, audited steps, …) the perf gate diffs
+//!   instead of noisy wall-clock.
 
+mod counters;
 mod instance;
 mod ledger;
 pub mod observers;
@@ -33,13 +37,14 @@ mod sim;
 pub mod trace;
 pub mod workload;
 
+pub use counters::{WorkCounters, NUM_WORK_METRICS};
 pub use instance::{Edge, Process, RingInstance, Segment, Server};
 pub use ledger::CostLedger;
 pub use placement::{MigrationRecord, Placement};
 pub use seed::split_mix64;
 pub use sim::{
-    run, run_batch, run_observed, run_trace, run_trace_observed, AuditLevel, BatchEvent,
-    BatchOutcome, Driver, NoopObserver, Observer, OnlineAlgorithm, RunReport, StepEvent,
-    StrictAuditor,
+    run, run_batch, run_batch_counted, run_counted, run_observed, run_trace, run_trace_counted,
+    run_trace_observed, AuditLevel, BatchEvent, BatchOutcome, Driver, NoopObserver, Observer,
+    OnlineAlgorithm, RunReport, StepEvent, StrictAuditor,
 };
 pub use workload::Workload;

@@ -2,7 +2,7 @@
 
 use serde::{DeError, Deserialize, Serialize, Value};
 
-use crate::{Edge, Process, RingInstance, Segment, Server};
+use crate::{Edge, Process, RingInstance, Segment, Server, WorkCounters};
 
 /// One recorded migration: process `process` moved `from → to`.
 ///
@@ -53,6 +53,11 @@ pub struct Placement {
     journal: Vec<MigrationRecord>,
     record_journal: bool,
     instance: RingInstance,
+    /// Work counter: actual migrations performed (always on; plain u64
+    /// add per move). Transient — never serialized, never compared.
+    migrations: u64,
+    /// Work counter: times the incremental `max` changed.
+    max_load_updates: u64,
 }
 
 /// Placements compare by what they assert — the assignment (and its
@@ -111,6 +116,8 @@ impl Placement {
             journal: Vec::new(),
             record_journal: false,
             instance: *instance,
+            migrations: 0,
+            max_load_updates: 0,
         }
     }
 
@@ -135,6 +142,7 @@ impl Placement {
         // left the top bucket.
         if l == self.max && self.load_count[l as usize] == 0 {
             self.max -= 1;
+            self.max_load_updates += 1;
         }
     }
 
@@ -145,6 +153,7 @@ impl Placement {
         self.load_count[l as usize + 1] += 1;
         if l + 1 > self.max {
             self.max = l + 1;
+            self.max_load_updates += 1;
         }
     }
 
@@ -162,6 +171,7 @@ impl Placement {
         self.dec_load(old);
         self.inc_load(s.0);
         self.servers_of[p.0 as usize] = s.0;
+        self.migrations += 1;
         if self.record_journal {
             self.journal.push(MigrationRecord {
                 process: p,
@@ -273,6 +283,27 @@ impl Placement {
     #[must_use]
     pub fn assignment(&self) -> &[u32] {
         &self.servers_of
+    }
+
+    /// Work counter: actual migrations performed since construction
+    /// (same-server no-op "moves" excluded).
+    #[must_use]
+    pub fn migrations_performed(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Work counter: how often the incrementally maintained max load
+    /// changed since construction.
+    #[must_use]
+    pub fn max_load_updates(&self) -> u64 {
+        self.max_load_updates
+    }
+
+    /// Adds this placement's work counters into `out` (the
+    /// [`crate::OnlineAlgorithm::work_counters`] plumbing).
+    pub fn add_work_counters(&self, out: &mut WorkCounters) {
+        out.migrations += self.migrations;
+        out.max_load_updates += self.max_load_updates;
     }
 }
 

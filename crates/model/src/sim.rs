@@ -31,7 +31,7 @@ use std::collections::HashMap;
 use serde::{DeError, Deserialize, Serialize, Value};
 
 use crate::workload::Workload;
-use crate::{CostLedger, Edge, Placement, Process};
+use crate::{CostLedger, Edge, Placement, Process, WorkCounters};
 
 /// How many requests [`Driver::step_batch_generated`] pre-generates per
 /// [`Workload::fill_batch`] call. Bounds the driver's request buffer
@@ -122,6 +122,18 @@ pub trait OnlineAlgorithm {
             "algorithm `{}` does not support snapshot/restore",
             self.name()
         )))
+    }
+
+    /// The algorithm's deterministic work counters (see
+    /// [`WorkCounters`]): everything the algorithm and its placement
+    /// counted since construction. The default surfaces the placement's
+    /// counters (migrations, max-load updates); algorithms that own
+    /// further instrumented machinery (e.g. per-interval MTS policies)
+    /// override this to merge those counters in.
+    fn work_counters(&self) -> WorkCounters {
+        let mut counters = WorkCounters::default();
+        self.placement().add_work_counters(&mut counters);
+        counters
     }
 }
 
@@ -357,6 +369,79 @@ where
     driver.finish(observer)
 }
 
+/// [`run_observed`] plus the run's merged [`WorkCounters`] — the
+/// per-step entry point of the perf-gate bench harness.
+///
+/// # Panics
+/// Same contract as [`run`].
+pub fn run_counted<A, W>(
+    algorithm: &mut A,
+    workload: &mut W,
+    steps: u64,
+    audit: AuditLevel,
+    observer: &mut dyn Observer,
+) -> (RunReport, WorkCounters)
+where
+    A: OnlineAlgorithm + ?Sized,
+    W: Workload + ?Sized,
+{
+    let mut driver = Driver::new(algorithm.name(), workload.name(), audit);
+    for _ in 0..steps {
+        driver.step_generated(algorithm, workload, observer);
+    }
+    let counters = driver.work_counters(algorithm);
+    (driver.finish(observer), counters)
+}
+
+/// [`run_batch`] plus the run's merged [`WorkCounters`].
+///
+/// # Panics
+/// Same contract as [`run_batch`].
+pub fn run_batch_counted<A, W>(
+    algorithm: &mut A,
+    workload: &mut W,
+    steps: u64,
+    batch: u64,
+    audit: AuditLevel,
+    observer: &mut dyn Observer,
+) -> (RunReport, WorkCounters)
+where
+    A: OnlineAlgorithm + ?Sized,
+    W: Workload + ?Sized,
+{
+    assert!(batch > 0, "batch size must be positive");
+    let mut driver = Driver::new(algorithm.name(), workload.name(), audit);
+    let mut left = steps;
+    while left > 0 {
+        let take = left.min(batch);
+        driver.step_batch_generated(algorithm, workload, take, observer);
+        left -= take;
+    }
+    let counters = driver.work_counters(algorithm);
+    (driver.finish(observer), counters)
+}
+
+/// [`run_trace_observed`] plus the run's merged [`WorkCounters`].
+///
+/// # Panics
+/// Same contract as [`run`].
+pub fn run_trace_counted<A>(
+    algorithm: &mut A,
+    requests: &[Edge],
+    audit: AuditLevel,
+    observer: &mut dyn Observer,
+) -> (RunReport, WorkCounters)
+where
+    A: OnlineAlgorithm + ?Sized,
+{
+    let mut driver = Driver::new(algorithm.name(), "trace", audit);
+    for &request in requests {
+        driver.step(algorithm, request, observer);
+    }
+    let counters = driver.work_counters(algorithm);
+    (driver.finish(observer), counters)
+}
+
 /// Replays a fixed request trace against `algorithm`.
 ///
 /// # Panics
@@ -411,6 +496,14 @@ pub struct Driver {
     /// Scratch: process → latest destination while verifying one step's
     /// journal (cleared per step, capacity retained).
     chain: HashMap<u32, u32>,
+    /// Work counter: requests this driver instance served. Unlike
+    /// `report.steps` this never includes pre-[`Driver::resume`]
+    /// history — counters describe work actually performed here.
+    requests: u64,
+    /// Work counter: steps that ran the full per-step audit.
+    audited_steps: u64,
+    /// Work counter: journal records verified and drained.
+    journal_records: u64,
 }
 
 impl Driver {
@@ -426,10 +519,15 @@ impl Driver {
             audit,
             gen_buf: Vec::new(),
             chain: HashMap::new(),
+            requests: 0,
+            audited_steps: 0,
+            journal_records: 0,
         }
     }
 
     /// Resumes accounting from a mid-run report (snapshot restore).
+    /// Work counters start at zero: they describe work this driver
+    /// instance performs, not the restored history.
     #[must_use]
     pub fn resume(report: RunReport, audit: AuditLevel) -> Self {
         Self {
@@ -437,6 +535,9 @@ impl Driver {
             audit,
             gen_buf: Vec::new(),
             chain: HashMap::new(),
+            requests: 0,
+            audited_steps: 0,
+            journal_records: 0,
         }
     }
 
@@ -450,6 +551,23 @@ impl Driver {
     #[must_use]
     pub fn report(&self) -> &RunReport {
         &self.report
+    }
+
+    /// The merged deterministic work counters of this run: the driver's
+    /// own counts (requests, audited steps, journal records) plus
+    /// everything `algorithm` counted
+    /// ([`OnlineAlgorithm::work_counters`]). Pass the same algorithm
+    /// this driver has been stepping.
+    #[must_use]
+    pub fn work_counters<A>(&self, algorithm: &A) -> WorkCounters
+    where
+        A: OnlineAlgorithm + ?Sized,
+    {
+        let mut counters = algorithm.work_counters();
+        counters.requests += self.requests;
+        counters.audited_steps += self.audited_steps;
+        counters.journal_records += self.journal_records;
+        counters
     }
 
     /// Draws the next request from `workload` and serves it.
@@ -582,6 +700,7 @@ impl Driver {
                 self.report.ledger.communication += out.charged;
                 self.report.ledger.migration += out.migrations;
                 self.report.steps += requests.len() as u64;
+                self.requests += requests.len() as u64;
                 self.report.max_load_seen = self.report.max_load_seen.max(out.max_load_seen);
                 event.served += requests.len() as u64;
                 event.charged += out.charged;
@@ -626,12 +745,14 @@ impl Driver {
         let reported = algorithm.serve(request);
         self.report.ledger.migration += reported;
         self.report.steps += 1;
+        self.requests += 1;
 
         let max_load = algorithm.placement().max_load();
         self.report.max_load_seen = self.report.max_load_seen.max(max_load);
 
         let mut violated = false;
         if let AuditLevel::Full { load_limit } = self.audit {
+            self.audited_steps += 1;
             self.verify_journal(algorithm.placement(), reported);
             algorithm.placement_mut().clear_journal();
             if max_load > load_limit {
@@ -658,6 +779,7 @@ impl Driver {
     fn verify_journal(&mut self, placement: &Placement, reported: u64) {
         let journal = placement.journal();
         let actual = journal.len() as u64;
+        self.journal_records += actual;
         assert!(
             reported >= actual,
             "algorithm under-reported migrations: reported {reported}, actual {actual}"
@@ -1011,6 +1133,53 @@ mod tests {
             b.placement.assignment(),
             "final placements must coincide"
         );
+    }
+
+    #[test]
+    fn work_counters_tie_out_with_the_ledger_under_full_audit() {
+        // Every journaled record the audit verified is exactly one
+        // charged migration, every step is audited, and the driver's
+        // request count equals the report's.
+        let inst = RingInstance::new(12, 3, 4);
+        let mut alg = GreedyPull {
+            placement: Placement::contiguous(&inst),
+        };
+        let mut w = crate::workload::UniformRandom::new(7);
+        let (report, counters) = run_counted(
+            &mut alg,
+            &mut w,
+            400,
+            AuditLevel::Full { load_limit: 12 },
+            &mut NoopObserver,
+        );
+        assert_eq!(counters.requests, report.steps);
+        assert_eq!(counters.audited_steps, report.steps);
+        assert_eq!(counters.journal_records, report.ledger.migration);
+        assert_eq!(counters.migrations, report.ledger.migration);
+        assert!(counters.max_load_updates > 0, "loads churned");
+    }
+
+    #[test]
+    fn work_counters_are_deterministic_across_batched_reruns() {
+        let inst = RingInstance::new(12, 3, 4);
+        let run_once = |batch: u64, audit: AuditLevel| {
+            let mut alg = GreedyPull {
+                placement: Placement::contiguous(&inst),
+            };
+            let mut w = crate::workload::UniformRandom::new(3);
+            run_batch_counted(&mut alg, &mut w, 500, batch, audit, &mut NoopObserver)
+        };
+        for audit in [AuditLevel::Full { load_limit: 12 }, AuditLevel::None] {
+            let (report_a, counters_a) = run_once(64, audit);
+            let (report_b, counters_b) = run_once(64, audit);
+            assert_eq!(report_a, report_b);
+            assert_eq!(counters_a, counters_b, "same seed → identical counters");
+            assert_eq!(counters_a.requests, 500);
+        }
+        // Unaudited batches skip the journal audit entirely.
+        let (_, unaudited) = run_once(64, AuditLevel::None);
+        assert_eq!(unaudited.audited_steps, 0);
+        assert_eq!(unaudited.journal_records, 0);
     }
 
     #[test]

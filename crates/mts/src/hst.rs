@@ -31,7 +31,9 @@ use rdbp_smin::{Distribution, QuantileCoupling};
 
 use serde::{DeError, Deserialize, Serialize, Value};
 
-use crate::policy::{coupling_from_value, coupling_to_value, validate_costs, MtsPolicy};
+use crate::policy::{
+    coupling_from_value, coupling_to_value, validate_costs, MtsPolicy, PolicyCounters,
+};
 
 /// One internal node of the dyadic hierarchy over `[lo, hi)`.
 #[derive(Debug, Clone)]
@@ -79,6 +81,13 @@ pub struct HstHedge {
     /// Scratch: per-subtree expected cost under the conditional leaf
     /// distribution.
     exp_cost: Vec<f64>,
+    /// Work counters (transient, never snapshotted): serves by task
+    /// shape, nodes whose weights were actually updated, and serves
+    /// that reused the cached leaf distribution.
+    serves: u64,
+    hits: u64,
+    node_visits: u64,
+    cache_hits: u64,
 }
 
 const NO_CHILD: usize = usize::MAX;
@@ -110,6 +119,10 @@ impl HstHedge {
             probs_fresh: false,
             mass: vec![0.0; n_nodes],
             exp_cost: vec![0.0; n_nodes],
+            serves: 0,
+            hits: 0,
+            node_visits: 0,
+            cache_hits: 0,
         };
         let dist = policy.leaf_distribution();
         // Draw u uniformly inside initial's quantile block, so the
@@ -195,7 +208,9 @@ impl HstHedge {
         // forward arena order is a valid bottom-up order. The leading
         // recompute is skipped when the scratch still holds the
         // distribution from the previous serve's trailing refresh.
-        if !self.probs_fresh {
+        if self.probs_fresh {
+            self.cache_hits += 1;
+        } else {
             self.refresh_probs();
         }
         for idx in 0..self.nodes.len() {
@@ -238,6 +253,7 @@ impl HstHedge {
             if c[0] == 0.0 && c[1] == 0.0 {
                 continue;
             }
+            self.node_visits += 1;
             let n = &mut self.nodes[idx];
             for (side, &side_cost) in c.iter().enumerate() {
                 n.log_w[side] -= eta * side_cost;
@@ -325,6 +341,7 @@ impl MtsPolicy for HstHedge {
 
     fn serve(&mut self, costs: &[f64]) -> usize {
         validate_costs(costs, self.num_states);
+        self.serves += 1;
         if self.num_states == 1 {
             return 0;
         }
@@ -337,6 +354,7 @@ impl MtsPolicy for HstHedge {
             "hit index {index} out of range 0..{}",
             self.num_states
         );
+        self.hits += 1;
         if self.num_states == 1 {
             return 0;
         }
@@ -391,6 +409,16 @@ impl MtsPolicy for HstHedge {
         }
         self.probs_fresh = false;
         Ok(())
+    }
+
+    fn work_counters(&self) -> PolicyCounters {
+        PolicyCounters {
+            serve_vector: self.serves,
+            serve_hit: self.hits,
+            node_visits: self.node_visits,
+            cache_hits: self.cache_hits,
+            coupling_follows: self.coupling.follows(),
+        }
     }
 }
 

@@ -38,6 +38,6 @@ mod workfn;
 
 pub use hst::HstHedge;
 pub use marking::Marking;
-pub use policy::{run_policy, MtsCosts, MtsPolicy, PolicyKind};
+pub use policy::{run_policy, MtsCosts, MtsPolicy, PolicyCounters, PolicyKind};
 pub use smin_policy::SminGradient;
 pub use workfn::WorkFunction;

@@ -10,7 +10,7 @@ use rand::{RngExt, SeedableRng};
 
 use serde::{DeError, Deserialize, Serialize, Value};
 
-use crate::policy::{validate_costs, MtsPolicy};
+use crate::policy::{validate_costs, MtsPolicy, PolicyCounters};
 
 /// Phase-based randomized marking for MTS on the **uniform** metric
 /// (`d(i,j) = 1` for `i ≠ j`).
@@ -30,6 +30,10 @@ pub struct Marking {
     state: usize,
     rng: StdRng,
     moves: u64,
+    /// Work counters: serves by task shape (transient, never
+    /// snapshotted).
+    serves: u64,
+    hits: u64,
 }
 
 impl Marking {
@@ -47,6 +51,8 @@ impl Marking {
             state: initial,
             rng: StdRng::seed_from_u64(seed),
             moves: 0,
+            serves: 0,
+            hits: 0,
         }
     }
 
@@ -99,6 +105,7 @@ impl MtsPolicy for Marking {
 
     fn serve(&mut self, costs: &[f64]) -> usize {
         validate_costs(costs, self.phase_cost.len());
+        self.serves += 1;
         for (acc, c) in self.phase_cost.iter_mut().zip(costs) {
             *acc += c;
         }
@@ -107,6 +114,7 @@ impl MtsPolicy for Marking {
 
     fn serve_hit(&mut self, index: usize) -> usize {
         assert!(index < self.phase_cost.len(), "hit index out of range");
+        self.hits += 1;
         self.phase_cost[index] += 1.0;
         self.advance()
     }
@@ -142,6 +150,14 @@ impl MtsPolicy for Marking {
         self.phase_cost = phase;
         self.state = s;
         Ok(())
+    }
+
+    fn work_counters(&self) -> PolicyCounters {
+        PolicyCounters {
+            serve_vector: self.serves,
+            serve_hit: self.hits,
+            ..PolicyCounters::default()
+        }
     }
 }
 

@@ -2,6 +2,42 @@
 
 use serde::{DeError, Value};
 
+/// Deterministic work counters of one MTS policy instance — the
+/// policy-layer slice of the perf gate's counter taxonomy (see
+/// `rdbp_model::WorkCounters`; higher layers merge these in through
+/// `OnlineAlgorithm::work_counters`).
+///
+/// All fields are plain `u64` tallies of work performed since
+/// construction; they never influence behaviour and are never part of a
+/// snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PolicyCounters {
+    /// [`MtsPolicy::serve`] calls (explicit cost-vector path).
+    pub serve_vector: u64,
+    /// [`MtsPolicy::serve_hit`] calls (point fast path).
+    pub serve_hit: u64,
+    /// Hierarchy nodes whose weights were updated
+    /// ([`crate::HstHedge`] only).
+    pub node_visits: u64,
+    /// Serves that reused a cached distribution instead of recomputing
+    /// it ([`crate::HstHedge`] only).
+    pub cache_hits: u64,
+    /// Quantile-coupling follow/resample operations (randomized
+    /// policies).
+    pub coupling_follows: u64,
+}
+
+impl PolicyCounters {
+    /// Adds every counter of `other` into `self`.
+    pub fn merge(&mut self, other: &Self) {
+        self.serve_vector += other.serve_vector;
+        self.serve_hit += other.serve_hit;
+        self.node_visits += other.node_visits;
+        self.cache_hits += other.cache_hits;
+        self.coupling_follows += other.coupling_follows;
+    }
+}
+
 /// An online policy for a metrical task system on the **line metric**
 /// with states `0..num_states` and `d(i,j) = |i−j|`.
 ///
@@ -74,6 +110,13 @@ pub trait MtsPolicy {
             self.name()
         )))
     }
+
+    /// The policy's deterministic work counters (see
+    /// [`PolicyCounters`]). Defaults to all-zero for policies without
+    /// instrumentation; the built-in policies all specialize it.
+    fn work_counters(&self) -> PolicyCounters {
+        PolicyCounters::default()
+    }
 }
 
 /// Serializes a [`rdbp_smin::QuantileCoupling`] as `[u, state, moved]`.
@@ -113,6 +156,10 @@ pub enum PolicyKind {
     SminGradient,
     /// Randomized hierarchical Hedge with phase resets.
     HstHedge,
+    /// Randomized uniform-metric marking (a reference point, not a
+    /// line-metric algorithm — its guarantees do not transfer to the
+    /// ring reduction; used by ablations and the perf-gate suite).
+    Marking,
 }
 
 impl PolicyKind {
@@ -129,6 +176,7 @@ impl PolicyKind {
                 Box::new(crate::SminGradient::new(num_states, initial, seed))
             }
             PolicyKind::HstHedge => Box::new(crate::HstHedge::new(num_states, initial, seed)),
+            PolicyKind::Marking => Box::new(crate::Marking::new(num_states, initial, seed)),
         }
     }
 
@@ -139,6 +187,7 @@ impl PolicyKind {
             PolicyKind::WorkFunction => "wfa",
             PolicyKind::SminGradient => "smin",
             PolicyKind::HstHedge => "hst-hedge",
+            PolicyKind::Marking => "marking",
         }
     }
 }
@@ -235,6 +284,7 @@ mod tests {
             PolicyKind::WorkFunction,
             PolicyKind::SminGradient,
             PolicyKind::HstHedge,
+            PolicyKind::Marking,
         ] {
             let p = kind.build(8, 3, 42);
             assert_eq!(p.num_states(), 8);
@@ -275,6 +325,40 @@ mod tests {
                 costs[hit] = 0.0;
                 let b = by_hit.serve_hit(hit);
                 assert_eq!(a, b, "{name}: diverged at step {t} (hit {hit})");
+            }
+        }
+    }
+
+    #[test]
+    fn work_counters_track_serve_shapes_per_policy() {
+        for kind in [
+            PolicyKind::WorkFunction,
+            PolicyKind::SminGradient,
+            PolicyKind::HstHedge,
+            PolicyKind::Marking,
+        ] {
+            let mut p = kind.build(16, 8, 7);
+            assert_eq!(p.work_counters(), PolicyCounters::default());
+            let mut costs = vec![0.0; 16];
+            costs[3] = 1.0;
+            for _ in 0..5 {
+                let _ = p.serve(&costs);
+            }
+            for i in 0..9 {
+                let _ = p.serve_hit(i);
+            }
+            let c = p.work_counters();
+            assert_eq!(c.serve_vector, 5, "{}", kind.label());
+            assert_eq!(c.serve_hit, 9, "{}", kind.label());
+            if kind == PolicyKind::HstHedge {
+                assert!(c.node_visits > 0, "hedge must visit nodes");
+                assert!(
+                    c.cache_hits >= 13,
+                    "all but the first serve reuse the cached distribution"
+                );
+            }
+            if matches!(kind, PolicyKind::SminGradient | PolicyKind::HstHedge) {
+                assert_eq!(c.coupling_follows, 14, "one follow per served task");
             }
         }
     }

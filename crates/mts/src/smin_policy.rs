@@ -7,7 +7,9 @@ use rdbp_smin::{grad_smin_scaled, grad_smin_scaled_into, Distribution, QuantileC
 
 use serde::{DeError, Deserialize, Serialize, Value};
 
-use crate::policy::{coupling_from_value, coupling_to_value, validate_costs, MtsPolicy};
+use crate::policy::{
+    coupling_from_value, coupling_to_value, validate_costs, MtsPolicy, PolicyCounters,
+};
 
 /// Randomized policy that maintains the distribution
 /// `p⁽ᵗ⁾ = ∇smin_c(x⁽ᵗ⁾)` over cumulative state costs `x⁽ᵗ⁾` and plays
@@ -30,6 +32,10 @@ pub struct SminGradient {
     /// Scratch: normalized gradient probabilities for the hit fast
     /// path (never part of a snapshot).
     probs: Vec<f64>,
+    /// Work counters: serves by task shape (transient, never
+    /// snapshotted).
+    serves: u64,
+    hits: u64,
 }
 
 impl SminGradient {
@@ -66,6 +72,8 @@ impl SminGradient {
             coupling,
             rng,
             probs: vec![0.0; num_states],
+            serves: 0,
+            hits: 0,
         }
     }
 
@@ -101,6 +109,7 @@ impl MtsPolicy for SminGradient {
 
     fn serve(&mut self, costs: &[f64]) -> usize {
         validate_costs(costs, self.x.len());
+        self.serves += 1;
         for (xi, c) in self.x.iter_mut().zip(costs) {
             *xi += c;
         }
@@ -111,6 +120,7 @@ impl MtsPolicy for SminGradient {
 
     fn serve_hit(&mut self, index: usize) -> usize {
         assert!(index < self.x.len(), "hit index {index} out of range");
+        self.hits += 1;
         self.x[index] += 1.0;
         // Allocation-free equivalent of `Distribution::new(grad)` +
         // `follow`: gradient into the scratch, then the same final
@@ -152,6 +162,15 @@ impl MtsPolicy for SminGradient {
         self.rng = StdRng::from_value(state.get_field("rng")?)?;
         self.x = x;
         Ok(())
+    }
+
+    fn work_counters(&self) -> PolicyCounters {
+        PolicyCounters {
+            serve_vector: self.serves,
+            serve_hit: self.hits,
+            coupling_follows: self.coupling.follows(),
+            ..PolicyCounters::default()
+        }
     }
 }
 

@@ -2,7 +2,7 @@
 
 use serde::{DeError, Deserialize, Serialize, Value};
 
-use crate::policy::{validate_costs, MtsPolicy};
+use crate::policy::{validate_costs, MtsPolicy, PolicyCounters};
 
 /// Work-function algorithm (Borodin–Linial–Saks \[21\]), specialized to
 /// the line metric.
@@ -23,6 +23,10 @@ pub struct WorkFunction {
     w: Vec<f64>,
     state: usize,
     scratch: Vec<f64>,
+    /// Work counters: serves by task shape (transient, never
+    /// snapshotted).
+    serves: u64,
+    hits: u64,
 }
 
 impl WorkFunction {
@@ -42,6 +46,8 @@ impl WorkFunction {
             w,
             state: initial,
             scratch: vec![0.0; num_states],
+            serves: 0,
+            hits: 0,
         }
     }
 
@@ -103,6 +109,7 @@ impl MtsPolicy for WorkFunction {
 
     fn serve(&mut self, costs: &[f64]) -> usize {
         validate_costs(costs, self.w.len());
+        self.serves += 1;
         // tmp(y) = w_{t-1}(y) + T_t(y); then min-plus with |y − x| via a
         // forward and a backward sweep (in `settle`).
         for (s, (wv, c)) in self.scratch.iter_mut().zip(self.w.iter().zip(costs)) {
@@ -113,6 +120,7 @@ impl MtsPolicy for WorkFunction {
 
     fn serve_hit(&mut self, index: usize) -> usize {
         assert!(index < self.w.len(), "hit index {index} out of range");
+        self.hits += 1;
         // One-hot task: tmp = w except tmp(index) = w(index) + 1.
         self.scratch.copy_from_slice(&self.w);
         self.scratch[index] += 1.0;
@@ -146,6 +154,14 @@ impl MtsPolicy for WorkFunction {
         self.w = w;
         self.state = s;
         Ok(())
+    }
+
+    fn work_counters(&self) -> PolicyCounters {
+        PolicyCounters {
+            serve_vector: self.serves,
+            serve_hit: self.hits,
+            ..PolicyCounters::default()
+        }
     }
 }
 

@@ -24,7 +24,7 @@ use parking_lot::RwLock;
 use serde::Value;
 
 use rdbp_engine::{Registries, Scenario};
-use rdbp_model::{Edge, RunReport};
+use rdbp_model::{Edge, RunReport, WorkCounters};
 
 use crate::session::{BatchSummary, Session};
 use crate::ServeError;
@@ -73,6 +73,9 @@ pub struct SessionStatus {
     pub report: RunReport,
     /// The load bound the resolved algorithm guarantees.
     pub load_bound: u32,
+    /// The session's deterministic work counters (work performed since
+    /// creation or restore — see [`crate::Session::work_counters`]).
+    pub counters: WorkCounters,
 }
 
 /// Aggregate counters across all workers and sessions.
@@ -390,6 +393,7 @@ fn worker_main(
                         id,
                         report: session.report().clone(),
                         load_bound: session.load_bound(),
+                        counters: session.work_counters(),
                     }),
                 };
                 let _ = reply.send(result);

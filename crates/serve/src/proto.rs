@@ -25,7 +25,7 @@
 use serde::{DeError, Deserialize, Serialize, Value};
 
 use rdbp_engine::Scenario;
-use rdbp_model::{CostLedger, Edge, RunReport};
+use rdbp_model::{CostLedger, Edge, RunReport, WorkCounters};
 
 use crate::manager::{ManagerStats, SessionInfo, SessionStatus, Work};
 use crate::session::BatchSummary;
@@ -261,6 +261,7 @@ impl Serialize for Response {
                     ("session".into(), status.id.to_value()),
                     ("report".into(), status.report.to_value()),
                     ("load_bound".into(), status.load_bound.to_value()),
+                    ("counters".into(), status.counters.to_value()),
                 ],
                 "ok",
             ),
@@ -328,6 +329,7 @@ impl Deserialize for Response {
                     id: u64::from_value(v.get_field("session")?)?,
                     report: RunReport::from_value(v.get_field("report")?)?,
                     load_bound: u32::from_value(v.get_field("load_bound")?)?,
+                    counters: WorkCounters::from_value(v.get_field("counters")?)?,
                 },
             }),
             "snapshot" => Ok(Response::Snapshot {

@@ -24,7 +24,7 @@ use serde::{DeError, Deserialize, Serialize, Value};
 use rdbp_engine::{Registries, Scenario};
 use rdbp_model::{
     AuditLevel, CostLedger, Driver, Edge, NoopObserver, OnlineAlgorithm, RingInstance, RunReport,
-    Workload,
+    WorkCounters, Workload,
 };
 
 use crate::ServeError;
@@ -112,6 +112,15 @@ impl Session {
     #[must_use]
     pub fn report(&self) -> &RunReport {
         self.driver.report()
+    }
+
+    /// The session's merged deterministic work counters (driver +
+    /// algorithm + policies). For a restored session these cover only
+    /// the work performed since the restore — counters are transient
+    /// instrumentation and are not part of a snapshot.
+    #[must_use]
+    pub fn work_counters(&self) -> WorkCounters {
+        self.driver.work_counters(self.algorithm.as_ref())
     }
 
     /// Serves `steps` workload-generated requests as one driver batch:

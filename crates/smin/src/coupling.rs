@@ -24,6 +24,10 @@ pub struct QuantileCoupling {
     u: f64,
     state: usize,
     moved: u64,
+    /// Work counter: follow/resample operations performed. Transient
+    /// instrumentation for the perf gate — not part of the
+    /// `(u, state, moved)` persistence triple.
+    follows: u64,
 }
 
 impl QuantileCoupling {
@@ -32,7 +36,12 @@ impl QuantileCoupling {
     pub fn new<R: Rng + ?Sized>(dist: &Distribution, rng: &mut R) -> Self {
         let u = draw_unit(rng);
         let state = dist.quantile(u);
-        Self { u, state, moved: 0 }
+        Self {
+            u,
+            state,
+            moved: 0,
+            follows: 0,
+        }
     }
 
     /// Creates a coupling pinned at a specific `u` (deterministic replay
@@ -42,7 +51,12 @@ impl QuantileCoupling {
     /// Panics if `u` is outside `[0, 1]`.
     pub fn with_u(dist: &Distribution, u: f64) -> Self {
         let state = dist.quantile(u);
-        Self { u, state, moved: 0 }
+        Self {
+            u,
+            state,
+            moved: 0,
+            follows: 0,
+        }
     }
 
     /// Currently realized state.
@@ -68,7 +82,12 @@ impl QuantileCoupling {
     #[must_use]
     pub fn from_parts(u: f64, state: usize, moved: u64) -> Self {
         assert!((0.0..=1.0).contains(&u), "u must be in [0,1], got {u}");
-        Self { u, state, moved }
+        Self {
+            u,
+            state,
+            moved,
+            follows: 0,
+        }
     }
 
     /// Total line distance moved so far (sum over updates of
@@ -77,6 +96,15 @@ impl QuantileCoupling {
     #[must_use]
     pub fn distance_moved(&self) -> u64 {
         self.moved
+    }
+
+    /// Work counter: follow/resample operations performed since
+    /// construction (one per served task in the policies built on this
+    /// coupling). Resets to 0 across [`Self::from_parts`] restores —
+    /// counters describe work this instance actually did.
+    #[must_use]
+    pub fn follows(&self) -> u64 {
+        self.follows
     }
 
     /// Updates the realized state to follow `dist`, returning the line
@@ -90,6 +118,7 @@ impl QuantileCoupling {
     /// distribution in a scratch buffer. Identical arithmetic to
     /// following an owned [`Distribution`] built from the same slice.
     pub fn follow_probs(&mut self, probs: &[f64]) -> u64 {
+        self.follows += 1;
         let next = Distribution::quantile_of(probs, self.u);
         let d = self.state.abs_diff(next) as u64;
         self.moved += d;
@@ -101,6 +130,7 @@ impl QuantileCoupling {
     /// returning the line distance moved. Used at interval growth, where
     /// the paper pays up to `|I'|` to choose a new edge.
     pub fn resample<R: Rng + ?Sized>(&mut self, dist: &Distribution, rng: &mut R) -> u64 {
+        self.follows += 1;
         self.u = draw_unit(rng);
         let next = dist.quantile(self.u);
         let d = self.state.abs_diff(next) as u64;
@@ -208,6 +238,23 @@ mod tests {
         assert_eq!(c.follow(&d1), 5);
         assert_eq!(c.follow(&d2), 3);
         assert_eq!(c.distance_moved(), 8);
+    }
+
+    #[test]
+    fn follow_counter_counts_operations_not_distance() {
+        let d0 = Distribution::point(0, 8);
+        let d1 = Distribution::point(5, 8);
+        let mut c = QuantileCoupling::with_u(&d0, 0.5);
+        assert_eq!(c.follows(), 0);
+        c.follow(&d1);
+        c.follow(&d1); // no movement, still one operation
+        assert_eq!(c.follows(), 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        c.resample(&d1, &mut rng);
+        assert_eq!(c.follows(), 3);
+        // The persistence triple does not carry the counter.
+        let restored = QuantileCoupling::from_parts(c.u(), c.state(), c.distance_moved());
+        assert_eq!(restored.follows(), 0);
     }
 
     #[test]

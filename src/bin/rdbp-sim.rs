@@ -23,6 +23,16 @@ use std::process::exit;
 use rdbp::model::observers::TraceRecorder;
 use rdbp::model::trace::Trace;
 use rdbp::prelude::*;
+use serde::{Serialize, Value};
+
+/// Newtype handing a raw serde [`Value`] to the JSON text layer.
+struct JsonValue(Value);
+
+impl Serialize for JsonValue {
+    fn to_value(&self) -> Value {
+        self.0.clone()
+    }
+}
 
 struct Args(HashMap<String, String>);
 
@@ -41,7 +51,7 @@ impl Args {
             }
             if matches!(
                 name,
-                "opt" | "audit" | "json" | "list-algorithms" | "list-workloads"
+                "opt" | "audit" | "json" | "counters" | "list-algorithms" | "list-workloads"
             ) {
                 map.insert(name.to_string(), "true".to_string());
                 continue;
@@ -83,7 +93,7 @@ fn print_help() {
          --capacity N     per-server capacity k (default 16)\n\
          --steps N        requests to serve (default 10000)\n\
          --algorithm A    dynamic|static|greedy|component|never-move (default dynamic)\n\
-         --policy P       wfa|smin|hedge — MTS box for `dynamic` (default hedge)\n\
+         --policy P       wfa|smin|hedge|marking — MTS box for `dynamic` (default hedge)\n\
          --workload W     uniform|zipf|sliding|allreduce|bursty|random-walk|hotspot|chaser\n\
          --epsilon X      augmentation slack (default 0.5)\n\
          --seed N         RNG seed (default 0)\n\
@@ -93,6 +103,9 @@ fn print_help() {
          --opt            also compute the exact static-OPT lower bound\n\
          --audit          run with full per-step auditing\n\
          --json           print the run report as JSON\n\
+         --counters       also print the deterministic work counters\n\
+         \x20                (the perf-gate metrics; with --json, wraps the output\n\
+         \x20                as {{\"report\": …, \"counters\": …}})\n\
          --save-scenario F  write the effective scenario spec as JSON\n\
          --save-trace F   write the request trace as JSON\n\
          --load-trace F   replay a JSON trace (ignores --workload/--steps)\n\
@@ -212,16 +225,26 @@ fn main() {
         }
         t
     });
-    let report = match (&loaded, batch) {
-        (Some(t), _) => prepared.replay(&t.requests, &mut recorder),
-        (None, Some(n)) => prepared.run_batched(n, &mut rdbp::model::NoopObserver),
-        (None, None) => prepared.run(&mut recorder),
+    // The counted entry points are the same runs with the work-counter
+    // ledger surfaced on the side — identical reports either way.
+    let (report, counters) = match (&loaded, batch) {
+        (Some(t), _) => prepared.replay_counted(&t.requests, &mut recorder),
+        (None, Some(n)) => prepared.run_batched_counted(n, &mut rdbp::model::NoopObserver),
+        (None, None) => prepared.run_counted(&mut recorder),
     };
     let requests = recorder.into_requests();
 
     if args.flag("json") {
-        let text = serde_json::to_string(&report)
-            .unwrap_or_else(|e| fail(format!("cannot serialize report: {e}")));
+        let text = if args.flag("counters") {
+            let wrapped = Value::Obj(vec![
+                ("report".into(), report.to_value()),
+                ("counters".into(), counters.to_value()),
+            ]);
+            serde_json::to_string(&JsonValue(wrapped))
+        } else {
+            serde_json::to_string(&report)
+        }
+        .unwrap_or_else(|e| fail(format!("cannot serialize report: {e}")));
         println!("{text}");
     } else {
         println!(
@@ -239,6 +262,12 @@ fn main() {
         );
         if scenario.audit != AuditSpec::None {
             println!("capacity violations: {}", report.capacity_violations);
+        }
+        if args.flag("counters") {
+            println!("work counters (deterministic — see DESIGN.md §10):");
+            for (name, value) in counters.named() {
+                println!("  {name:<20} {value}");
+            }
         }
     }
 

@@ -7,31 +7,31 @@
 //! servers of capacity `k`; requests to ring edges cost 1 when they
 //! cross servers; migrations cost 1 per process. This crate bundles
 //!
-//! * [`core`](rdbp_core) — the paper's two randomized online
+//! * [`core`] — the paper's two randomized online
 //!   algorithms: the **dynamic-model** algorithm (Theorem 2.1,
 //!   `O(ε⁻¹log³k)`-competitive vs a dynamic optimum, augmentation
 //!   `2+ε`) and the **static-model** algorithm (Theorem 2.2,
 //!   `O(ε⁻²log²k)`-competitive vs a static optimum, augmentation
 //!   `3+ε`);
-//! * [`model`](rdbp_model) — the ring substrate: instances, placements,
+//! * [`model`] — the ring substrate: instances, placements,
 //!   cost accounting, workload generators, traces, and the auditing
 //!   simulation driver;
-//! * [`mts`](rdbp_mts) — metrical task systems on the line (the
+//! * [`mts`] — metrical task systems on the line (the
 //!   dynamic algorithm's engine): work function, smin-gradient,
 //!   HST-Hedge, exact offline optimum;
-//! * [`smin`](rdbp_smin) — the Appendix-A smooth-minimum machinery and
+//! * [`smin`] — the Appendix-A smooth-minimum machinery and
 //!   optimal-transport couplings;
-//! * [`offline`](rdbp_offline) — every comparator the analysis uses:
+//! * [`offline`] — every comparator the analysis uses:
 //!   exact static OPT, exact tiny dynamic OPT, interval-based `OPT_R`,
 //!   the Lemma 3.4 well-behaved strategy, lower-bound adversaries;
-//! * [`baselines`](rdbp_baselines) — the straw men: never-move, greedy
+//! * [`baselines`] — the straw men: never-move, greedy
 //!   swapping, component-growing deterministic repartitioners;
-//! * [`engine`](rdbp_engine) — the scenario engine: serializable
+//! * [`engine`] — the scenario engine: serializable
 //!   [`Scenario`](rdbp_engine::Scenario) specs, algorithm/workload
 //!   registries, the [`ScenarioGrid`](rdbp_engine::ScenarioGrid)
 //!   multi-run executor, and streaming
 //!   [`Observer`](rdbp_model::Observer) hooks (DESIGN.md §7);
-//! * [`serve`](rdbp_serve) — the serving subsystem: long-lived
+//! * [`serve`] — the serving subsystem: long-lived
 //!   concurrent partition [`Session`](rdbp_serve::Session)s with
 //!   snapshot/restore, the sharded
 //!   [`SessionManager`](rdbp_serve::SessionManager) worker pool, and
