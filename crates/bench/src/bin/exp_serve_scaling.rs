@@ -1,0 +1,77 @@
+//! **S4** — connection-scaling curve through the nonblocking reactor:
+//! sustained requests/second over real TCP at 8–64 concurrent
+//! connections, under both wire protocols (length-prefixed binary
+//! frames and the NDJSON debug encoding).
+//!
+//! Each point boots a fresh `rdbp_serve::serve` reactor on an
+//! ephemeral loopback port with a *pinned* worker pool, then drives
+//! `connections × sessions-per-connection` deterministic sessions
+//! batch-interleaved over their shared connections — the same
+//! multiplexed shape as the pinned `serve-16conn-*` perf-gate cases
+//! (`rdbp_bench::suite::pinned_serve_cases`), swept across the
+//! connection axis. Because the server multiplexes every connection
+//! onto one reactor thread plus the fixed worker pool, the curve
+//! isolates protocol cost and reactor overhead: thread count stays
+//! constant along the x-axis.
+//!
+//! Doubles as a CI-grade smoke of the serving stack: the merged
+//! over-the-wire work counters are asserted bit-identical between the
+//! two protocols at every point (`run_serve_cases` additionally
+//! asserts determinism across repetitions), so a protocol divergence
+//! fails the run rather than skewing the numbers.
+
+use rdbp_bench::{f3, full_profile, run_serve_cases, ServeCase, Table};
+
+fn main() {
+    let (batches, batch, repeats) = if full_profile() {
+        (8u64, 500u64, 3u32)
+    } else {
+        (2u64, 150u64, 1u32)
+    };
+    let shape = |connections: u64, ndjson: bool| ServeCase {
+        id: format!(
+            "s4-{connections}conn-{}",
+            if ndjson { "ndjson" } else { "binary" }
+        ),
+        connections,
+        sessions_per_connection: 2,
+        batches,
+        batch,
+        workers: 4,
+        ndjson,
+    };
+    let mut table = Table::new(
+        "S4 — reactor connection scaling (dynamic×hedge×zipf, ℓ=8 k=32, 4 workers)",
+        &[
+            "connections",
+            "sessions",
+            "requests",
+            "binary req/s",
+            "ndjson req/s",
+            "binary/ndjson",
+        ],
+    );
+    for connections in [8u64, 16, 32, 64] {
+        let cases = [shape(connections, false), shape(connections, true)];
+        let results = run_serve_cases(&cases, repeats);
+        let [binary, ndjson] = &results[..] else {
+            unreachable!("two cases in, two results out")
+        };
+        assert_eq!(
+            binary.counters, ndjson.counters,
+            "wire protocols diverged at {connections} connections"
+        );
+        table.row(vec![
+            connections.to_string(),
+            (connections * cases[0].sessions_per_connection).to_string(),
+            binary.steps.to_string(),
+            f3(binary.throughput),
+            f3(ndjson.throughput),
+            f3(binary.throughput / ndjson.throughput),
+        ]);
+    }
+    table.print();
+    table.write_csv("s4_serve_scaling");
+    println!("\nNote: run with --release for meaningful numbers.");
+    println!("Counters are asserted identical across protocols at every point.");
+}

@@ -4,7 +4,10 @@
 //! serving shape — chosen to span the registries: every `dynamic` MTS
 //! policy (`hedge`, `wfa`, `smin`, `marking`), the baselines, oblivious
 //! and adaptive workloads, trace replay, per-step (`batch = 1`) and
-//! large-batch driving, and both audit levels. Running a suite yields a
+//! large-batch driving, and both audit levels — plus the serve-layer
+//! [`ServeCase`]s, which drive the same deterministic sessions over
+//! real TCP through the reactor under both wire protocols. Running a
+//! suite yields a
 //! [`BenchReport`]: per case the exact [`WorkCounters`] (the *gated*
 //! signal — deterministic for a pinned scenario + seed) and wall-clock
 //! (the *informational* signal — never gated; see DESIGN.md §10).
@@ -13,6 +16,7 @@
 //! `bench_results/`; `bench_results/BENCH_main.json` is the committed
 //! baseline CI compares against (see [`crate::perfgate`]).
 
+use std::net::TcpListener;
 use std::path::Path;
 use std::time::Instant;
 
@@ -22,6 +26,7 @@ use rdbp_engine::{
     workload_seed, AlgorithmSpec, AuditSpec, InstanceSpec, Registries, Scenario, WorkloadSpec,
 };
 use rdbp_model::{Edge, NoopObserver, Placement, WorkCounters};
+use rdbp_serve::{serve, Client, Request, Response, SessionManager, Work};
 
 /// Version of the `BENCH_*.json` schema. Bumped on any incompatible
 /// change to the report layout or to the [`WorkCounters`] metric set;
@@ -299,6 +304,203 @@ pub fn pinned_cases() -> Vec<BenchCase> {
     cases
 }
 
+/// One pinned serve-layer benchmark: a fleet of pinned sessions driven
+/// over real TCP through the nonblocking reactor, with many
+/// connections multiplexed onto a fixed worker pool.
+///
+/// Counters are the merged per-session [`WorkCounters`] fetched over
+/// the wire (`query`) before closing — deterministic for pinned
+/// scenarios regardless of connection interleaving or worker
+/// sharding, so they gate exactly like the in-process cases. The
+/// binary and NDJSON twins of a case must produce *identical*
+/// counters: the wire protocol is an encoding, not a behavior.
+#[derive(Debug, Clone)]
+pub struct ServeCase {
+    /// Stable case id (report key).
+    pub id: String,
+    /// Concurrent TCP connections (one client thread each).
+    pub connections: u64,
+    /// Sessions multiplexed on each connection.
+    pub sessions_per_connection: u64,
+    /// Submitted batches per session.
+    pub batches: u64,
+    /// Requests per batch.
+    pub batch: u64,
+    /// Server worker threads (pinned — the thread count is part of the
+    /// benchmark shape, not taken from the machine).
+    pub workers: usize,
+    /// Drive the NDJSON debug protocol instead of binary frames.
+    pub ndjson: bool,
+}
+
+impl ServeCase {
+    /// Total requests the case serves.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.connections * self.sessions_per_connection * self.batches * self.batch
+    }
+
+    /// The pinned scenario of the session with global index `index`.
+    fn session_scenario(&self, index: u64) -> Scenario {
+        let mut algorithm = AlgorithmSpec::named("dynamic");
+        algorithm.policy = Some("hedge".into());
+        let mut scenario = Scenario::new(
+            InstanceSpec::packed(8, 32),
+            algorithm,
+            WorkloadSpec::named("zipf"),
+            0,
+        );
+        scenario.seed = 0xC0DE + index; // pinned, distinct per session
+        scenario.audit = AuditSpec::Full;
+        scenario
+    }
+
+    /// Boots a server, drives every connection to completion, and
+    /// returns the merged session counters.
+    fn run_once(&self) -> WorkCounters {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind bench listener");
+        let addr = listener.local_addr().expect("listener address");
+        let manager = SessionManager::new(self.workers, Registries::builtin());
+        let server = std::thread::spawn(move || serve(listener, manager));
+        let mut merged = WorkCounters::default();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.connections)
+                .map(|c| {
+                    scope.spawn(move || {
+                        let mut client = if self.ndjson {
+                            Client::connect_ndjson(addr)
+                        } else {
+                            Client::connect(addr)
+                        }
+                        .expect("connect bench client");
+                        let expect = |response: Response| match response {
+                            Response::Error { message } => panic!("serve bench: {message}"),
+                            other => other,
+                        };
+                        let ids: Vec<u64> = (0..self.sessions_per_connection)
+                            .map(|s| {
+                                let index = c * self.sessions_per_connection + s;
+                                let scenario = Box::new(self.session_scenario(index));
+                                match expect(
+                                    client.call(&Request::Create { scenario }).expect("create"),
+                                ) {
+                                    Response::Created { info } => info.id,
+                                    other => panic!("expected created, got {other:?}"),
+                                }
+                            })
+                            .collect();
+                        // Sessions advance batch-by-batch, interleaved on
+                        // the shared connection — the multiplexing shape
+                        // the reactor exists for.
+                        for _ in 0..self.batches {
+                            for &session in &ids {
+                                let work = Work::Generate(self.batch);
+                                expect(
+                                    client
+                                        .call(&Request::Submit { session, work })
+                                        .expect("submit"),
+                                );
+                            }
+                        }
+                        let mut counters = WorkCounters::default();
+                        for &session in &ids {
+                            match expect(client.call(&Request::Query { session }).expect("query")) {
+                                Response::Status { status } => counters.merge(&status.counters),
+                                other => panic!("expected status, got {other:?}"),
+                            }
+                            expect(client.call(&Request::Close { session }).expect("close"));
+                        }
+                        counters
+                    })
+                })
+                .collect();
+            for handle in handles {
+                merged.merge(&handle.join().expect("bench connection thread"));
+            }
+        });
+        let mut closer = Client::connect(addr).expect("connect for shutdown");
+        match closer.call(&Request::Shutdown).expect("shutdown") {
+            Response::Bye => {}
+            other => panic!("expected bye, got {other:?}"),
+        }
+        server
+            .join()
+            .expect("server thread")
+            .expect("server exited with an error");
+        merged
+    }
+}
+
+/// The pinned serve-layer cases of the `main` suite: one
+/// multi-connection shape, once per wire protocol. The two cases are
+/// intentionally identical apart from the encoding — the committed
+/// baseline therefore *pins* that binary and NDJSON serving perform
+/// the same deterministic work.
+#[must_use]
+pub fn pinned_serve_cases() -> Vec<ServeCase> {
+    let shape = |id: &str, ndjson: bool| ServeCase {
+        id: id.to_string(),
+        connections: 16,
+        sessions_per_connection: 2,
+        batches: 4,
+        batch: 250,
+        workers: 4,
+        ndjson,
+    };
+    vec![
+        shape("serve-16conn-binary", false),
+        shape("serve-16conn-ndjson", true),
+    ]
+}
+
+/// Runs serve-layer cases with one warm-up pass and `repeats` timed
+/// repetitions each, mirroring [`run_cases`]: merged counters are
+/// asserted bit-identical across repetitions, wall-clock takes the
+/// minimum.
+///
+/// # Panics
+/// Panics if `repeats == 0`, on any server/protocol error, or if
+/// counters drift between repetitions.
+#[must_use]
+pub fn run_serve_cases(cases: &[ServeCase], repeats: u32) -> Vec<CaseResult> {
+    assert!(repeats > 0, "need at least one repetition");
+    let mut results = Vec::with_capacity(cases.len());
+    for case in cases {
+        let _ = case.run_once(); // warm-up (thread-pool and page-in)
+        let mut counters: Option<WorkCounters> = None;
+        let mut best_ns = u64::MAX;
+        for rep in 0..repeats {
+            let start = Instant::now();
+            let c = case.run_once();
+            let elapsed = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            match &counters {
+                None => counters = Some(c),
+                Some(first) => assert_eq!(
+                    *first, c,
+                    "case {}: counters drifted between repetitions {rep}",
+                    case.id
+                ),
+            }
+            best_ns = best_ns.min(elapsed.max(1));
+        }
+        let counters = counters.expect("at least one repetition ran");
+        assert_eq!(
+            counters.requests,
+            case.steps(),
+            "case {}: sessions under-served",
+            case.id
+        );
+        results.push(CaseResult {
+            id: case.id.clone(),
+            steps: case.steps(),
+            counters,
+            wall_ns: best_ns,
+            throughput: case.steps() as f64 / (best_ns as f64 / 1e9),
+        });
+    }
+    results
+}
+
 /// Pre-records `case.scenario.steps` requests of the case's workload
 /// (resolved with the scenario's derived workload seed, exactly as a
 /// live run would) against the canonical contiguous placement.
@@ -398,15 +600,21 @@ pub fn run_cases(suite: &str, cases: &[BenchCase], repeats: u32) -> BenchReport 
     }
 }
 
-/// Runs a named suite ([`MAIN_SUITE`] is the only built-in one).
+/// Runs a named suite ([`MAIN_SUITE`] is the only built-in one): the
+/// in-process [`pinned_cases`] followed by the over-the-wire
+/// [`pinned_serve_cases`].
 ///
 /// # Panics
 /// Panics on an unknown suite name (callers validate beforehand) and
-/// under the same conditions as [`run_cases`].
+/// under the same conditions as [`run_cases`] / [`run_serve_cases`].
 #[must_use]
 pub fn run_suite(suite: &str, repeats: u32) -> BenchReport {
     assert_eq!(suite, MAIN_SUITE, "unknown suite `{suite}` (valid: main)");
-    run_cases(suite, &pinned_cases(), repeats)
+    let mut report = run_cases(suite, &pinned_cases(), repeats);
+    report
+        .cases
+        .extend(run_serve_cases(&pinned_serve_cases(), repeats));
+    report
 }
 
 #[cfg(test)]
@@ -436,6 +644,28 @@ mod tests {
             cases.iter().any(|c| c.scenario.audit == AuditSpec::None)
                 && cases.iter().any(|c| c.scenario.audit == AuditSpec::Full),
             "both audit levels"
+        );
+    }
+
+    #[test]
+    fn pinned_serve_cases_are_protocol_twins() {
+        let cases = pinned_serve_cases();
+        assert_eq!(cases.len(), 2, "one shape, once per wire protocol");
+        let ids: Vec<&str> = cases.iter().map(|c| c.id.as_str()).collect();
+        assert!(ids.contains(&"serve-16conn-binary"));
+        assert!(ids.contains(&"serve-16conn-ndjson"));
+        let [a, b] = &cases[..] else { unreachable!() };
+        assert_ne!(a.ndjson, b.ndjson, "twins differ only in encoding");
+        assert_eq!(a.steps(), b.steps());
+        assert_eq!(a.connections, b.connections);
+        assert!(
+            a.connections > a.workers as u64,
+            "more connections than worker threads"
+        );
+        assert_eq!(
+            serde_json::to_string(&a.session_scenario(7)).unwrap(),
+            serde_json::to_string(&b.session_scenario(7)).unwrap(),
+            "twins drive identical pinned scenarios"
         );
     }
 

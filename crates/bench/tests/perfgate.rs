@@ -8,7 +8,8 @@
 //! in the CI perf-gate job.
 
 use rdbp_bench::{
-    compare, pinned_cases, run_cases, BenchCase, BenchReport, GateConfig, BENCH_SCHEMA_VERSION,
+    compare, pinned_cases, pinned_serve_cases, run_cases, run_serve_cases, BenchCase, BenchReport,
+    GateConfig, ServeCase, BENCH_SCHEMA_VERSION,
 };
 use rdbp_engine::{AlgorithmSpec, AuditSpec, InstanceSpec, Registries, Scenario, WorkloadSpec};
 use rdbp_model::{NoopObserver, WorkCounters};
@@ -184,6 +185,40 @@ fn gate_passes_on_identical_runs_and_names_injected_regressions() {
 }
 
 #[test]
+fn serve_counters_are_identical_across_wire_protocols_and_reruns() {
+    // A small twin of the pinned serve cases: same multiplexed shape
+    // (more connections than workers, several sessions per connection),
+    // far less work. The merged over-the-wire counters must be
+    // bit-identical between the binary and NDJSON encodings *and*
+    // across independent server boots — the property the committed
+    // serve-16conn-{binary,ndjson} baseline pair rests on.
+    let shape = |id: &str, ndjson: bool| ServeCase {
+        id: id.into(),
+        connections: 4,
+        sessions_per_connection: 2,
+        batches: 2,
+        batch: 50,
+        workers: 2,
+        ndjson,
+    };
+    let cases = [
+        shape("mini-serve-binary", false),
+        shape("mini-serve-ndjson", true),
+    ];
+    let results = run_serve_cases(&cases, 1);
+    assert_eq!(results[0].steps, 4 * 2 * 2 * 50);
+    assert_eq!(
+        results[0].counters, results[1].counters,
+        "wire protocols must perform identical deterministic work"
+    );
+    let rerun = run_serve_cases(&cases[..1], 1);
+    assert_eq!(
+        results[0].counters, rerun[0].counters,
+        "serve counters must reproduce across server boots"
+    );
+}
+
+#[test]
 fn committed_baseline_matches_the_pinned_suite_shape() {
     // The committed BENCH_main.json must stay loadable, carry the
     // current schema version, and cover exactly the pinned case ids —
@@ -193,7 +228,11 @@ fn committed_baseline_matches_the_pinned_suite_shape() {
     let baseline = BenchReport::load(&path).expect("committed baseline must parse");
     assert_eq!(baseline.schema_version, BENCH_SCHEMA_VERSION);
     assert_eq!(baseline.suite, "main");
-    let pinned: Vec<String> = pinned_cases().into_iter().map(|c| c.id).collect();
+    let pinned: Vec<String> = pinned_cases()
+        .into_iter()
+        .map(|c| c.id)
+        .chain(pinned_serve_cases().into_iter().map(|c| c.id))
+        .collect();
     let committed: Vec<String> = baseline.cases.iter().map(|c| c.id.clone()).collect();
     assert_eq!(
         committed, pinned,

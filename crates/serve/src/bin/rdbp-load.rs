@@ -2,14 +2,20 @@
 //!
 //! ```text
 //! rdbp-load --addr 127.0.0.1:4117 --sessions 8 --batches 40 --batch-size 250
+//! rdbp-load --sessions 64 --connections 16 --proto binary
 //! ```
 //!
-//! Drives `N` concurrent sessions (one connection + one thread each)
-//! from registry workloads: every thread creates a session from the
-//! flag-built scenario (per-session seeds mixed with
-//! `rdbp_model::split_mix64`, so streams are decoupled), submits
-//! `batches × batch-size` requests, queries the final report, and
-//! closes. The process reports aggregate throughput, per-batch latency
+//! Drives `N` concurrent sessions from registry workloads: every
+//! session is created from the flag-built scenario (per-session seeds
+//! mixed with `rdbp_model::split_mix64`, so streams are decoupled),
+//! submits `batches × batch-size` requests, and closes. By default
+//! each session gets its own connection and thread; `--connections C`
+//! multiplexes the sessions over exactly `C` connections instead (one
+//! thread each, sessions interleaved batch-by-batch), which is how the
+//! scaling experiments hold connection count and session count apart.
+//! `--proto` picks the wire protocol (binary frames by default, NDJSON
+//! for debugging); the server auto-detects, so both work against one
+//! port. The process reports aggregate throughput, per-batch latency
 //! percentiles, and total audit violations; the exit code is nonzero
 //! if any request failed or any capacity violation was observed —
 //! which is exactly what the CI smoke job asserts.
@@ -25,6 +31,10 @@ use rdbp_serve::{Client, Request, Response, Work};
 struct Config {
     addr: String,
     sessions: u64,
+    /// Connections to spread the sessions over; 0 = one per session.
+    connections: u64,
+    /// Speak NDJSON instead of binary frames.
+    ndjson: bool,
     batches: u64,
     batch_size: u64,
     servers: u32,
@@ -45,6 +55,8 @@ impl Default for Config {
         Self {
             addr: "127.0.0.1:4117".into(),
             sessions: 4,
+            connections: 0,
+            ndjson: false,
             batches: 20,
             batch_size: 250,
             servers: 4,
@@ -72,7 +84,10 @@ fn print_help() {
         "rdbp-load — load generator for rdbp-serve\n\n\
          USAGE: rdbp-load [FLAGS]\n\n\
          --addr H:P       server address (default 127.0.0.1:4117)\n\
-         --sessions N     concurrent sessions, one connection each (default 4)\n\
+         --sessions N     concurrent sessions (default 4)\n\
+         --connections C  spread the sessions over C connections\n\
+         \x20                (default: one connection per session)\n\
+         --proto P        wire protocol: binary|ndjson (default binary)\n\
          --batches N      submissions per session (default 20)\n\
          --batch-size N   requests per submission (default 250)\n\
          --servers N      scenario: servers ℓ (default 4)\n\
@@ -111,6 +126,12 @@ fn parse_args() -> Config {
                 match name {
                     "--addr" => cfg.addr = value,
                     "--sessions" => cfg.sessions = value.parse().unwrap_or_else(|_| bad()),
+                    "--connections" => cfg.connections = value.parse().unwrap_or_else(|_| bad()),
+                    "--proto" => match value.as_str() {
+                        "binary" => cfg.ndjson = false,
+                        "ndjson" => cfg.ndjson = true,
+                        _ => fail(format!("unknown protocol `{value}` (binary|ndjson)")),
+                    },
                     "--batches" => cfg.batches = value.parse().unwrap_or_else(|_| bad()),
                     "--batch-size" => cfg.batch_size = value.parse().unwrap_or_else(|_| bad()),
                     "--servers" => cfg.servers = value.parse().unwrap_or_else(|_| bad()),
@@ -162,44 +183,95 @@ struct SessionOutcome {
     latencies_us: Vec<u64>,
 }
 
-fn drive_session(addr: SocketAddr, cfg: &Config, index: u64) -> Result<SessionOutcome, String> {
-    let err = |e: &dyn std::fmt::Display| format!("session {index}: {e}");
-    let mut client = Client::connect(addr).map_err(|e| err(&e))?;
-    let created = client
-        .call(&Request::Create {
-            scenario: Box::new(scenario_for(cfg, index)),
-        })
-        .map_err(|e| err(&e))?;
-    let Response::Created { info } = created else {
-        return Err(err(&format!("create failed: {created:?}")));
-    };
-    let mut latencies_us = Vec::with_capacity(cfg.batches as usize);
-    for _ in 0..cfg.batches {
-        let start = Instant::now();
-        let response = client
-            .call(&Request::Submit {
-                session: info.id,
-                work: Work::Generate(cfg.batch_size),
-            })
-            .map_err(|e| err(&e))?;
-        let elapsed = start.elapsed();
-        let Response::Submitted { .. } = response else {
-            return Err(err(&format!("submit failed: {response:?}")));
-        };
-        latencies_us.push(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+fn connect_client(cfg: &Config, addr: SocketAddr) -> std::io::Result<Client> {
+    if cfg.ndjson {
+        Client::connect_ndjson(addr)
+    } else {
+        Client::connect(addr)
     }
-    let closed = client
-        .call(&Request::Close { session: info.id })
-        .map_err(|e| err(&e))?;
-    let Response::Closed { report, .. } = closed else {
-        return Err(err(&format!("close failed: {closed:?}")));
-    };
-    Ok(SessionOutcome {
-        served: report.steps,
-        total_cost: report.ledger.total(),
-        violations: report.capacity_violations,
-        latencies_us,
-    })
+}
+
+/// One session's progress on a shared connection.
+enum Slot {
+    /// Protocol-level failure; the connection stays usable.
+    Failed(String),
+    Open {
+        id: u64,
+        latencies_us: Vec<u64>,
+    },
+    Done(SessionOutcome),
+}
+
+/// Drives every session in `indices` over one connection, interleaving
+/// their batches. A connection-level I/O error fails all of them
+/// (`Err`); per-session protocol failures are reported individually.
+fn drive_connection(
+    addr: SocketAddr,
+    cfg: &Config,
+    indices: &[u64],
+) -> Result<Vec<Result<SessionOutcome, String>>, String> {
+    let mut client = connect_client(cfg, addr).map_err(|e| e.to_string())?;
+    let mut slots: Vec<Slot> = Vec::with_capacity(indices.len());
+    for &index in indices {
+        let created = client
+            .call(&Request::Create {
+                scenario: Box::new(scenario_for(cfg, index)),
+            })
+            .map_err(|e| e.to_string())?;
+        slots.push(match created {
+            Response::Created { info } => Slot::Open {
+                id: info.id,
+                latencies_us: Vec::with_capacity(cfg.batches as usize),
+            },
+            other => Slot::Failed(format!("session {index}: create failed: {other:?}")),
+        });
+    }
+    for _ in 0..cfg.batches {
+        for (slot, &index) in slots.iter_mut().zip(indices) {
+            let Slot::Open { id, latencies_us } = slot else {
+                continue;
+            };
+            let start = Instant::now();
+            let response = client
+                .call(&Request::Submit {
+                    session: *id,
+                    work: Work::Generate(cfg.batch_size),
+                })
+                .map_err(|e| e.to_string())?;
+            let elapsed = start.elapsed();
+            match response {
+                Response::Submitted { .. } => {
+                    latencies_us.push(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+                }
+                other => *slot = Slot::Failed(format!("session {index}: submit failed: {other:?}")),
+            }
+        }
+    }
+    for (slot, &index) in slots.iter_mut().zip(indices) {
+        let Slot::Open { id, latencies_us } = slot else {
+            continue;
+        };
+        let closed = client
+            .call(&Request::Close { session: *id })
+            .map_err(|e| e.to_string())?;
+        *slot = match closed {
+            Response::Closed { report, .. } => Slot::Done(SessionOutcome {
+                served: report.steps,
+                total_cost: report.ledger.total(),
+                violations: report.capacity_violations,
+                latencies_us: std::mem::take(latencies_us),
+            }),
+            other => Slot::Failed(format!("session {index}: close failed: {other:?}")),
+        };
+    }
+    Ok(slots
+        .into_iter()
+        .map(|slot| match slot {
+            Slot::Done(outcome) => Ok(outcome),
+            Slot::Failed(message) => Err(message),
+            Slot::Open { .. } => unreachable!("every open session was closed above"),
+        })
+        .collect())
 }
 
 fn percentile(sorted: &[u64], p: f64) -> u64 {
@@ -269,17 +341,40 @@ fn main() {
         .parse()
         .unwrap_or_else(|_| fail(format!("invalid address `{}`", cfg.addr)));
 
+    // Round-robin the session indices over the connections (every
+    // connection gets its own driver thread).
+    let connection_count = match cfg.connections {
+        0 => cfg.sessions,
+        c => c.min(cfg.sessions),
+    };
+    let mut assignments: Vec<Vec<u64>> = vec![Vec::new(); connection_count as usize];
+    for index in 0..cfg.sessions {
+        assignments[(index % connection_count) as usize].push(index);
+    }
+
     let start = Instant::now();
     let outcomes: Vec<Result<SessionOutcome, String>> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = (0..cfg.sessions)
-            .map(|i| {
+        let handles: Vec<_> = assignments
+            .iter()
+            .map(|indices| {
                 let cfg = &cfg;
-                scope.spawn(move |_| drive_session(addr, cfg, i))
+                scope.spawn(move |_| match drive_connection(addr, cfg, indices) {
+                    Ok(results) => results,
+                    // The whole connection died: every session on it
+                    // reports the failure.
+                    Err(e) => indices
+                        .iter()
+                        .map(|i| Err(format!("session {i}: connection failed: {e}")))
+                        .collect(),
+                })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
     })
-    .unwrap_or_else(|_| fail("a session thread panicked"));
+    .unwrap_or_else(|_| fail("a connection thread panicked"));
     let wall = start.elapsed();
 
     let mut served = 0u64;
@@ -315,7 +410,7 @@ fn main() {
     );
 
     if cfg.shutdown {
-        match Client::connect(addr).and_then(|mut c| c.call(&Request::Shutdown)) {
+        match connect_client(&cfg, addr).and_then(|mut c| c.call(&Request::Shutdown)) {
             Ok(Response::Bye) => {}
             Ok(other) => eprintln!("rdbp-load: unexpected shutdown reply: {other:?}"),
             Err(e) => eprintln!("rdbp-load: shutdown failed: {e}"),
@@ -332,8 +427,14 @@ fn main() {
         );
     } else {
         println!(
-            "{} sessions × {} batches × {} requests ({} against {})",
-            cfg.sessions, cfg.batches, cfg.batch_size, cfg.workload, cfg.algorithm
+            "{} sessions × {} batches × {} requests ({} against {}; {} connection(s), {})",
+            cfg.sessions,
+            cfg.batches,
+            cfg.batch_size,
+            cfg.workload,
+            cfg.algorithm,
+            connection_count,
+            if cfg.ndjson { "ndjson" } else { "binary" },
         );
         println!("served {served} requests in {secs:.3}s → {throughput:.0} req/s");
         println!("batch latency µs: p50={p50} p95={p95} p99={p99}");

@@ -3,10 +3,15 @@
 //! ```text
 //! rdbp-serve --port 4117 --workers 4
 //! rdbp-serve --port 0 --addr-file /tmp/rdbp.addr   # ephemeral port for scripts
+//! rdbp-serve --proto ndjson                        # debug: NDJSON only
 //! ```
 //!
-//! Binds a loopback TCP listener and serves the NDJSON protocol
-//! (`rdbp_serve::proto`) until a client sends `{"op":"shutdown"}`.
+//! Binds a loopback TCP listener and runs the nonblocking reactor
+//! (`rdbp_serve::server`) until a client sends a shutdown request.
+//! By default both wire protocols are accepted, auto-detected from
+//! each connection's first byte: the length-prefixed binary framing
+//! (`rdbp_serve::wire`) and the NDJSON debug protocol
+//! (`rdbp_serve::proto`). `--proto ndjson|binary` pins one of them.
 //! With `--addr-file PATH` the actual bound address is written to
 //! `PATH` once the listener is live — the handshake the CI smoke job
 //! and the end-to-end tests use with `--port 0`.
@@ -15,7 +20,8 @@ use std::net::TcpListener;
 use std::process::exit;
 
 use rdbp_engine::Registries;
-use rdbp_serve::{serve, SessionManager};
+use rdbp_serve::server::serve_with;
+use rdbp_serve::{Proto, SessionManager};
 
 fn fail(err: impl std::fmt::Display) -> ! {
     eprintln!("rdbp-serve: {err}");
@@ -29,6 +35,7 @@ fn main() {
         .unwrap_or(4)
         .clamp(1, 8);
     let mut addr_file: Option<String> = None;
+    let mut proto = Proto::Auto;
 
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -39,11 +46,12 @@ fn main() {
                      USAGE: rdbp-serve [FLAGS]\n\n\
                      --port N       loopback TCP port; 0 = ephemeral (default 4117)\n\
                      --workers N    session worker threads (default: cores, capped at 8)\n\
+                     --proto P      wire protocol: auto|ndjson|binary (default auto)\n\
                      --addr-file F  write the bound host:port to F once listening"
                 );
                 exit(0);
             }
-            "--port" | "--workers" | "--addr-file" => {
+            "--port" | "--workers" | "--proto" | "--addr-file" => {
                 let Some(value) = it.next() else {
                     fail(format!("flag {flag} needs a value"));
                 };
@@ -61,6 +69,7 @@ fn main() {
                             fail("need at least one worker");
                         }
                     }
+                    "--proto" => proto = value.parse().unwrap_or_else(|e| fail(e)),
                     _ => addr_file = Some(value),
                 }
             }
@@ -77,10 +86,10 @@ fn main() {
         std::fs::write(path, format!("{addr}\n"))
             .unwrap_or_else(|e| fail(format!("cannot write {path}: {e}")));
     }
-    eprintln!("rdbp-serve: listening on {addr} ({workers} workers)");
+    eprintln!("rdbp-serve: listening on {addr} ({workers} workers, proto {proto:?})");
 
     let manager = SessionManager::new(workers, Registries::builtin());
-    if let Err(e) = serve(listener, manager) {
+    if let Err(e) = serve_with(listener, manager, proto) {
         fail(e);
     }
     eprintln!("rdbp-serve: clean shutdown");

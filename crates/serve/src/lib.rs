@@ -19,12 +19,20 @@
 //!   worker-thread pool (vendored [`crossbeam`] channels +
 //!   [`parking_lot`] routing locks); per-session FIFO ordering,
 //!   cross-session parallelism, aggregate stats.
-//! * [`proto`] — the newline-delimited-JSON wire protocol (`create`,
-//!   `submit`, `query`, `snapshot`, `restore`, `close`, `stats`,
-//!   `ping`, `shutdown`), hand-written serde like the scenario specs.
-//! * [`server`] — the TCP front end (`rdbp-serve` binary) and the
-//!   blocking [`Client`] the `rdbp-load` load generator drives it
-//!   with.
+//! * [`proto`] — the request/response model (`create`, `submit`,
+//!   `query`, `snapshot`, `restore`, `close`, `stats`, `ping`,
+//!   `shutdown`) with its newline-delimited-JSON encoding,
+//!   hand-written serde like the scenario specs.
+//! * [`wire`] — the length-prefixed binary framing of the same model:
+//!   one opcode/kind byte plus a binary value tree, decoding to the
+//!   exact [`serde::Value`]s the NDJSON form produces, so both
+//!   protocols drive identical server behavior.
+//! * [`server`] — the nonblocking TCP front end (`rdbp-serve` binary):
+//!   an epoll reactor (vendored [`mio`]-style poll shim) multiplexing
+//!   thousands of connections over the worker pool with per-connection
+//!   request pipelining, plus the blocking [`Client`] the `rdbp-load`
+//!   load generator drives it with. Both wire protocols are accepted,
+//!   auto-detected on the first byte of each connection.
 //!
 //! ```
 //! use rdbp_engine::{AlgorithmSpec, InstanceSpec, Registries, Scenario, WorkloadSpec};
@@ -51,11 +59,13 @@ pub mod manager;
 pub mod proto;
 pub mod server;
 pub mod session;
+pub mod wire;
 
 pub use manager::{ManagerStats, SessionInfo, SessionManager, SessionStatus, Work, MAX_SUBMIT};
 pub use proto::{Request, Response};
-pub use server::{serve, Client};
+pub use server::{serve, Client, Proto};
 pub use session::{BatchSummary, Session, SNAPSHOT_VERSION};
+pub use wire::MAX_FRAME;
 
 /// An error from the serving layer: spec resolution, snapshot
 /// round-trips, routing, or worker failures.

@@ -13,6 +13,17 @@
 //! the id → shard map) and aggregate counters; all partitioning state
 //! lives inside the workers, so no lock is ever held across a
 //! simulation step.
+//!
+//! Two calling conventions share the same worker queues:
+//!
+//! * the **synchronous API** (`create`, `submit`, …) blocks the caller
+//!   on a reply channel — what library users and the in-process bench
+//!   paths drive;
+//! * the **asynchronous API** (`create_async`, `submit_async`, …)
+//!   hands the worker a completion callback and returns immediately —
+//!   what the nonblocking TCP reactor ([`crate::server`]) drives, so
+//!   one reactor thread can keep thousands of connections in flight
+//!   without blocking on any of them.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -20,7 +31,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{unbounded, Sender};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use serde::Value;
 
 use rdbp_engine::{Registries, Scenario};
@@ -99,41 +110,66 @@ struct Counters {
     violations: AtomicU64,
 }
 
+/// What one operation produced, delivered to its `Reply` callback.
+/// The variant mirrors the op kind; a mismatch is a programming error.
+#[derive(Debug)]
+pub enum OpResult {
+    /// `create`/`restore` outcome.
+    Session(Result<SessionInfo, ServeError>),
+    /// `submit` outcome.
+    Batch(Result<BatchSummary, ServeError>),
+    /// `query` outcome.
+    Status(Result<SessionStatus, ServeError>),
+    /// `snapshot` outcome.
+    SnapshotValue(Result<Value, ServeError>),
+    /// `close` outcome.
+    Report(Result<RunReport, ServeError>),
+    /// The op never reached a worker (the pool has stopped).
+    Failed(ServeError),
+}
+
+/// A completion callback: invoked exactly once, on the worker thread
+/// that executed the op (or inline by the submitting thread when the
+/// op fails before reaching a worker).
+type Reply = Box<dyn FnOnce(OpResult) + Send + 'static>;
+
 enum Op {
     Create {
         id: u64,
         scenario: Box<Scenario>,
-        reply: Sender<Result<SessionInfo, ServeError>>,
+        reply: Reply,
     },
     Restore {
         id: u64,
         snapshot: Box<Value>,
-        reply: Sender<Result<SessionInfo, ServeError>>,
+        reply: Reply,
     },
     Submit {
         id: u64,
         work: Work,
-        reply: Sender<Result<BatchSummary, ServeError>>,
+        reply: Reply,
     },
     Query {
         id: u64,
-        reply: Sender<Result<SessionStatus, ServeError>>,
+        reply: Reply,
     },
     Snapshot {
         id: u64,
-        reply: Sender<Result<Value, ServeError>>,
+        reply: Reply,
     },
     Close {
         id: u64,
-        reply: Sender<Result<RunReport, ServeError>>,
+        reply: Reply,
     },
+    /// Drains the queue up to this point, then exits the worker.
+    Stop,
 }
 
 /// The concurrent session pool. See the module docs for the sharding
 /// and ordering model.
 pub struct SessionManager {
     queues: Vec<Sender<Op>>,
-    handles: Vec<JoinHandle<()>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
     next_id: AtomicU64,
     shard_of: RwLock<HashMap<u64, usize>>,
     counters: Arc<Counters>,
@@ -166,7 +202,7 @@ impl SessionManager {
         }
         Self {
             queues,
-            handles,
+            handles: Mutex::new(handles),
             next_id: AtomicU64::new(1),
             shard_of: RwLock::new(HashMap::new()),
             counters,
@@ -206,14 +242,21 @@ impl SessionManager {
         Ok(&self.queues[shard])
     }
 
-    fn ask<T>(
+    /// Synchronous call: sends an op with a channel-backed callback and
+    /// blocks for the result. `extract` unwraps the matching
+    /// [`OpResult`] variant.
+    fn ask<T: Send + 'static>(
         &self,
         queue: &Sender<Op>,
-        make: impl FnOnce(Sender<Result<T, ServeError>>) -> Op,
+        make: impl FnOnce(Reply) -> Op,
+        extract: fn(OpResult) -> Result<T, ServeError>,
     ) -> Result<T, ServeError> {
         let (tx, rx) = unbounded();
+        let reply: Reply = Box::new(move |result| {
+            let _ = tx.send(extract(result));
+        });
         queue
-            .send(make(tx))
+            .send(make(reply))
             .map_err(|_| ServeError("session worker terminated".into()))?;
         rx.recv()
             .map_err(|_| ServeError("session worker terminated".into()))?
@@ -225,11 +268,15 @@ impl SessionManager {
     /// Returns a [`ServeError`] if the spec fails to resolve.
     pub fn create(&self, scenario: Scenario) -> Result<SessionInfo, ServeError> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let result = self.ask(self.route_new(id), |reply| Op::Create {
-            id,
-            scenario: Box::new(scenario),
-            reply,
-        });
+        let result = self.ask(
+            self.route_new(id),
+            |reply| Op::Create {
+                id,
+                scenario: Box::new(scenario),
+                reply,
+            },
+            expect_session,
+        );
         if result.is_err() {
             self.shard_of.write().remove(&id);
         }
@@ -243,11 +290,15 @@ impl SessionManager {
     /// Returns a [`ServeError`] on any snapshot mismatch.
     pub fn restore(&self, snapshot: Value) -> Result<SessionInfo, ServeError> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let result = self.ask(self.route_new(id), |reply| Op::Restore {
-            id,
-            snapshot: Box::new(snapshot),
-            reply,
-        });
+        let result = self.ask(
+            self.route_new(id),
+            |reply| Op::Restore {
+                id,
+                snapshot: Box::new(snapshot),
+                reply,
+            },
+            expect_session,
+        );
         if result.is_err() {
             self.shard_of.write().remove(&id);
         }
@@ -260,17 +311,12 @@ impl SessionManager {
     /// Returns a [`ServeError`] for unknown sessions or submissions
     /// larger than [`MAX_SUBMIT`].
     pub fn submit(&self, id: u64, work: Work) -> Result<BatchSummary, ServeError> {
-        let size = match &work {
-            Work::Generate(steps) => *steps,
-            Work::Replay(requests) => requests.len() as u64,
-        };
-        if size > MAX_SUBMIT {
-            return Err(ServeError(format!(
-                "submission of {size} requests exceeds the per-call cap {MAX_SUBMIT}; \
-                 split it into batches"
-            )));
-        }
-        self.ask(self.route(id)?, |reply| Op::Submit { id, work, reply })
+        check_submit_size(&work)?;
+        self.ask(
+            self.route(id)?,
+            |reply| Op::Submit { id, work, reply },
+            expect_batch,
+        )
     }
 
     /// Reads a session's current report without advancing it.
@@ -278,7 +324,11 @@ impl SessionManager {
     /// # Errors
     /// Returns a [`ServeError`] for unknown sessions.
     pub fn query(&self, id: u64) -> Result<SessionStatus, ServeError> {
-        self.ask(self.route(id)?, |reply| Op::Query { id, reply })
+        self.ask(
+            self.route(id)?,
+            |reply| Op::Query { id, reply },
+            expect_status,
+        )
     }
 
     /// Captures a session's snapshot (the session stays live).
@@ -287,7 +337,11 @@ impl SessionManager {
     /// Returns a [`ServeError`] for unknown sessions or unsupported
     /// algorithms/workloads.
     pub fn snapshot(&self, id: u64) -> Result<Value, ServeError> {
-        self.ask(self.route(id)?, |reply| Op::Snapshot { id, reply })
+        self.ask(
+            self.route(id)?,
+            |reply| Op::Snapshot { id, reply },
+            expect_value,
+        )
     }
 
     /// Closes a session, yielding its final report.
@@ -295,11 +349,164 @@ impl SessionManager {
     /// # Errors
     /// Returns a [`ServeError`] for unknown sessions.
     pub fn close(&self, id: u64) -> Result<RunReport, ServeError> {
-        let result = self.ask(self.route(id)?, |reply| Op::Close { id, reply });
+        let result = self.ask(
+            self.route(id)?,
+            |reply| Op::Close { id, reply },
+            expect_report,
+        );
         if result.is_ok() {
             self.shard_of.write().remove(&id);
         }
         result
+    }
+
+    // --- asynchronous API (the reactor's calling convention) ---------
+
+    /// Sends an op to `queue`, or completes `reply` inline with an
+    /// error if the worker is gone.
+    fn dispatch(queue: &Sender<Op>, make: impl FnOnce(Reply) -> Op, reply: Reply) {
+        // Rebuild the op's reply only on failure: send consumes the op.
+        let mut failed: Option<Reply> = None;
+        match queue.send(make(reply)) {
+            Ok(()) => {}
+            Err(crossbeam::channel::SendError(op)) => {
+                failed = Some(match op {
+                    Op::Create { reply, .. }
+                    | Op::Restore { reply, .. }
+                    | Op::Submit { reply, .. }
+                    | Op::Query { reply, .. }
+                    | Op::Snapshot { reply, .. }
+                    | Op::Close { reply, .. } => reply,
+                    Op::Stop => return,
+                });
+            }
+        }
+        if let Some(reply) = failed {
+            reply(OpResult::Failed(ServeError(
+                "session worker terminated".into(),
+            )));
+        }
+    }
+
+    /// Creates a session asynchronously; `done` runs on the worker
+    /// thread once the outcome is known.
+    pub fn create_async(
+        self: &Arc<Self>,
+        scenario: Scenario,
+        done: impl FnOnce(Result<SessionInfo, ServeError>) + Send + 'static,
+    ) {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let manager = Arc::clone(self);
+        let reply: Reply = Box::new(move |result| {
+            let result = expect_session(result);
+            if result.is_err() {
+                manager.shard_of.write().remove(&id);
+            }
+            done(result);
+        });
+        Self::dispatch(
+            self.route_new(id),
+            |reply| Op::Create {
+                id,
+                scenario: Box::new(scenario),
+                reply,
+            },
+            reply,
+        );
+    }
+
+    /// Restores a session from a snapshot asynchronously.
+    pub fn restore_async(
+        self: &Arc<Self>,
+        snapshot: Value,
+        done: impl FnOnce(Result<SessionInfo, ServeError>) + Send + 'static,
+    ) {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let manager = Arc::clone(self);
+        let reply: Reply = Box::new(move |result| {
+            let result = expect_session(result);
+            if result.is_err() {
+                manager.shard_of.write().remove(&id);
+            }
+            done(result);
+        });
+        Self::dispatch(
+            self.route_new(id),
+            |reply| Op::Restore {
+                id,
+                snapshot: Box::new(snapshot),
+                reply,
+            },
+            reply,
+        );
+    }
+
+    /// Submits work asynchronously. Size-cap and routing errors
+    /// complete `done` inline on the calling thread.
+    pub fn submit_async(
+        &self,
+        id: u64,
+        work: Work,
+        done: impl FnOnce(Result<BatchSummary, ServeError>) + Send + 'static,
+    ) {
+        if let Err(e) = check_submit_size(&work) {
+            return done(Err(e));
+        }
+        let queue = match self.route(id) {
+            Ok(queue) => queue,
+            Err(e) => return done(Err(e)),
+        };
+        let reply: Reply = Box::new(move |result| done(expect_batch(result)));
+        Self::dispatch(queue, |reply| Op::Submit { id, work, reply }, reply);
+    }
+
+    /// Queries a session's status asynchronously.
+    pub fn query_async(
+        &self,
+        id: u64,
+        done: impl FnOnce(Result<SessionStatus, ServeError>) + Send + 'static,
+    ) {
+        let queue = match self.route(id) {
+            Ok(queue) => queue,
+            Err(e) => return done(Err(e)),
+        };
+        let reply: Reply = Box::new(move |result| done(expect_status(result)));
+        Self::dispatch(queue, |reply| Op::Query { id, reply }, reply);
+    }
+
+    /// Captures a session snapshot asynchronously.
+    pub fn snapshot_async(
+        &self,
+        id: u64,
+        done: impl FnOnce(Result<Value, ServeError>) + Send + 'static,
+    ) {
+        let queue = match self.route(id) {
+            Ok(queue) => queue,
+            Err(e) => return done(Err(e)),
+        };
+        let reply: Reply = Box::new(move |result| done(expect_value(result)));
+        Self::dispatch(queue, |reply| Op::Snapshot { id, reply }, reply);
+    }
+
+    /// Closes a session asynchronously.
+    pub fn close_async(
+        self: &Arc<Self>,
+        id: u64,
+        done: impl FnOnce(Result<RunReport, ServeError>) + Send + 'static,
+    ) {
+        let queue = match self.route(id) {
+            Ok(queue) => queue,
+            Err(e) => return done(Err(e)),
+        };
+        let manager = Arc::clone(self);
+        let reply: Reply = Box::new(move |result| {
+            let result = expect_report(result);
+            if result.is_ok() {
+                manager.shard_of.write().remove(&id);
+            }
+            done(result);
+        });
+        Self::dispatch(queue, |reply| Op::Close { id, reply }, reply);
     }
 
     /// Aggregate counters across all sessions ever.
@@ -315,16 +522,28 @@ impl SessionManager {
         }
     }
 
+    /// Asks every worker to finish its queued ops and exit, then joins
+    /// the pool. Idempotent, and callable through a shared reference —
+    /// which is what lets the server stop the pool while connection
+    /// callbacks may still hold `Arc` clones of the manager (the old
+    /// teardown path required exclusive ownership and panicked
+    /// otherwise).
+    pub fn stop(&self) {
+        for queue in &self.queues {
+            let _ = queue.send(Op::Stop);
+        }
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.handles.lock());
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+
     /// Stops every worker (open sessions are dropped) and joins the
     /// pool. Returns the final aggregate stats.
     #[must_use]
-    pub fn shutdown(mut self) -> ManagerStats {
-        let stats = self.stats();
-        self.queues.clear(); // closing the channels ends the workers
-        for handle in self.handles.drain(..) {
-            let _ = handle.join();
-        }
-        stats
+    pub fn shutdown(self) -> ManagerStats {
+        self.stop();
+        self.stats()
     }
 }
 
@@ -347,7 +566,7 @@ fn worker_main(
                     counters.created.fetch_add(1, Ordering::Relaxed);
                     info
                 });
-                let _ = reply.send(result);
+                reply(OpResult::Session(result));
             }
             Op::Restore {
                 id,
@@ -366,7 +585,7 @@ fn worker_main(
                     counters.created.fetch_add(1, Ordering::Relaxed);
                     info
                 });
-                let _ = reply.send(result);
+                reply(OpResult::Session(result));
             }
             Op::Submit { id, work, reply } => {
                 let result = match sessions.get_mut(&id) {
@@ -384,7 +603,7 @@ fn worker_main(
                         Ok(summary)
                     }
                 };
-                let _ = reply.send(result);
+                reply(OpResult::Batch(result));
             }
             Op::Query { id, reply } => {
                 let result = match sessions.get(&id) {
@@ -396,14 +615,14 @@ fn worker_main(
                         counters: session.work_counters(),
                     }),
                 };
-                let _ = reply.send(result);
+                reply(OpResult::Status(result));
             }
             Op::Snapshot { id, reply } => {
                 let result = match sessions.get(&id) {
                     None => Err(unknown(id)),
                     Some(session) => session.snapshot(),
                 };
-                let _ = reply.send(result);
+                reply(OpResult::SnapshotValue(result));
             }
             Op::Close { id, reply } => {
                 let result = match sessions.remove(&id) {
@@ -413,9 +632,68 @@ fn worker_main(
                         Ok(session.finish())
                     }
                 };
-                let _ = reply.send(result);
+                reply(OpResult::Report(result));
             }
+            Op::Stop => break,
         }
+    }
+}
+
+fn check_submit_size(work: &Work) -> Result<(), ServeError> {
+    let size = match work {
+        Work::Generate(steps) => *steps,
+        Work::Replay(requests) => requests.len() as u64,
+    };
+    if size > MAX_SUBMIT {
+        return Err(ServeError(format!(
+            "submission of {size} requests exceeds the per-call cap {MAX_SUBMIT}; \
+             split it into batches"
+        )));
+    }
+    Ok(())
+}
+
+fn mismatched<T>(got: &OpResult) -> Result<T, ServeError> {
+    Err(ServeError(format!("mismatched op result: {got:?}")))
+}
+
+fn expect_session(r: OpResult) -> Result<SessionInfo, ServeError> {
+    match r {
+        OpResult::Session(res) => res,
+        OpResult::Failed(e) => Err(e),
+        other => mismatched(&other),
+    }
+}
+
+fn expect_batch(r: OpResult) -> Result<BatchSummary, ServeError> {
+    match r {
+        OpResult::Batch(res) => res,
+        OpResult::Failed(e) => Err(e),
+        other => mismatched(&other),
+    }
+}
+
+fn expect_status(r: OpResult) -> Result<SessionStatus, ServeError> {
+    match r {
+        OpResult::Status(res) => res,
+        OpResult::Failed(e) => Err(e),
+        other => mismatched(&other),
+    }
+}
+
+fn expect_value(r: OpResult) -> Result<Value, ServeError> {
+    match r {
+        OpResult::SnapshotValue(res) => res,
+        OpResult::Failed(e) => Err(e),
+        other => mismatched(&other),
+    }
+}
+
+fn expect_report(r: OpResult) -> Result<RunReport, ServeError> {
+    match r {
+        OpResult::Report(res) => res,
+        OpResult::Failed(e) => Err(e),
+        other => mismatched(&other),
     }
 }
 

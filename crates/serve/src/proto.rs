@@ -473,9 +473,7 @@ mod tests {
 
     #[test]
     fn unknown_ops_list_the_valid_ones() {
-        let err = serde_json::from_str::<Request>(r#"{"op":"frobnicate"}"#)
-            .err()
-            .expect("must fail");
+        let err = serde_json::from_str::<Request>(r#"{"op":"frobnicate"}"#).expect_err("must fail");
         let msg = format!("{err}");
         assert!(msg.contains("unknown op"), "{msg}");
         assert!(msg.contains("snapshot"), "{msg}");

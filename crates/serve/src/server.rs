@@ -1,206 +1,781 @@
-//! The TCP front end: accept loop, per-connection protocol threads.
+//! The TCP front end: a nonblocking readiness-based reactor.
 //!
-//! Each connection gets its own thread reading NDJSON requests and
-//! writing one NDJSON response per request, in order. All connections
-//! dispatch into one shared [`SessionManager`], whose worker queues
-//! serialize per-session work — so concurrent connections submitting to
-//! *different* sessions run in parallel, while submissions to the
-//! *same* session from one connection keep their order.
+//! One reactor thread owns every connection. Sockets are nonblocking
+//! and registered on a vendored [`mio`]-style epoll [`Poll`]; the
+//! reactor multiplexes thousands of idle connections without a thread
+//! apiece (the server's thread count is the reactor plus the
+//! [`SessionManager`]'s fixed worker pool, independent of connection
+//! count). Each connection speaks either wire protocol:
 //!
-//! `shutdown` stops the accept loop (waking it with a loopback
-//! connection), waits for open connections to finish their current
-//! line, then tears the manager down.
+//! * **binary** ([`crate::wire`]) — length-prefixed frames, the
+//!   production default;
+//! * **NDJSON** ([`crate::proto`]) — newline-delimited JSON, kept as
+//!   the debuggable fallback.
+//!
+//! In [`Proto::Auto`] mode (the default) the protocol is detected from
+//! a connection's first byte: [`wire::MAGIC`] is never a valid first
+//! byte of JSON text, so binary clients and `nc`-style NDJSON clients
+//! share one port.
+//!
+//! **Pipelining.** Clients may send many requests without waiting;
+//! parsed requests queue per connection and responses return strictly
+//! in request order. At most one request per connection occupies the
+//! worker pool at a time — worker ops complete back to the reactor via
+//! a channel plus a [`Waker`] — so per-session FIFO ordering is
+//! preserved while different connections' requests run in parallel
+//! across the pool's shards.
+//!
+//! **Robustness.** Frames and NDJSON lines are capped at
+//! [`MAX_FRAME`]: an oversized request draws a protocol error and
+//! closes that connection instead of growing buffers without bound.
+//! Malformed frames and JSON lines draw an in-order error response and
+//! the connection continues. A broken peer (abrupt disconnect,
+//! mid-write EPIPE) ends only its own connection — in-flight worker
+//! ops complete normally and their responses are discarded.
+//!
+//! **Shutdown.** A `shutdown` request answers `bye`, stops the accept
+//! loop, and drains: live connections get a grace period to finish
+//! their in-flight op and flush, then the reactor logs and drops any
+//! stragglers, asks the worker pool to stop ([`SessionManager::stop`] —
+//! no exclusive-ownership teardown, so a lingering completion callback
+//! can never turn shutdown into a panic), and returns.
 
-use std::collections::HashMap;
-use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use crossbeam::channel::{unbounded, Sender};
+use mio::{Events, Interest, Poll, Token, Waker};
 
 use crate::manager::SessionManager;
 use crate::proto::{Request, Response};
+use crate::wire::{self, FrameHead, WireError, HEADER_LEN, MAX_FRAME};
 
-/// Runs the server on `listener` until a client sends `shutdown`.
-///
-/// Shutdown force-closes every open connection (a client holding an
-/// idle connection open must not be able to wedge the server), then
-/// joins the connection threads and tears the worker pool down. The
-/// same force-close runs if the accept loop itself fails, so an
-/// accept error can never strand the server behind a parked reader.
-///
-/// # Errors
-/// Returns any I/O error from the accept loop itself (per-connection
-/// errors only end that connection).
-pub fn serve(listener: TcpListener, manager: SessionManager) -> std::io::Result<()> {
-    let manager = Arc::new(manager);
-    let stopping = Arc::new(AtomicBool::new(false));
-    // Streams of live connections, keyed by a per-connection token so
-    // each handler prunes its own entry on exit (no fd accumulates
-    // past its connection's lifetime).
-    let connections: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
-    let local = listener.local_addr()?;
-
-    let outcome = crossbeam::thread::scope(|scope| -> std::io::Result<()> {
-        let mut next_token: u64 = 0;
-        let result = loop {
-            let stream = match listener.accept() {
-                Ok((stream, _peer)) => stream,
-                Err(e) => break Err(e),
-            };
-            if stopping.load(Ordering::SeqCst) {
-                break Ok(());
-            }
-            let token = next_token;
-            next_token += 1;
-            if let Ok(clone) = stream.try_clone() {
-                connections.lock().insert(token, clone);
-            }
-            let manager = Arc::clone(&manager);
-            let stopping = Arc::clone(&stopping);
-            let registry = Arc::clone(&connections);
-            scope.spawn(move |_| {
-                let asked_shutdown = handle_connection(&stream, &manager);
-                registry.lock().remove(&token);
-                if asked_shutdown {
-                    // Stop accepting and wake the accept loop with a
-                    // dummy connection.
-                    stopping.store(true, Ordering::SeqCst);
-                    let _ = TcpStream::connect(local);
-                }
-            });
-        };
-        // Unblock every connection thread still parked in a read —
-        // on the error path too, or the scope join below would hang on
-        // live sockets. The scope then joins them all.
-        for (_, connection) in connections.lock().drain() {
-            let _ = connection.shutdown(Shutdown::Both);
-        }
-        result
-    })
-    .unwrap_or_else(|panic| std::panic::resume_unwind(panic));
-
-    // The scope joined every connection thread; now stop the workers.
-    let manager = Arc::into_inner(manager).expect("all connection threads joined");
-    let _ = manager.shutdown();
-    outcome
+/// Which wire protocol(s) the server accepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Proto {
+    /// Detect per connection from its first byte (the default).
+    #[default]
+    Auto,
+    /// NDJSON only: binary magic is treated as a malformed JSON line.
+    Ndjson,
+    /// Binary only: JSON text is rejected as a bad frame magic.
+    Binary,
 }
 
-/// Serves one connection; returns `true` if it requested shutdown.
-fn handle_connection(stream: &TcpStream, manager: &SessionManager) -> bool {
-    let Ok(read) = stream.try_clone() else {
-        return false;
-    };
-    let reader = BufReader::new(read);
-    let mut writer = BufWriter::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let (response, stop) = match serde_json::from_str::<Request>(&line) {
-            Err(e) => (
-                Response::Error {
-                    message: e.to_string(),
-                },
-                false,
-            ),
-            Ok(request) => dispatch(request, manager),
-        };
-        let Ok(text) = serde_json::to_string(&response) else {
-            break;
-        };
-        if writer
-            .write_all(text.as_bytes())
-            .and_then(|()| writer.write_all(b"\n"))
-            .and_then(|()| writer.flush())
-            .is_err()
-        {
-            break;
-        }
-        if stop {
-            return true;
+impl std::str::FromStr for Proto {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "auto" => Ok(Proto::Auto),
+            "ndjson" => Ok(Proto::Ndjson),
+            "binary" => Ok(Proto::Binary),
+            other => Err(format!("unknown protocol `{other}` (auto|ndjson|binary)")),
         }
     }
-    false
 }
 
-fn dispatch(request: Request, manager: &SessionManager) -> (Response, bool) {
-    let response = match request {
-        Request::Create { scenario } => match manager.create(*scenario) {
-            Ok(info) => Response::Created { info },
-            Err(e) => Response::Error { message: e.0 },
-        },
-        Request::Submit { session, work } => match manager.submit(session, work) {
-            Ok(summary) => Response::Submitted { session, summary },
-            Err(e) => Response::Error { message: e.0 },
-        },
-        Request::Query { session } => match manager.query(session) {
-            Ok(status) => Response::Status { status },
-            Err(e) => Response::Error { message: e.0 },
-        },
-        Request::Snapshot { session } => match manager.snapshot(session) {
-            Ok(snapshot) => Response::Snapshot { session, snapshot },
-            Err(e) => Response::Error { message: e.0 },
-        },
-        Request::Restore { snapshot } => match manager.restore(snapshot) {
-            Ok(info) => Response::Created { info },
-            Err(e) => Response::Error { message: e.0 },
-        },
-        Request::Close { session } => match manager.close(session) {
-            Ok(report) => Response::Closed { session, report },
-            Err(e) => Response::Error { message: e.0 },
-        },
-        Request::Stats => Response::Stats {
-            stats: manager.stats(),
-        },
-        Request::Ping => Response::Pong,
-        Request::Shutdown => return (Response::Bye, true),
+/// One connection's resolved protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnProto {
+    Ndjson,
+    Binary,
+}
+
+const LISTENER: Token = Token(0);
+const WAKER: Token = Token(1);
+/// First token handed to a connection (0/1 are reserved above).
+const FIRST_CONN: usize = 2;
+
+/// Read at most this much ahead of the parser per readiness round; the
+/// remainder stays in the kernel buffer and re-triggers (the poll is
+/// level-triggered), so one greedy peer cannot balloon the input
+/// buffer.
+const READ_SOFT_CAP: usize = MAX_FRAME + HEADER_LEN;
+
+/// Parsed-but-unstarted requests one connection may queue. Beyond
+/// this, the reactor stops reading from it until the queue drains
+/// (backpressure instead of unbounded growth).
+const PIPELINE_MAX: usize = 1024;
+
+/// Grace period for live connections to finish in-flight work after a
+/// `shutdown` request before they are dropped.
+const SHUTDOWN_DRAIN: Duration = Duration::from_secs(5);
+
+/// A unit of work queued on one connection, in request order.
+enum Job {
+    /// A parsed request to execute.
+    Op(Request),
+    /// A pre-computed response (parse error); connection stays usable.
+    Respond(Response),
+    /// A pre-computed response after which the connection closes
+    /// (fatal framing error: the stream can no longer be trusted).
+    RespondClose(Response),
+}
+
+/// What starting a request produced.
+enum Started {
+    /// Answer available immediately (no worker involved).
+    Inline(Response),
+    /// Dispatched to the worker pool; the completion callback answers.
+    InFlight,
+    /// The request was `shutdown`: answer `bye` and stop the server.
+    Shutdown,
+}
+
+struct Connection {
+    stream: TcpStream,
+    /// Resolved on the first byte in [`Proto::Auto`] mode.
+    proto: Option<ConnProto>,
+    inbuf: Vec<u8>,
+    outbuf: Vec<u8>,
+    /// Prefix of `outbuf` already written to the socket.
+    written: usize,
+    /// Parsed requests not yet started, in arrival order.
+    pending: VecDeque<Job>,
+    /// Whether one request is currently in flight on a worker.
+    busy: bool,
+    /// No further input is read; close once `outbuf` and the in-flight
+    /// op drain.
+    closing: bool,
+    /// What the socket is currently registered for (`None` while
+    /// waiting on a worker completion alone).
+    registered: Option<Interest>,
+}
+
+impl Connection {
+    fn new(stream: TcpStream, proto: Proto) -> Self {
+        Self {
+            stream,
+            proto: match proto {
+                Proto::Auto => None,
+                Proto::Ndjson => Some(ConnProto::Ndjson),
+                Proto::Binary => Some(ConnProto::Binary),
+            },
+            inbuf: Vec::new(),
+            outbuf: Vec::new(),
+            written: 0,
+            pending: VecDeque::new(),
+            busy: false,
+            closing: false,
+            registered: Some(Interest::READABLE),
+        }
+    }
+
+    fn has_output(&self) -> bool {
+        self.written < self.outbuf.len()
+    }
+
+    /// Serializes `response` onto the output buffer in this
+    /// connection's protocol.
+    fn push_response(&mut self, response: &Response) {
+        match self.proto.unwrap_or(ConnProto::Ndjson) {
+            ConnProto::Ndjson => {
+                if let Ok(text) = serde_json::to_string(response) {
+                    self.outbuf.extend_from_slice(text.as_bytes());
+                    self.outbuf.push(b'\n');
+                }
+            }
+            ConnProto::Binary => self
+                .outbuf
+                .extend_from_slice(&wire::encode_response(response)),
+        }
+    }
+
+    /// Reads whatever the socket has (up to the soft cap), then parses
+    /// complete messages into `pending`. Returns `false` if the
+    /// connection died.
+    fn fill(&mut self) -> bool {
+        let mut chunk = [0u8; 16 * 1024];
+        while !self.closing && self.inbuf.len() < READ_SOFT_CAP && self.pending.len() < PIPELINE_MAX
+        {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    // Peer finished sending; answer what was queued,
+                    // then close.
+                    self.closing = true;
+                    break;
+                }
+                Ok(n) => self.inbuf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return false,
+            }
+        }
+        self.parse();
+        true
+    }
+
+    /// Splits `inbuf` into jobs: complete frames/lines become ops (or
+    /// per-message error responses); framing violations become a final
+    /// error-then-close job.
+    fn parse(&mut self) {
+        if self.proto.is_none() {
+            let Some(&first) = self.inbuf.first() else {
+                return;
+            };
+            self.proto = Some(if first == wire::MAGIC {
+                ConnProto::Binary
+            } else {
+                ConnProto::Ndjson
+            });
+        }
+        match self.proto {
+            Some(ConnProto::Ndjson) => self.parse_ndjson(),
+            Some(ConnProto::Binary) => self.parse_binary(),
+            None => {}
+        }
+    }
+
+    fn parse_ndjson(&mut self) {
+        loop {
+            let Some(end) = self.inbuf.iter().position(|&b| b == b'\n') else {
+                if self.inbuf.len() > MAX_FRAME {
+                    self.protocol_error(format!("request line exceeds the {MAX_FRAME}-byte cap"));
+                }
+                return;
+            };
+            let line: Vec<u8> = self.inbuf.drain(..=end).collect();
+            let Ok(text) = std::str::from_utf8(&line[..end]) else {
+                self.pending.push_back(Job::Respond(Response::Error {
+                    message: "request line is not UTF-8".into(),
+                }));
+                continue;
+            };
+            if text.trim().is_empty() {
+                continue;
+            }
+            self.pending
+                .push_back(match serde_json::from_str::<Request>(text) {
+                    Ok(request) => Job::Op(request),
+                    Err(e) => Job::Respond(Response::Error {
+                        message: e.to_string(),
+                    }),
+                });
+        }
+    }
+
+    fn parse_binary(&mut self) {
+        loop {
+            match wire::try_frame(&self.inbuf) {
+                Ok(FrameHead::Incomplete) => return,
+                Ok(FrameHead::Complete { code, size }) => {
+                    let job = match wire::decode_request(code, &self.inbuf[HEADER_LEN..size]) {
+                        Ok(request) => Job::Op(request),
+                        Err(e) => Job::Respond(Response::Error {
+                            message: e.message().to_string(),
+                        }),
+                    };
+                    self.inbuf.drain(..size);
+                    self.pending.push_back(job);
+                }
+                Err(e @ (WireError::Fatal(_) | WireError::Frame(_))) => {
+                    self.protocol_error(e.message().to_string());
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Queues a final error response and stops reading: the stream is
+    /// desynchronized (or abusive) and must close after the reply.
+    fn protocol_error(&mut self, message: String) {
+        self.pending
+            .push_back(Job::RespondClose(Response::Error { message }));
+        self.inbuf.clear();
+        self.closing = true;
+    }
+
+    /// Writes buffered output until the socket blocks. Returns `false`
+    /// if the connection died (e.g. broken pipe): the caller drops
+    /// only this connection — the worker pool is untouched.
+    fn flush(&mut self) -> bool {
+        while self.has_output() {
+            match self.stream.write(&self.outbuf[self.written..]) {
+                Ok(0) => return false,
+                Ok(n) => self.written += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return false,
+            }
+        }
+        if !self.has_output() {
+            self.outbuf.clear();
+            self.written = 0;
+        }
+        true
+    }
+
+    /// The registration this connection's state calls for right now.
+    fn wanted(&self) -> Option<Interest> {
+        let wants_read =
+            !self.closing && self.pending.len() < PIPELINE_MAX && self.inbuf.len() < READ_SOFT_CAP;
+        match (wants_read, self.has_output()) {
+            (true, true) => Some(Interest::READABLE.add(Interest::WRITABLE)),
+            (true, false) => Some(Interest::READABLE),
+            (false, true) => Some(Interest::WRITABLE),
+            // Waiting only on a worker completion (delivered via the
+            // waker): no socket events wanted.
+            (false, false) => None,
+        }
+    }
+
+    /// Fully drained and finished?
+    fn done(&self) -> bool {
+        self.closing && !self.busy && !self.has_output() && self.pending.is_empty()
+    }
+}
+
+/// Runs the server on `listener` (accepting both protocols,
+/// auto-detected) until a client sends `shutdown`.
+///
+/// # Errors
+/// Returns any I/O error from the reactor's own machinery (accept
+/// loop, poll); per-connection errors only end that connection.
+pub fn serve(listener: TcpListener, manager: SessionManager) -> io::Result<()> {
+    serve_with(listener, manager, Proto::Auto)
+}
+
+/// [`serve`], with the accepted protocol(s) pinned.
+///
+/// # Errors
+/// Returns any I/O error from the reactor's own machinery (accept
+/// loop, poll); per-connection errors only end that connection.
+pub fn serve_with(listener: TcpListener, manager: SessionManager, proto: Proto) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let manager = Arc::new(manager);
+    let mut poll = Poll::new()?;
+    let waker = Arc::new(Waker::new(&poll, WAKER)?);
+    poll.register(&listener, LISTENER, Interest::READABLE)?;
+    let (done_tx, done_rx) = unbounded::<(usize, Response)>();
+
+    let mut events = Events::with_capacity(1024);
+    let mut conns: HashMap<usize, Connection> = HashMap::new();
+    let mut next_token = FIRST_CONN;
+    let mut drain_deadline: Option<Instant> = None;
+
+    let result = 'reactor: loop {
+        let timeout =
+            drain_deadline.map(|deadline| deadline.saturating_duration_since(Instant::now()));
+        if let Err(e) = poll.poll(&mut events, timeout) {
+            break Err(e);
+        }
+
+        let mut shutdown_requested = false;
+
+        for event in events.iter() {
+            match event.token() {
+                LISTENER => {
+                    if let Err(e) = accept_all(
+                        &listener,
+                        &mut conns,
+                        &mut next_token,
+                        &poll,
+                        proto,
+                        drain_deadline.is_some(),
+                    ) {
+                        break 'reactor Err(e);
+                    }
+                }
+                WAKER => waker.drain(),
+                Token(t) => {
+                    // The connection may already be gone (removed
+                    // earlier in this batch).
+                    let Some(conn) = conns.get_mut(&t) else {
+                        continue;
+                    };
+                    let alive = if event.is_readable() {
+                        conn.fill()
+                    } else {
+                        true
+                    };
+                    let keep = alive && {
+                        shutdown_requested |= pump(conn, t, &manager, &done_tx, &waker);
+                        settle(&poll, t, conn)
+                    };
+                    if !keep {
+                        conns.remove(&t);
+                    }
+                }
+            }
+        }
+
+        // Worker completions (signalled through the waker, but drained
+        // every pass): each frees its connection to answer and start
+        // its next queued request.
+        while let Ok((t, response)) = done_rx.try_recv() {
+            // A vanished connection simply discards its response.
+            let Some(conn) = conns.get_mut(&t) else {
+                continue;
+            };
+            conn.busy = false;
+            conn.push_response(&response);
+            shutdown_requested |= pump(conn, t, &manager, &done_tx, &waker);
+            if !settle(&poll, t, conn) {
+                conns.remove(&t);
+            }
+        }
+
+        if shutdown_requested && drain_deadline.is_none() {
+            drain_deadline = Some(Instant::now() + SHUTDOWN_DRAIN);
+            let _ = poll.deregister(&listener);
+            // Every connection stops reading; in-flight ops and queued
+            // output get the grace period to finish.
+            let stale: Vec<usize> = conns
+                .iter_mut()
+                .filter_map(|(&t, conn)| {
+                    conn.closing = true;
+                    conn.pending.clear();
+                    (!settle(&poll, t, conn)).then_some(t)
+                })
+                .collect();
+            for t in stale {
+                conns.remove(&t);
+            }
+        }
+
+        if let Some(deadline) = drain_deadline {
+            if conns.is_empty() {
+                break Ok(());
+            }
+            if Instant::now() >= deadline {
+                eprintln!(
+                    "rdbp-serve: shutdown drain deadline reached; dropping {} connection(s)",
+                    conns.len()
+                );
+                break Ok(());
+            }
+        }
     };
-    (response, false)
+
+    // Close any remaining sockets, then stop the worker pool. Workers
+    // drain their queues; straggler completions land in `done_rx` and
+    // are dropped with it.
+    drop(conns);
+    manager.stop();
+    result
+}
+
+/// Accepts until the listener would block. Transient per-connection
+/// failures skip that connection; only listener-level errors return.
+fn accept_all(
+    listener: &TcpListener,
+    conns: &mut HashMap<usize, Connection>,
+    next_token: &mut usize,
+    poll: &Poll,
+    proto: Proto,
+    draining: bool,
+) -> io::Result<()> {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if draining {
+                    continue; // dropped: the server is shutting down
+                }
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                if let Err(e) = stream.set_nodelay(true) {
+                    // Best-effort latency knob: keep the connection,
+                    // but surface the refusal instead of hiding it.
+                    eprintln!("rdbp-serve: set_nodelay failed on a new connection: {e}");
+                }
+                let token = *next_token;
+                *next_token += 1;
+                let conn = Connection::new(stream, proto);
+                if poll
+                    .register(&conn.stream, Token(token), Interest::READABLE)
+                    .is_ok()
+                {
+                    conns.insert(token, conn);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::Interrupted | io::ErrorKind::ConnectionAborted
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Starts queued jobs until one is in flight (or the queue is empty).
+/// Returns whether a `shutdown` request was processed.
+fn pump(
+    conn: &mut Connection,
+    token: usize,
+    manager: &Arc<SessionManager>,
+    done_tx: &Sender<(usize, Response)>,
+    waker: &Arc<Waker>,
+) -> bool {
+    let mut shutdown = false;
+    while !conn.busy {
+        let Some(job) = conn.pending.pop_front() else {
+            break;
+        };
+        match job {
+            Job::Respond(response) => conn.push_response(&response),
+            Job::RespondClose(response) => {
+                conn.push_response(&response);
+                conn.closing = true;
+                conn.pending.clear();
+            }
+            Job::Op(request) => {
+                let tx = done_tx.clone();
+                let wake = Arc::clone(waker);
+                let done = move |response: Response| {
+                    let _ = tx.send((token, response));
+                    let _ = wake.wake();
+                };
+                match start_op(manager, request, done) {
+                    Started::Inline(response) => conn.push_response(&response),
+                    Started::InFlight => conn.busy = true,
+                    Started::Shutdown => {
+                        conn.push_response(&Response::Bye);
+                        conn.closing = true;
+                        conn.pending.clear();
+                        shutdown = true;
+                    }
+                }
+            }
+        }
+    }
+    shutdown
+}
+
+/// Flushes and (re)registers a connection to match its state. Returns
+/// `false` when the connection is finished or broken and must go.
+fn settle(poll: &Poll, token: usize, conn: &mut Connection) -> bool {
+    if !conn.flush() {
+        return false;
+    }
+    if conn.done() {
+        return false;
+    }
+    let want = conn.wanted();
+    if want != conn.registered {
+        let applied = match (conn.registered, want) {
+            (Some(_), Some(interest)) => poll.reregister(&conn.stream, Token(token), interest),
+            (None, Some(interest)) => poll.register(&conn.stream, Token(token), interest),
+            (Some(_), None) => poll.deregister(&conn.stream),
+            (None, None) => Ok(()),
+        };
+        if applied.is_err() {
+            return false;
+        }
+        conn.registered = want;
+    }
+    true
+}
+
+/// Maps one request onto the manager's async API (or answers inline).
+fn start_op(
+    manager: &Arc<SessionManager>,
+    request: Request,
+    done: impl FnOnce(Response) + Send + 'static,
+) -> Started {
+    match request {
+        Request::Create { scenario } => {
+            manager.create_async(*scenario, move |r| {
+                done(match r {
+                    Ok(info) => Response::Created { info },
+                    Err(e) => Response::Error { message: e.0 },
+                });
+            });
+            Started::InFlight
+        }
+        Request::Submit { session, work } => {
+            manager.submit_async(session, work, move |r| {
+                done(match r {
+                    Ok(summary) => Response::Submitted { session, summary },
+                    Err(e) => Response::Error { message: e.0 },
+                });
+            });
+            Started::InFlight
+        }
+        Request::Query { session } => {
+            manager.query_async(session, move |r| {
+                done(match r {
+                    Ok(status) => Response::Status { status },
+                    Err(e) => Response::Error { message: e.0 },
+                });
+            });
+            Started::InFlight
+        }
+        Request::Snapshot { session } => {
+            manager.snapshot_async(session, move |r| {
+                done(match r {
+                    Ok(snapshot) => Response::Snapshot { session, snapshot },
+                    Err(e) => Response::Error { message: e.0 },
+                });
+            });
+            Started::InFlight
+        }
+        Request::Restore { snapshot } => {
+            manager.restore_async(snapshot, move |r| {
+                done(match r {
+                    Ok(info) => Response::Created { info },
+                    Err(e) => Response::Error { message: e.0 },
+                });
+            });
+            Started::InFlight
+        }
+        Request::Close { session } => {
+            manager.close_async(session, move |r| {
+                done(match r {
+                    Ok(report) => Response::Closed { session, report },
+                    Err(e) => Response::Error { message: e.0 },
+                });
+            });
+            Started::InFlight
+        }
+        Request::Stats => Started::Inline(Response::Stats {
+            stats: manager.stats(),
+        }),
+        Request::Ping => Started::Inline(Response::Pong),
+        Request::Shutdown => Started::Shutdown,
+    }
 }
 
 /// A blocking protocol client over one TCP connection — what
 /// `rdbp-load` and the end-to-end tests drive the server with.
+/// Defaults to the binary protocol; [`Client::connect_ndjson`] selects
+/// the NDJSON fallback. [`Client::send`]/[`Client::recv`] are split so
+/// callers can pipeline several requests before reading responses.
 #[derive(Debug)]
 pub struct Client {
     reader: BufReader<TcpStream>,
-    writer: BufWriter<TcpStream>,
+    writer: TcpStream,
+    ndjson: bool,
 }
 
 impl Client {
-    /// Connects to a running server.
+    /// Connects to a running server, speaking the binary protocol.
     ///
     /// # Errors
     /// Returns any underlying I/O error.
-    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        Self::connect_proto(addr, false)
+    }
+
+    /// Connects to a running server, speaking NDJSON.
+    ///
+    /// # Errors
+    /// Returns any underlying I/O error.
+    pub fn connect_ndjson(addr: SocketAddr) -> io::Result<Self> {
+        Self::connect_proto(addr, true)
+    }
+
+    fn connect_proto(addr: SocketAddr, ndjson: bool) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
+        if let Err(e) = stream.set_nodelay(true) {
+            eprintln!("rdbp client: set_nodelay failed: {e}");
+        }
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Self {
             reader,
-            writer: BufWriter::new(stream),
+            writer: stream,
+            ndjson,
         })
+    }
+
+    /// Sends one request without waiting for its response.
+    ///
+    /// # Errors
+    /// Returns an I/O error on a broken connection.
+    pub fn send(&mut self, request: &Request) -> io::Result<()> {
+        let bytes = if self.ndjson {
+            let mut text = serde_json::to_string(request)
+                .map_err(io::Error::from)?
+                .into_bytes();
+            text.push(b'\n');
+            text
+        } else {
+            wire::encode_request(request)
+        };
+        self.writer.write_all(&bytes)
+    }
+
+    /// Reads the next response, in request order.
+    ///
+    /// # Errors
+    /// Returns an I/O error on a broken connection or a protocol error
+    /// on an unparseable (or oversized) response.
+    pub fn recv(&mut self) -> io::Result<Response> {
+        if self.ndjson {
+            self.recv_ndjson()
+        } else {
+            self.recv_binary()
+        }
     }
 
     /// Sends one request and reads its response.
     ///
     /// # Errors
     /// Returns an I/O error on a broken connection or a protocol error
-    /// on an unparseable response line.
-    pub fn call(&mut self, request: &Request) -> std::io::Result<Response> {
-        let text = serde_json::to_string(request).map_err(std::io::Error::from)?;
-        self.writer.write_all(text.as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        self.writer.flush()?;
-        let mut line = String::new();
-        if self.reader.read_line(&mut line)? == 0 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
+    /// on an unparseable response.
+    pub fn call(&mut self, request: &Request) -> io::Result<Response> {
+        self.send(request)?;
+        self.recv()
+    }
+
+    fn recv_ndjson(&mut self) -> io::Result<Response> {
+        // A hand-rolled bounded read_line: the response line is capped
+        // at MAX_FRAME, so a corrupt (or hostile) peer cannot make the
+        // client buffer grow without bound.
+        let mut line = Vec::new();
+        loop {
+            let buf = self.reader.fill_buf()?;
+            if buf.is_empty() {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+                line.extend_from_slice(&buf[..pos]);
+                self.reader.consume(pos + 1);
+                break;
+            }
+            line.extend_from_slice(buf);
+            let n = buf.len();
+            self.reader.consume(n);
+            if line.len() > MAX_FRAME {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("response line exceeds the {MAX_FRAME}-byte cap"),
+                ));
+            }
+        }
+        let text = std::str::from_utf8(&line)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "response is not UTF-8"))?;
+        serde_json::from_str(text).map_err(io::Error::from)
+    }
+
+    fn recv_binary(&mut self) -> io::Result<Response> {
+        let mut header = [0u8; HEADER_LEN];
+        self.reader.read_exact(&mut header)?;
+        if header[0] != wire::MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad response frame magic 0x{:02X}", header[0]),
             ));
         }
-        serde_json::from_str(&line).map_err(std::io::Error::from)
+        let len = u32::from_le_bytes([header[2], header[3], header[4], header[5]]) as usize;
+        if len > MAX_FRAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("response frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+            ));
+        }
+        let mut payload = vec![0u8; len];
+        self.reader.read_exact(&mut payload)?;
+        wire::decode_response(header[1], &payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
     }
 }

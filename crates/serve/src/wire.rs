@@ -1,0 +1,606 @@
+//! The length-prefixed binary wire format (and its framing rules).
+//!
+//! NDJSON (see [`crate::proto`]) is kept as the debug protocol; this
+//! module is the production framing the reactor and the
+//! [`crate::Client`] default to. A frame is:
+//!
+//! ```text
+//! offset 0   u8   MAGIC (0xB5 — never a valid NDJSON first byte)
+//! offset 1   u8   code: request opcode (0x01–0x09) or
+//!                 response status (0x81–0x88, 0xEF = error)
+//! offset 2   u32  payload length, little-endian (≤ MAX_FRAME)
+//! offset 6   …    payload: the message body, binary-value encoded
+//! ```
+//!
+//! The payload is the *same serde [`Value`] tree* the NDJSON protocol
+//! serializes, minus the discriminator field (`"op"` / `"ok"`), which
+//! the code byte replaces. Decoding a binary frame therefore yields
+//! exactly the [`Request`]/[`Response`] an equivalent NDJSON line
+//! would — the differential e2e test pins this, and it is what makes
+//! work counters provably identical across the two protocols.
+//!
+//! Value encoding (tag byte, then payload; integers little-endian):
+//!
+//! ```text
+//! 0x00 null            0x01 false           0x02 true
+//! 0x03 uint  (u64)     0x04 int   (i64)     0x05 float (f64 bits)
+//! 0x06 str   (u32 len + UTF-8 bytes)
+//! 0x07 arr   (u32 count + elements)
+//! 0x08 obj   (u32 count + (u32 key len + key bytes + value)*)
+//! ```
+//!
+//! Robustness rules (enforced on both decode paths): frames and
+//! NDJSON lines larger than [`MAX_FRAME`] are rejected with a protocol
+//! error instead of growing buffers without bound; nesting deeper than
+//! [`MAX_DEPTH`] is rejected (a tiny frame must not be able to
+//! overflow the decoder's stack); declared lengths are validated
+//! against the bytes actually present before any allocation.
+
+use serde::{Serialize, Value};
+
+use crate::proto::{Request, Response};
+
+/// First byte of every binary frame. Chosen to be invalid as the first
+/// byte of NDJSON (`{`, whitespace, or any ASCII JSON start), which is
+/// what lets the server auto-detect the protocol per connection.
+pub const MAGIC: u8 = 0xB5;
+
+/// Bytes in a frame header: magic, code, u32 payload length.
+pub const HEADER_LEN: usize = 6;
+
+/// Upper bound on one frame's payload — and on one NDJSON line. Large
+/// enough for any snapshot the session layer produces, small enough
+/// that a hostile length prefix cannot OOM the server.
+pub const MAX_FRAME: usize = 8 * 1024 * 1024;
+
+/// Maximum nesting depth the binary value decoder accepts.
+pub const MAX_DEPTH: u32 = 96;
+
+/// A framing/codec violation. [`WireError::Fatal`] means the stream
+/// can no longer be trusted (bad magic, oversized length) and the
+/// connection must close after the error reply; [`WireError::Frame`]
+/// is confined to one well-delimited frame, so the connection stays
+/// usable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The stream is desynchronized or abusive; close after replying.
+    Fatal(String),
+    /// One frame was malformed; later frames are unaffected.
+    Frame(String),
+}
+
+impl WireError {
+    /// The human-readable description (what goes in the error reply).
+    #[must_use]
+    pub fn message(&self) -> &str {
+        match self {
+            WireError::Fatal(m) | WireError::Frame(m) => m,
+        }
+    }
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "wire error: {}", self.message())
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// --- opcode tables -------------------------------------------------------
+
+/// Request opcodes, mirroring the NDJSON `"op"` strings 1:1.
+const REQUEST_OPS: [(u8, &str); 9] = [
+    (0x01, "create"),
+    (0x02, "submit"),
+    (0x03, "query"),
+    (0x04, "snapshot"),
+    (0x05, "restore"),
+    (0x06, "close"),
+    (0x07, "stats"),
+    (0x08, "ping"),
+    (0x09, "shutdown"),
+];
+
+/// Response status codes, mirroring the NDJSON `"ok"` strings 1:1.
+/// The high bit distinguishes responses from requests on the wire.
+const RESPONSE_KINDS: [(u8, &str); 9] = [
+    (0x81, "created"),
+    (0x82, "submitted"),
+    (0x83, "status"),
+    (0x84, "snapshot"),
+    (0x85, "closed"),
+    (0x86, "stats"),
+    (0x87, "pong"),
+    (0x88, "bye"),
+    (0xEF, "error"),
+];
+
+fn code_of(table: &[(u8, &str)], name: &str) -> u8 {
+    table
+        .iter()
+        .find(|(_, n)| *n == name)
+        .map(|(c, _)| *c)
+        .unwrap_or_else(|| unreachable!("unmapped wire discriminator `{name}`"))
+}
+
+fn name_of(table: &'static [(u8, &'static str)], code: u8) -> Option<&'static str> {
+    table.iter().find(|(c, _)| *c == code).map(|(_, n)| *n)
+}
+
+// --- value codec ---------------------------------------------------------
+
+const TAG_NULL: u8 = 0x00;
+const TAG_FALSE: u8 = 0x01;
+const TAG_TRUE: u8 = 0x02;
+const TAG_UINT: u8 = 0x03;
+const TAG_INT: u8 = 0x04;
+const TAG_FLOAT: u8 = 0x05;
+const TAG_STR: u8 = 0x06;
+const TAG_ARR: u8 = 0x07;
+const TAG_OBJ: u8 = 0x08;
+
+fn put_len(out: &mut Vec<u8>, len: usize) {
+    let len = u32::try_from(len).expect("value longer than u32::MAX entries");
+    out.extend_from_slice(&len.to_le_bytes());
+}
+
+/// Appends the binary encoding of `value` to `out`.
+pub fn encode_value(value: &Value, out: &mut Vec<u8>) {
+    match value {
+        Value::Null => out.push(TAG_NULL),
+        Value::Bool(false) => out.push(TAG_FALSE),
+        Value::Bool(true) => out.push(TAG_TRUE),
+        Value::UInt(u) => {
+            out.push(TAG_UINT);
+            out.extend_from_slice(&u.to_le_bytes());
+        }
+        Value::Int(i) => {
+            out.push(TAG_INT);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(f) => {
+            out.push(TAG_FLOAT);
+            out.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(TAG_STR);
+            put_len(out, s.len());
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Arr(items) => {
+            out.push(TAG_ARR);
+            put_len(out, items.len());
+            for item in items {
+                encode_value(item, out);
+            }
+        }
+        Value::Obj(pairs) => {
+            out.push(TAG_OBJ);
+            put_len(out, pairs.len());
+            for (key, val) in pairs {
+                put_len(out, key.len());
+                out.extend_from_slice(key.as_bytes());
+                encode_value(val, out);
+            }
+        }
+    }
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or_else(|| {
+                WireError::Frame(format!(
+                    "truncated value: need {n} more bytes at offset {}, payload has {}",
+                    self.pos,
+                    self.buf.len()
+                ))
+            })?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn byte(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let raw = self.take(4)?;
+        Ok(u32::from_le_bytes([raw[0], raw[1], raw[2], raw[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let raw = self.take(8)?;
+        let mut bytes = [0u8; 8];
+        bytes.copy_from_slice(raw);
+        Ok(u64::from_le_bytes(bytes))
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        let raw = self.take(len)?;
+        String::from_utf8(raw.to_vec())
+            .map_err(|_| WireError::Frame("string payload is not UTF-8".into()))
+    }
+
+    /// Upper bound for a pre-allocation: a count larger than the bytes
+    /// left cannot be honest (every element costs ≥ 1 byte), so a
+    /// hostile count prefix never reserves more than the frame size.
+    fn bounded(&self, count: usize) -> usize {
+        count.min(self.buf.len() - self.pos)
+    }
+
+    fn value(&mut self, depth: u32) -> Result<Value, WireError> {
+        if depth > MAX_DEPTH {
+            return Err(WireError::Frame(format!(
+                "value nesting exceeds the depth limit {MAX_DEPTH}"
+            )));
+        }
+        match self.byte()? {
+            TAG_NULL => Ok(Value::Null),
+            TAG_FALSE => Ok(Value::Bool(false)),
+            TAG_TRUE => Ok(Value::Bool(true)),
+            TAG_UINT => Ok(Value::UInt(self.u64()?)),
+            TAG_INT => Ok(Value::Int(self.u64()? as i64)),
+            TAG_FLOAT => Ok(Value::Float(f64::from_bits(self.u64()?))),
+            TAG_STR => Ok(Value::Str(self.string()?)),
+            TAG_ARR => {
+                let count = self.u32()? as usize;
+                let mut items = Vec::with_capacity(self.bounded(count));
+                for _ in 0..count {
+                    items.push(self.value(depth + 1)?);
+                }
+                Ok(Value::Arr(items))
+            }
+            TAG_OBJ => {
+                let count = self.u32()? as usize;
+                let mut pairs = Vec::with_capacity(self.bounded(count));
+                for _ in 0..count {
+                    let key = self.string()?;
+                    pairs.push((key, self.value(depth + 1)?));
+                }
+                Ok(Value::Obj(pairs))
+            }
+            other => Err(WireError::Frame(format!("unknown value tag 0x{other:02X}"))),
+        }
+    }
+}
+
+/// Decodes one binary value occupying all of `payload`.
+///
+/// # Errors
+/// Returns a [`WireError::Frame`] on truncation, bad tags, non-UTF-8
+/// strings, excessive nesting, or trailing bytes.
+pub fn decode_value(payload: &[u8]) -> Result<Value, WireError> {
+    let mut cursor = Cursor {
+        buf: payload,
+        pos: 0,
+    };
+    let value = cursor.value(0)?;
+    if cursor.pos != payload.len() {
+        return Err(WireError::Frame(format!(
+            "{} trailing bytes after the value",
+            payload.len() - cursor.pos
+        )));
+    }
+    Ok(value)
+}
+
+// --- framing -------------------------------------------------------------
+
+/// Splits the tagged object the NDJSON serializers produce into its
+/// discriminator string and the remaining body pairs.
+fn untag(value: Value, key: &str) -> (String, Value) {
+    let Value::Obj(mut pairs) = value else {
+        unreachable!("protocol messages serialize as objects");
+    };
+    let pos = pairs
+        .iter()
+        .position(|(k, _)| k == key)
+        .unwrap_or_else(|| unreachable!("protocol messages carry `{key}`"));
+    let (_, tag) = pairs.remove(pos);
+    let Value::Str(name) = tag else {
+        unreachable!("`{key}` is a string discriminator");
+    };
+    (name, Value::Obj(pairs))
+}
+
+fn frame(code: u8, body: &Value) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.push(MAGIC);
+    out.push(code);
+    out.extend_from_slice(&[0; 4]); // length back-patched below
+    encode_value(body, &mut out);
+    let len = u32::try_from(out.len() - HEADER_LEN).expect("frame payload fits u32");
+    out[2..HEADER_LEN].copy_from_slice(&len.to_le_bytes());
+    out
+}
+
+/// Encodes a request as one binary frame.
+#[must_use]
+pub fn encode_request(request: &Request) -> Vec<u8> {
+    let (op, body) = untag(request.to_value(), "op");
+    frame(code_of(&REQUEST_OPS, &op), &body)
+}
+
+/// Encodes a response as one binary frame.
+#[must_use]
+pub fn encode_response(response: &Response) -> Vec<u8> {
+    let (kind, body) = untag(response.to_value(), "ok");
+    frame(code_of(&RESPONSE_KINDS, &kind), &body)
+}
+
+/// Reassembles the tagged [`Value`] an equivalent NDJSON line would
+/// parse to, from a frame's code byte and decoded body.
+fn retag(name: &str, body: Value, key: &str) -> Result<Value, WireError> {
+    let Value::Obj(pairs) = body else {
+        return Err(WireError::Frame(format!(
+            "frame body must be an object, got {body:?}"
+        )));
+    };
+    let mut tagged = Vec::with_capacity(pairs.len() + 1);
+    tagged.push((key.to_string(), Value::Str(name.into())));
+    tagged.extend(pairs);
+    Ok(Value::Obj(tagged))
+}
+
+/// Decodes a request from a frame's code byte and payload.
+///
+/// # Errors
+/// Returns a [`WireError::Frame`] for unknown opcodes or payloads that
+/// fail the value codec or the request shape.
+pub fn decode_request(code: u8, payload: &[u8]) -> Result<Request, WireError> {
+    let op = name_of(&REQUEST_OPS, code)
+        .ok_or_else(|| WireError::Frame(format!("unknown request opcode 0x{code:02X}")))?;
+    let tagged = retag(op, decode_value(payload)?, "op")?;
+    serde::Deserialize::from_value(&tagged).map_err(|e| WireError::Frame(e.0))
+}
+
+/// Decodes a response from a frame's code byte and payload.
+///
+/// # Errors
+/// Returns a [`WireError::Frame`] for unknown status codes or payloads
+/// that fail the value codec or the response shape.
+pub fn decode_response(code: u8, payload: &[u8]) -> Result<Response, WireError> {
+    let kind = name_of(&RESPONSE_KINDS, code)
+        .ok_or_else(|| WireError::Frame(format!("unknown response status 0x{code:02X}")))?;
+    let tagged = retag(kind, decode_value(payload)?, "ok")?;
+    serde::Deserialize::from_value(&tagged).map_err(|e| WireError::Frame(e.0))
+}
+
+/// What [`try_frame`] found at the head of a receive buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameHead {
+    /// Not enough bytes buffered yet; read more.
+    Incomplete,
+    /// A whole frame: its code byte, payload range start, and the
+    /// total frame size to consume from the buffer.
+    Complete {
+        /// The frame's code byte (request opcode or response status).
+        code: u8,
+        /// Total bytes of the frame (header + payload).
+        size: usize,
+    },
+}
+
+/// Inspects the head of `buf` for one binary frame without consuming
+/// it. The payload of a `Complete` head is
+/// `buf[HEADER_LEN..size]`.
+///
+/// # Errors
+/// Returns a [`WireError::Fatal`] on a bad magic byte or an oversized
+/// declared length — both desynchronize the stream.
+pub fn try_frame(buf: &[u8]) -> Result<FrameHead, WireError> {
+    let Some(&first) = buf.first() else {
+        return Ok(FrameHead::Incomplete);
+    };
+    if first != MAGIC {
+        return Err(WireError::Fatal(format!(
+            "bad frame magic 0x{first:02X} (expected 0x{MAGIC:02X})"
+        )));
+    }
+    if buf.len() < HEADER_LEN {
+        return Ok(FrameHead::Incomplete);
+    }
+    let len = u32::from_le_bytes([buf[2], buf[3], buf[4], buf[5]]) as usize;
+    if len > MAX_FRAME {
+        return Err(WireError::Fatal(format!(
+            "declared frame length {len} exceeds the {MAX_FRAME}-byte cap"
+        )));
+    }
+    if buf.len() < HEADER_LEN + len {
+        return Ok(FrameHead::Incomplete);
+    }
+    Ok(FrameHead::Complete {
+        code: buf[1],
+        size: HEADER_LEN + len,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::{SessionInfo, Work};
+    use crate::session::BatchSummary;
+    use rdbp_engine::{AlgorithmSpec, InstanceSpec, Scenario, WorkloadSpec};
+    use rdbp_model::{CostLedger, Edge};
+
+    fn sample_requests() -> Vec<Request> {
+        let scenario = Scenario::new(
+            InstanceSpec::packed(4, 8),
+            AlgorithmSpec::named("dynamic"),
+            WorkloadSpec::named("zipf"),
+            100,
+        );
+        vec![
+            Request::Create {
+                scenario: Box::new(scenario),
+            },
+            Request::Submit {
+                session: 7,
+                work: Work::Generate(500),
+            },
+            Request::Submit {
+                session: 7,
+                work: Work::Replay(vec![Edge(1), Edge(2)]),
+            },
+            Request::Query { session: 3 },
+            Request::Snapshot { session: 3 },
+            Request::Restore {
+                snapshot: Value::Obj(vec![
+                    ("x".into(), Value::UInt(1)),
+                    ("f".into(), Value::Float(0.25)),
+                    ("neg".into(), Value::Int(-4)),
+                    (
+                        "arr".into(),
+                        Value::Arr(vec![Value::Null, Value::Bool(true)]),
+                    ),
+                ]),
+            },
+            Request::Close { session: 3 },
+            Request::Stats,
+            Request::Ping,
+            Request::Shutdown,
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip_binary_and_match_ndjson() {
+        for request in sample_requests() {
+            let frame = encode_request(&request);
+            assert_eq!(frame[0], MAGIC);
+            let FrameHead::Complete { code, size } = try_frame(&frame).unwrap() else {
+                panic!("whole frame must parse")
+            };
+            assert_eq!(size, frame.len());
+            let back = decode_request(code, &frame[HEADER_LEN..size]).unwrap();
+            // Same wire form as the NDJSON path: the decoded request
+            // re-serializes to the identical JSON line.
+            assert_eq!(
+                serde_json::to_string(&back).unwrap(),
+                serde_json::to_string(&request).unwrap(),
+            );
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_binary_and_match_ndjson() {
+        let responses = vec![
+            Response::Created {
+                info: SessionInfo {
+                    id: 1,
+                    algorithm: "dynamic-partitioner".into(),
+                    workload: "zipf".into(),
+                    load_bound: 24,
+                    steps: 0,
+                },
+            },
+            Response::Submitted {
+                session: 1,
+                summary: BatchSummary {
+                    served: 10,
+                    steps: 30,
+                    ledger: CostLedger {
+                        communication: 5,
+                        migration: 6,
+                    },
+                    batch_cost: 3,
+                    max_load: 9,
+                    violations: 0,
+                },
+            },
+            Response::Snapshot {
+                session: 2,
+                snapshot: Value::Obj(vec![("state".into(), Value::Arr(vec![Value::UInt(9)]))]),
+            },
+            Response::Pong,
+            Response::Bye,
+            Response::Error {
+                message: "nope".into(),
+            },
+        ];
+        for response in responses {
+            let frame = encode_response(&response);
+            let FrameHead::Complete { code, size } = try_frame(&frame).unwrap() else {
+                panic!("whole frame must parse")
+            };
+            let back = decode_response(code, &frame[HEADER_LEN..size]).unwrap();
+            assert_eq!(
+                serde_json::to_string(&back).unwrap(),
+                serde_json::to_string(&response).unwrap(),
+            );
+        }
+    }
+
+    #[test]
+    fn partial_frames_are_incomplete_not_errors() {
+        let frame = encode_request(&Request::Ping);
+        for cut in 0..frame.len() {
+            assert_eq!(
+                try_frame(&frame[..cut]).unwrap(),
+                FrameHead::Incomplete,
+                "prefix of {cut} bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_oversized_lengths_are_fatal() {
+        assert!(matches!(try_frame(b"{\"op\""), Err(WireError::Fatal(_))));
+        let mut huge = vec![MAGIC, 0x08];
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(try_frame(&huge), Err(WireError::Fatal(_))));
+    }
+
+    #[test]
+    fn garbage_payloads_are_frame_errors() {
+        // Unknown opcode.
+        assert!(matches!(
+            decode_request(0x7E, &[TAG_NULL]),
+            Err(WireError::Frame(_))
+        ));
+        // Unknown value tag.
+        assert!(matches!(
+            decode_request(0x08, &[0xFF]),
+            Err(WireError::Frame(_))
+        ));
+        // Truncated string length.
+        assert!(matches!(
+            decode_value(&[TAG_STR, 0x10, 0x00, 0x00, 0x00, b'h', b'i']),
+            Err(WireError::Frame(_))
+        ));
+        // Trailing bytes.
+        assert!(matches!(
+            decode_value(&[TAG_NULL, TAG_NULL]),
+            Err(WireError::Frame(_))
+        ));
+        // Hostile element count with a tiny payload must not OOM and
+        // must fail as truncated.
+        let mut bomb = vec![TAG_ARR];
+        bomb.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode_value(&bomb), Err(WireError::Frame(_))));
+    }
+
+    #[test]
+    fn nesting_bombs_hit_the_depth_limit_not_the_stack() {
+        // [[[[…]]]] one deeper than the limit, as raw bytes.
+        let mut bytes = Vec::new();
+        for _ in 0..=MAX_DEPTH {
+            bytes.push(TAG_ARR);
+            bytes.extend_from_slice(&1u32.to_le_bytes());
+        }
+        bytes.push(TAG_NULL);
+        let err = decode_value(&bytes).expect_err("must hit the depth limit");
+        assert!(err.message().contains("depth"), "{err}");
+    }
+}

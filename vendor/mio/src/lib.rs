@@ -1,0 +1,481 @@
+//! Offline stand-in for `mio`: a readiness-based event loop over raw
+//! `epoll(7)` + `eventfd(2)`.
+//!
+//! The build environment cannot reach crates.io, so this crate provides
+//! the minimal polling surface the serve reactor needs, with mio's API
+//! shape: a [`Poll`] you register [`AsRawFd`] sources on under a
+//! [`Token`] with an [`Interest`], an [`Events`] buffer filled by
+//! [`Poll::poll`], and a [`Waker`] other threads use to interrupt a
+//! blocked poll. Differences from real mio, deliberately small:
+//!
+//! * registration lives on [`Poll`] itself (no separate `Registry`);
+//! * sources are any `AsRawFd` (no `Source` trait; std's `TcpListener`
+//!   and `TcpStream` work directly — callers set nonblocking mode
+//!   themselves);
+//! * events are level-triggered, so a [`Waker`] must be drained with
+//!   [`Waker::drain`] when its token surfaces (real mio hides this
+//!   behind edge triggering).
+//!
+//! Linux-only, matching the epoll backend the reactor targets; the
+//! syscalls are declared directly against the libc that `std` already
+//! links, keeping the vendor policy's "no external deps" intact.
+
+#![cfg(target_os = "linux")]
+
+use std::io;
+use std::os::fd::{AsRawFd, RawFd};
+use std::os::raw::{c_int, c_uint, c_void};
+use std::time::Duration;
+
+// --- raw syscall surface -------------------------------------------------
+// Declared against the platform libc std already links; no libc crate.
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+}
+
+const EPOLL_CLOEXEC: c_int = 0x80000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+
+const EFD_CLOEXEC: c_int = 0x80000;
+const EFD_NONBLOCK: c_int = 0x800;
+
+/// The kernel's `struct epoll_event`. Packed on x86, naturally aligned
+/// elsewhere — this must match the kernel ABI exactly.
+#[cfg(any(target_arch = "x86_64", target_arch = "x86"))]
+#[repr(C, packed)]
+#[derive(Debug, Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+/// The kernel's `struct epoll_event` (non-x86 layout).
+#[cfg(not(any(target_arch = "x86_64", target_arch = "x86")))]
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+// --- public API ----------------------------------------------------------
+
+/// Identifies a registered source in the events a poll returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Token(pub usize);
+
+/// Which readiness a registration asks for. Combine with [`Interest::add`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u32);
+
+impl Interest {
+    /// Readable readiness (including peer hang-up, surfaced via
+    /// [`Event::is_read_closed`]).
+    pub const READABLE: Interest = Interest(EPOLLIN | EPOLLRDHUP);
+    /// Writable readiness.
+    pub const WRITABLE: Interest = Interest(EPOLLOUT);
+
+    /// Union of two interests. (Named `add` for mio API parity, not
+    /// `std::ops::Add`.)
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    /// Whether this interest includes readable readiness.
+    #[must_use]
+    pub fn is_readable(self) -> bool {
+        self.0 & EPOLLIN != 0
+    }
+
+    /// Whether this interest includes writable readiness.
+    #[must_use]
+    pub fn is_writable(self) -> bool {
+        self.0 & EPOLLOUT != 0
+    }
+}
+
+/// One readiness event: a token plus what its source is ready for.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    bits: u32,
+    data: u64,
+}
+
+impl Event {
+    /// The token the source was registered under.
+    #[must_use]
+    pub fn token(&self) -> Token {
+        Token(self.data as usize)
+    }
+
+    /// Ready for reading (also set on error/hang-up so a read can
+    /// observe the failure).
+    #[must_use]
+    pub fn is_readable(&self) -> bool {
+        self.bits & (EPOLLIN | EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0
+    }
+
+    /// Ready for writing.
+    #[must_use]
+    pub fn is_writable(&self) -> bool {
+        self.bits & (EPOLLOUT | EPOLLERR | EPOLLHUP) != 0
+    }
+
+    /// The peer closed its end (or the connection errored): a read
+    /// will not block and will surface EOF or the error.
+    #[must_use]
+    pub fn is_read_closed(&self) -> bool {
+        self.bits & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0
+    }
+}
+
+/// Buffer [`Poll::poll`] fills with ready [`Event`]s.
+#[derive(Debug)]
+pub struct Events {
+    raw: Vec<EpollEvent>,
+    len: usize,
+}
+
+impl Events {
+    /// A buffer receiving at most `capacity` events per poll.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "events capacity must be positive");
+        Self {
+            raw: vec![EpollEvent { events: 0, data: 0 }; capacity],
+            len: 0,
+        }
+    }
+
+    /// Whether the last poll returned no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates the events of the last poll.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        // Copy out of the (possibly packed) ABI struct by value; no
+        // references into packed fields are formed.
+        self.raw[..self.len].iter().map(|raw| {
+            let raw = *raw;
+            Event {
+                bits: raw.events,
+                data: raw.data,
+            }
+        })
+    }
+}
+
+/// A readiness selector over an epoll instance.
+#[derive(Debug)]
+pub struct Poll {
+    epfd: RawFd,
+}
+
+impl Poll {
+    /// Creates a new selector.
+    ///
+    /// # Errors
+    /// Returns the OS error if `epoll_create1` fails.
+    pub fn new() -> io::Result<Self> {
+        // SAFETY: epoll_create1 takes no pointers.
+        let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Self { epfd })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, interest: Option<(Token, Interest)>) -> io::Result<()> {
+        let mut event = interest.map(|(token, interest)| EpollEvent {
+            events: interest.0,
+            data: token.0 as u64,
+        });
+        let ptr = event
+            .as_mut()
+            .map_or(std::ptr::null_mut(), std::ptr::from_mut);
+        // SAFETY: `ptr` is null (DEL) or points at a live EpollEvent.
+        cvt(unsafe { epoll_ctl(self.epfd, op, fd, ptr) })?;
+        Ok(())
+    }
+
+    /// Registers `source` under `token` for `interest`.
+    ///
+    /// # Errors
+    /// Returns the OS error (e.g. `EEXIST` for a double registration).
+    pub fn register(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, source.as_raw_fd(), Some((token, interest)))
+    }
+
+    /// Changes the token/interest of an already registered source.
+    ///
+    /// # Errors
+    /// Returns the OS error (e.g. `ENOENT` if never registered).
+    pub fn reregister(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, source.as_raw_fd(), Some((token, interest)))
+    }
+
+    /// Removes a source's registration. (Closing the fd also removes
+    /// it; this exists for sources that outlive their registration.)
+    ///
+    /// # Errors
+    /// Returns the OS error.
+    pub fn deregister(&self, source: &impl AsRawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, source.as_raw_fd(), None)
+    }
+
+    /// Blocks until at least one registered source is ready, `timeout`
+    /// elapses (`None` = forever), or a [`Waker`] fires. Fills
+    /// `events`; EINTR retries internally.
+    ///
+    /// # Errors
+    /// Returns the OS error from `epoll_wait`.
+    pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        let millis: c_int = match timeout {
+            None => -1,
+            // Round up so a nonzero timeout never busy-spins as 0.
+            Some(t) => c_int::try_from(t.as_millis().max(u128::from(u32::from(!t.is_zero()))))
+                .unwrap_or(c_int::MAX),
+        };
+        events.len = 0;
+        loop {
+            let capacity = c_int::try_from(events.raw.len()).unwrap_or(c_int::MAX);
+            // SAFETY: the buffer outlives the call and holds `capacity`
+            // writable EpollEvent slots.
+            let n = unsafe { epoll_wait(self.epfd, events.raw.as_mut_ptr(), capacity, millis) };
+            match cvt(n) {
+                Ok(n) => {
+                    events.len = n as usize;
+                    return Ok(());
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl Drop for Poll {
+    fn drop(&mut self) {
+        // SAFETY: epfd is a live fd owned by this Poll.
+        unsafe { close(self.epfd) };
+    }
+}
+
+/// Wakes a [`Poll`] blocked in [`Poll::poll`] from another thread.
+///
+/// Backed by an `eventfd` registered on the poll; when the waker's
+/// token surfaces in the events, call [`Waker::drain`] to reset it
+/// (the shim is level-triggered).
+#[derive(Debug)]
+pub struct Waker {
+    fd: RawFd,
+}
+
+impl Waker {
+    /// Creates a waker registered on `poll` under `token`.
+    ///
+    /// # Errors
+    /// Returns the OS error from `eventfd` or the registration.
+    pub fn new(poll: &Poll, token: Token) -> io::Result<Self> {
+        // SAFETY: eventfd takes no pointers.
+        let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+        let waker = Self { fd };
+        poll.register(&waker, token, Interest::READABLE)?;
+        Ok(waker)
+    }
+
+    /// Makes the poll return promptly. Safe from any thread; wakes
+    /// coalesce.
+    ///
+    /// # Errors
+    /// Returns the OS error from the eventfd write (a full counter is
+    /// not an error: the poll is already pending wake-up).
+    pub fn wake(&self) -> io::Result<()> {
+        let one: u64 = 1;
+        // SAFETY: writes 8 bytes from a live u64.
+        let n = unsafe { write(self.fd, std::ptr::from_ref(&one).cast(), 8) };
+        if n == 8 {
+            return Ok(());
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::WouldBlock {
+            // Counter saturated: a wake-up is already pending.
+            return Ok(());
+        }
+        Err(err)
+    }
+
+    /// Consumes pending wake-ups so the (level-triggered) poll stops
+    /// reporting this waker as ready.
+    pub fn drain(&self) {
+        let mut counter: u64 = 0;
+        // SAFETY: reads 8 bytes into a live u64; EAGAIN just means no
+        // pending wake-ups.
+        unsafe { read(self.fd, std::ptr::from_mut(&mut counter).cast(), 8) };
+    }
+}
+
+impl AsRawFd for Waker {
+    fn as_raw_fd(&self) -> RawFd {
+        self.fd
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        // SAFETY: fd is a live eventfd owned by this Waker.
+        unsafe { close(self.fd) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::{TcpListener, TcpStream};
+
+    const SERVER: Token = Token(7);
+    const WAKE: Token = Token(9);
+
+    #[test]
+    fn readiness_round_trip_over_tcp() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let mut poll = Poll::new().unwrap();
+        let mut events = Events::with_capacity(8);
+        poll.register(&listener, SERVER, Interest::READABLE)
+            .unwrap();
+
+        // Nothing ready yet: a zero-ish timeout returns empty.
+        poll.poll(&mut events, Some(Duration::from_millis(1)))
+            .unwrap();
+        assert!(events.is_empty());
+
+        // A connection makes the listener readable.
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let event = events.iter().next().expect("listener event");
+        assert_eq!(event.token(), SERVER);
+        assert!(event.is_readable());
+
+        // Accepted peer: readable once the client writes.
+        let (mut peer, _) = listener.accept().unwrap();
+        peer.set_nonblocking(true).unwrap();
+        poll.register(&peer, Token(11), Interest::READABLE.add(Interest::WRITABLE))
+            .unwrap();
+        client.write_all(b"hi").unwrap();
+        let mut got_read = false;
+        for _ in 0..50 {
+            poll.poll(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            if events
+                .iter()
+                .any(|e| e.token() == Token(11) && e.is_readable())
+            {
+                got_read = true;
+                break;
+            }
+        }
+        assert!(got_read, "peer never became readable");
+        let mut buf = [0u8; 8];
+        assert_eq!(peer.read(&mut buf).unwrap(), 2);
+
+        // Peer close surfaces as read-closed readiness.
+        drop(client);
+        let mut got_closed = false;
+        for _ in 0..50 {
+            poll.poll(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            if events
+                .iter()
+                .any(|e| e.token() == Token(11) && e.is_read_closed())
+            {
+                got_closed = true;
+                break;
+            }
+        }
+        assert!(got_closed, "hang-up never surfaced");
+    }
+
+    #[test]
+    fn waker_interrupts_a_blocked_poll() {
+        let mut poll = Poll::new().unwrap();
+        let waker = std::sync::Arc::new(Waker::new(&poll, WAKE).unwrap());
+        let remote = std::sync::Arc::clone(&waker);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            remote.wake().unwrap();
+        });
+        let mut events = Events::with_capacity(4);
+        poll.poll(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        let event = events.iter().next().expect("waker event");
+        assert_eq!(event.token(), WAKE);
+        waker.drain();
+        // Drained: the next short poll is quiet again.
+        poll.poll(&mut events, Some(Duration::from_millis(1)))
+            .unwrap();
+        assert!(events.is_empty());
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn reregister_switches_interest() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        stream.set_nonblocking(true).unwrap();
+        let mut poll = Poll::new().unwrap();
+        let mut events = Events::with_capacity(4);
+        // Writable-only on an idle healthy socket: immediately ready.
+        poll.register(&stream, Token(3), Interest::WRITABLE)
+            .unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.is_writable()));
+        // Readable-only: quiet until data arrives.
+        poll.reregister(&stream, Token(3), Interest::READABLE)
+            .unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(5)))
+            .unwrap();
+        assert!(events.is_empty());
+        poll.deregister(&stream).unwrap();
+    }
+}

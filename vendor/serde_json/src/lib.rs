@@ -74,6 +74,7 @@ pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
     let mut p = Parser {
         bytes: s.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let v = p.value()?;
@@ -154,9 +155,16 @@ fn write_string(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Maximum container nesting the recursive-descent parser accepts.
+/// The parser recurses once per `[`/`{`, so without a cap a short
+/// hostile input like `"[".repeat(100_000)` overflows the stack; 128
+/// is far beyond anything the workspace's own schemas nest.
+const MAX_PARSE_DEPTH: u32 = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: u32,
 }
 
 impl Parser<'_> {
@@ -193,6 +201,20 @@ impl Parser<'_> {
         }
     }
 
+    /// Enters one container level, erroring out past
+    /// [`MAX_PARSE_DEPTH`]. Error paths never unwind the count — the
+    /// parse is abandoned wholesale, so only `Ok` exits decrement.
+    fn descend(&mut self) -> Result<(), Error> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(Error::Parse(format!(
+                "nesting deeper than {MAX_PARSE_DEPTH} levels at byte {}",
+                self.pos
+            )));
+        }
+        Ok(())
+    }
+
     fn value(&mut self) -> Result<Value, Error> {
         self.skip_ws();
         match self.peek() {
@@ -202,10 +224,12 @@ impl Parser<'_> {
             Some(b'"') => Ok(Value::Str(self.string()?)),
             Some(b'[') => {
                 self.pos += 1;
+                self.descend()?;
                 let mut items = Vec::new();
                 self.skip_ws();
                 if self.peek() == Some(b']') {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Arr(items));
                 }
                 loop {
@@ -215,6 +239,7 @@ impl Parser<'_> {
                         Some(b',') => self.pos += 1,
                         Some(b']') => {
                             self.pos += 1;
+                            self.depth -= 1;
                             return Ok(Value::Arr(items));
                         }
                         _ => return Err(Error::Parse(format!("bad array at byte {}", self.pos))),
@@ -223,10 +248,12 @@ impl Parser<'_> {
             }
             Some(b'{') => {
                 self.pos += 1;
+                self.descend()?;
                 let mut pairs = Vec::new();
                 self.skip_ws();
                 if self.peek() == Some(b'}') {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Obj(pairs));
                 }
                 loop {
@@ -241,6 +268,7 @@ impl Parser<'_> {
                         Some(b',') => self.pos += 1,
                         Some(b'}') => {
                             self.pos += 1;
+                            self.depth -= 1;
                             return Ok(Value::Obj(pairs));
                         }
                         _ => return Err(Error::Parse(format!("bad object at byte {}", self.pos))),
@@ -394,6 +422,26 @@ mod tests {
     #[test]
     fn rejects_trailing_garbage() {
         assert!(from_str::<u64>("1 2").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing_the_stack() {
+        let parse = |text: &str| {
+            Parser {
+                bytes: text.as_bytes(),
+                pos: 0,
+                depth: 0,
+            }
+            .value()
+        };
+        // Would blow the stack without the depth guard.
+        assert!(parse(&"[".repeat(100_000)).is_err());
+        assert!(parse(&"{\"a\":[".repeat(50_000)).is_err());
+
+        // Depth at the cap still parses; one past it does not.
+        let nest = |depth: usize| format!("{}1{}", "[".repeat(depth), "]".repeat(depth));
+        assert!(parse(&nest(MAX_PARSE_DEPTH as usize)).is_ok());
+        assert!(parse(&nest(MAX_PARSE_DEPTH as usize + 1)).is_err());
     }
 
     #[test]
