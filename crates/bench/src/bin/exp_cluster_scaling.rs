@@ -1,0 +1,116 @@
+//! **S5** — cluster scaling curve through the `rdbp-router` frontend:
+//! aggregate requests/second for the same pinned session fleet routed
+//! over 1–4 backends, with a forced mid-run live migration of every
+//! session whenever there are ≥ 2 backends.
+//!
+//! Each point boots the whole cluster in-process — N `rdbp-serve`
+//! reactors on loopback listeners (2 workers each), a quiescent
+//! router attached to them, the client fleet driving through the
+//! router — exactly the pinned `cluster-3x16conn-*` perf-gate shape
+//! (`rdbp_bench::suite::pinned_cluster_cases`), swept across the
+//! backend axis. A `direct` reference row drives the identical fleet
+//! against a single bare `rdbp-serve` (no router), so the first two
+//! rows isolate the router-hop overhead at matched worker count.
+//!
+//! Merged work counters are asserted bit-identical across every row
+//! (`run_cluster_cases` additionally asserts determinism across
+//! repetitions): placement — direct, routed, routed-and-migrated —
+//! may never change the work, only where it runs. On a multi-core
+//! host the curve shows aggregate throughput scaling with backend
+//! count (each backend brings its own worker pool); on a single-core
+//! container it stays flat and the interesting number is the router
+//! overhead, mirroring the S1/S4 caveat in EXPERIMENTS.md.
+
+use rdbp_bench::{
+    f3, full_profile, run_cluster_cases, run_serve_cases, ClusterCase, ServeCase, Table,
+};
+
+fn main() {
+    let (batches, batch, repeats) = if full_profile() {
+        (8u64, 500u64, 3u32)
+    } else {
+        (2u64, 150u64, 1u32)
+    };
+    let connections = 16u64;
+    let sessions_per_connection = 2u64;
+    let workers_per_backend = 2usize;
+
+    let direct = ServeCase {
+        id: "s5-direct".into(),
+        connections,
+        sessions_per_connection,
+        batches,
+        batch,
+        workers: workers_per_backend,
+        ndjson: false,
+    };
+    let routed = |backends: usize| ClusterCase {
+        id: format!("s5-{backends}backend"),
+        backends,
+        connections,
+        sessions_per_connection,
+        batches,
+        batch,
+        workers_per_backend,
+        // With one backend there is nowhere to migrate to; from two
+        // on, every session is live-migrated halfway through.
+        migrate_after: (backends >= 2).then_some(batches / 2),
+        ndjson: false,
+    };
+
+    let mut table = Table::new(
+        "S5 — cluster scaling through rdbp-router (dynamic×hedge×zipf, ℓ=8 k=32, \
+         2 workers/backend, migrate-all at half-run)",
+        &[
+            "config",
+            "backends",
+            "workers",
+            "sessions",
+            "requests",
+            "req/s",
+            "vs direct",
+            "vs 1 backend",
+        ],
+    );
+
+    let reference = &run_serve_cases(std::slice::from_ref(&direct), repeats)[0];
+    let sessions = connections * sessions_per_connection;
+    table.row(vec![
+        "direct".into(),
+        "-".into(),
+        workers_per_backend.to_string(),
+        sessions.to_string(),
+        reference.steps.to_string(),
+        f3(reference.throughput),
+        "1.000".into(),
+        "-".into(),
+    ]);
+
+    let mut one_backend = None;
+    for backends in 1..=4usize {
+        let case = routed(backends);
+        let result = run_cluster_cases(std::slice::from_ref(&case), repeats)
+            .pop()
+            .expect("one case in, one result out");
+        assert_eq!(
+            result.counters, reference.counters,
+            "routing/migration changed the work at {backends} backend(s)"
+        );
+        let base = *one_backend.get_or_insert(result.throughput);
+        table.row(vec![
+            "routed".into(),
+            backends.to_string(),
+            (backends * workers_per_backend).to_string(),
+            sessions.to_string(),
+            result.steps.to_string(),
+            f3(result.throughput),
+            f3(result.throughput / reference.throughput),
+            f3(result.throughput / base),
+        ]);
+    }
+
+    table.print();
+    table.write_csv("s5_cluster_scaling");
+    println!("\nNote: run with --release for meaningful numbers.");
+    println!("Counters are asserted identical across all rows (direct, routed, migrated).");
+}

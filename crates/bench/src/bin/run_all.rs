@@ -1,6 +1,7 @@
-//! Runs the complete experiment suite (F1–F7, T1–T4, S2, S4, A1–A3) in
-//! sequence, as recorded in EXPERIMENTS.md. Set `RDBP_FULL=1` for
-//! publication-size sweeps (the nightly CI `full-sweep` job does).
+//! Runs the complete experiment suite (F1–F7, T1–T4, S2, S4–S5,
+//! A1–A3) in sequence, as recorded in EXPERIMENTS.md. Set
+//! `RDBP_FULL=1` for publication-size sweeps (the nightly CI
+//! `full-sweep` job does).
 
 use std::process::Command;
 
@@ -20,6 +21,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp_throughput",
     "exp_serve_throughput",
     "exp_serve_scaling",
+    "exp_cluster_scaling",
     "exp_well_behaved",
 ];
 

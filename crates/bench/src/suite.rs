@@ -6,8 +6,10 @@
 //! and adaptive workloads, trace replay, per-step (`batch = 1`) and
 //! large-batch driving, and both audit levels — plus the serve-layer
 //! [`ServeCase`]s, which drive the same deterministic sessions over
-//! real TCP through the reactor under both wire protocols. Running a
-//! suite yields a
+//! real TCP through the reactor under both wire protocols, and the
+//! cluster-layer [`ClusterCase`]s, which route that fleet through an
+//! `rdbp-router` over several backends and live-migrate every session
+//! mid-run. Running a suite yields a
 //! [`BenchReport`]: per case the exact [`WorkCounters`] (the *gated*
 //! signal — deterministic for a pinned scenario + seed) and wall-clock
 //! (the *informational* signal — never gated; see DESIGN.md §10).
@@ -16,17 +18,19 @@
 //! `bench_results/`; `bench_results/BENCH_main.json` is the committed
 //! baseline CI compares against (see [`crate::perfgate`]).
 
-use std::net::TcpListener;
+use std::net::{SocketAddr, TcpListener};
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Instant;
 
 use serde::{DeError, Deserialize, Serialize, Value};
 
+use rdbp_cluster::{serve_router, Cluster, ClusterConfig};
 use rdbp_engine::{
     workload_seed, AlgorithmSpec, AuditSpec, InstanceSpec, Registries, Scenario, WorkloadSpec,
 };
 use rdbp_model::{Edge, NoopObserver, Placement, WorkCounters};
-use rdbp_serve::{serve, Client, Request, Response, SessionManager, Work};
+use rdbp_serve::{serve, Client, Proto, Request, Response, SessionManager, Work};
 
 /// Version of the `BENCH_*.json` schema. Bumped on any incompatible
 /// change to the report layout or to the [`WorkCounters`] metric set;
@@ -340,21 +344,6 @@ impl ServeCase {
         self.connections * self.sessions_per_connection * self.batches * self.batch
     }
 
-    /// The pinned scenario of the session with global index `index`.
-    fn session_scenario(&self, index: u64) -> Scenario {
-        let mut algorithm = AlgorithmSpec::named("dynamic");
-        algorithm.policy = Some("hedge".into());
-        let mut scenario = Scenario::new(
-            InstanceSpec::packed(8, 32),
-            algorithm,
-            WorkloadSpec::named("zipf"),
-            0,
-        );
-        scenario.seed = 0xC0DE + index; // pinned, distinct per session
-        scenario.audit = AuditSpec::Full;
-        scenario
-    }
-
     /// Boots a server, drives every connection to completion, and
     /// returns the merged session counters.
     fn run_once(&self) -> WorkCounters {
@@ -362,71 +351,223 @@ impl ServeCase {
         let addr = listener.local_addr().expect("listener address");
         let manager = SessionManager::new(self.workers, Registries::builtin());
         let server = std::thread::spawn(move || serve(listener, manager));
-        let mut merged = WorkCounters::default();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..self.connections)
-                .map(|c| {
-                    scope.spawn(move || {
-                        let mut client = if self.ndjson {
-                            Client::connect_ndjson(addr)
-                        } else {
-                            Client::connect(addr)
-                        }
-                        .expect("connect bench client");
-                        let expect = |response: Response| match response {
-                            Response::Error { message } => panic!("serve bench: {message}"),
-                            other => other,
-                        };
-                        let ids: Vec<u64> = (0..self.sessions_per_connection)
-                            .map(|s| {
-                                let index = c * self.sessions_per_connection + s;
-                                let scenario = Box::new(self.session_scenario(index));
-                                match expect(
-                                    client.call(&Request::Create { scenario }).expect("create"),
-                                ) {
-                                    Response::Created { info } => info.id,
-                                    other => panic!("expected created, got {other:?}"),
-                                }
-                            })
-                            .collect();
-                        // Sessions advance batch-by-batch, interleaved on
-                        // the shared connection — the multiplexing shape
-                        // the reactor exists for.
-                        for _ in 0..self.batches {
-                            for &session in &ids {
-                                let work = Work::Generate(self.batch);
-                                expect(
-                                    client
-                                        .call(&Request::Submit { session, work })
-                                        .expect("submit"),
-                                );
-                            }
-                        }
-                        let mut counters = WorkCounters::default();
-                        for &session in &ids {
-                            match expect(client.call(&Request::Query { session }).expect("query")) {
-                                Response::Status { status } => counters.merge(&status.counters),
-                                other => panic!("expected status, got {other:?}"),
-                            }
-                            expect(client.call(&Request::Close { session }).expect("close"));
-                        }
-                        counters
-                    })
-                })
-                .collect();
-            for handle in handles {
-                merged.merge(&handle.join().expect("bench connection thread"));
-            }
-        });
-        let mut closer = Client::connect(addr).expect("connect for shutdown");
-        match closer.call(&Request::Shutdown).expect("shutdown") {
-            Response::Bye => {}
-            other => panic!("expected bye, got {other:?}"),
-        }
+        let merged = drive_wire_sessions(
+            addr,
+            self.ndjson,
+            self.connections,
+            self.sessions_per_connection,
+            self.batches,
+            self.batch,
+            None,
+        );
+        wire_shutdown(addr);
         server
             .join()
             .expect("server thread")
             .expect("server exited with an error");
+        merged
+    }
+}
+
+/// The pinned scenario of the wire-driven session with global index
+/// `index`, shared by the serve- and cluster-layer cases so their
+/// fleets are interchangeable: dynamic×hedge on zipf, ℓ=8 k=32, full
+/// audit, seed `0xC0DE + index`.
+fn wire_session_scenario(index: u64) -> Scenario {
+    let mut algorithm = AlgorithmSpec::named("dynamic");
+    algorithm.policy = Some("hedge".into());
+    let mut scenario = Scenario::new(
+        InstanceSpec::packed(8, 32),
+        algorithm,
+        WorkloadSpec::named("zipf"),
+        0,
+    );
+    scenario.seed = 0xC0DE + index; // pinned, distinct per session
+    scenario.audit = AuditSpec::Full;
+    scenario
+}
+
+/// Drives `connections × sessions_per_connection` pinned sessions over
+/// TCP against `addr` (one client thread per connection, sessions
+/// advancing batch-by-batch interleaved on their shared connection —
+/// the multiplexing shape the reactor exists for) and returns the
+/// merged over-the-wire counters queried before closing. With
+/// `migrate_after = Some(n)` each connection additionally asks the
+/// server to live-migrate every one of its sessions right before its
+/// `n`-th batch round — meaningful against a router frontend only (a
+/// plain `rdbp-serve` rejects the op).
+fn drive_wire_sessions(
+    addr: SocketAddr,
+    ndjson: bool,
+    connections: u64,
+    sessions_per_connection: u64,
+    batches: u64,
+    batch: u64,
+    migrate_after: Option<u64>,
+) -> WorkCounters {
+    let mut merged = WorkCounters::default();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client = if ndjson {
+                        Client::connect_ndjson(addr)
+                    } else {
+                        Client::connect(addr)
+                    }
+                    .expect("connect bench client");
+                    let expect = |response: Response| match response {
+                        Response::Error { message } => panic!("serve bench: {message}"),
+                        other => other,
+                    };
+                    let ids: Vec<u64> = (0..sessions_per_connection)
+                        .map(|s| {
+                            let index = c * sessions_per_connection + s;
+                            let scenario = Box::new(wire_session_scenario(index));
+                            match expect(
+                                client.call(&Request::Create { scenario }).expect("create"),
+                            ) {
+                                Response::Created { info } => info.id,
+                                other => panic!("expected created, got {other:?}"),
+                            }
+                        })
+                        .collect();
+                    for round in 0..batches {
+                        if migrate_after == Some(round) {
+                            for &session in &ids {
+                                let migrate = Request::Migrate {
+                                    session,
+                                    backend: None,
+                                };
+                                match expect(client.call(&migrate).expect("migrate")) {
+                                    Response::Migrated { .. } => {}
+                                    other => panic!("expected migrated, got {other:?}"),
+                                }
+                            }
+                        }
+                        for &session in &ids {
+                            let work = Work::Generate(batch);
+                            expect(
+                                client
+                                    .call(&Request::Submit { session, work })
+                                    .expect("submit"),
+                            );
+                        }
+                    }
+                    let mut counters = WorkCounters::default();
+                    for &session in &ids {
+                        match expect(client.call(&Request::Query { session }).expect("query")) {
+                            Response::Status { status } => counters.merge(&status.counters),
+                            other => panic!("expected status, got {other:?}"),
+                        }
+                        expect(client.call(&Request::Close { session }).expect("close"));
+                    }
+                    counters
+                })
+            })
+            .collect();
+        for handle in handles {
+            merged.merge(&handle.join().expect("bench connection thread"));
+        }
+    });
+    merged
+}
+
+/// Sends a wire `shutdown` to `addr` and insists on the `bye`.
+fn wire_shutdown(addr: SocketAddr) {
+    let mut closer = Client::connect(addr).expect("connect for shutdown");
+    match closer.call(&Request::Shutdown).expect("shutdown") {
+        Response::Bye => {}
+        other => panic!("expected bye, got {other:?}"),
+    }
+}
+
+/// One pinned cluster-layer benchmark: the same multiplexed session
+/// fleet as [`ServeCase`] driven through an `rdbp-router` frontend
+/// over several in-process backends instead of a single server, with
+/// a forced mid-run live migration of every session.
+///
+/// The cluster runs quiescent ([`ClusterConfig::quiescent`] — no
+/// background pings, snapshots or rebalance moves land between
+/// measured ops) and entirely in-process (each backend is an ordinary
+/// reactor on a loopback listener the router attaches to), so the
+/// merged counters are exactly as deterministic as the single-server
+/// cases'. For the same fleet shape they must be *identical* to the
+/// [`ServeCase`] twins: routing and live migration are placement,
+/// not behavior, and the committed baseline pins that.
+#[derive(Debug, Clone)]
+pub struct ClusterCase {
+    /// Stable case id (report key).
+    pub id: String,
+    /// In-process `rdbp-serve` reactors the router fronts.
+    pub backends: usize,
+    /// Concurrent client TCP connections (one thread each).
+    pub connections: u64,
+    /// Sessions multiplexed on each connection.
+    pub sessions_per_connection: u64,
+    /// Submitted batches per session.
+    pub batches: u64,
+    /// Requests per batch.
+    pub batch: u64,
+    /// Worker threads per backend (pinned, like [`ServeCase::workers`]).
+    pub workers_per_backend: usize,
+    /// Before this batch round every connection live-migrates all of
+    /// its sessions to the least-loaded other backend (requires
+    /// `backends >= 2`); `None` drives without migrations.
+    pub migrate_after: Option<u64>,
+    /// Drive the NDJSON debug protocol instead of binary frames.
+    pub ndjson: bool,
+}
+
+impl ClusterCase {
+    /// Total requests the case serves.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.connections * self.sessions_per_connection * self.batches * self.batch
+    }
+
+    /// Boots the backends and the router, drives the fleet through the
+    /// router, and tears everything down in order.
+    fn run_once(&self) -> WorkCounters {
+        let mut config = ClusterConfig::quiescent();
+        let mut backends = Vec::with_capacity(self.backends);
+        for _ in 0..self.backends {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind backend listener");
+            config
+                .attach
+                .push(listener.local_addr().expect("backend address"));
+            let manager = SessionManager::new(self.workers_per_backend, Registries::builtin());
+            backends.push(std::thread::spawn(move || serve(listener, manager)));
+        }
+        let cluster = Cluster::start(&config).expect("cluster start");
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind router listener");
+        let addr = listener.local_addr().expect("router address");
+        let router = {
+            let cluster = Arc::clone(&cluster);
+            std::thread::spawn(move || serve_router(listener, &cluster, Proto::Auto))
+        };
+        let merged = drive_wire_sessions(
+            addr,
+            self.ndjson,
+            self.connections,
+            self.sessions_per_connection,
+            self.batches,
+            self.batch,
+            self.migrate_after,
+        );
+        wire_shutdown(addr);
+        router
+            .join()
+            .expect("router thread")
+            .expect("router exited with an error");
+        cluster.shutdown();
+        for (&backend_addr, handle) in config.attach.iter().zip(backends) {
+            wire_shutdown(backend_addr);
+            handle
+                .join()
+                .expect("backend thread")
+                .expect("backend exited with an error");
+        }
         merged
     }
 }
@@ -453,6 +594,68 @@ pub fn pinned_serve_cases() -> Vec<ServeCase> {
     ]
 }
 
+/// The pinned cluster-layer cases of the `main` suite: the exact
+/// session fleet of [`pinned_serve_cases`] (same pinned scenarios,
+/// same batch shape) routed through a 3-backend cluster with a forced
+/// mid-run live migration of all 32 sessions, once per wire protocol.
+/// Beyond protocol equivalence, the committed baseline therefore pins
+/// that routing and migration leave every work counter untouched: the
+/// serve and cluster rows of a shape carry *identical* counters.
+#[must_use]
+pub fn pinned_cluster_cases() -> Vec<ClusterCase> {
+    let shape = |id: &str, ndjson: bool| ClusterCase {
+        id: id.to_string(),
+        backends: 3,
+        connections: 16,
+        sessions_per_connection: 2,
+        batches: 4,
+        batch: 250,
+        workers_per_backend: 2,
+        migrate_after: Some(2),
+        ndjson,
+    };
+    vec![
+        shape("cluster-3x16conn-binary", false),
+        shape("cluster-3x16conn-ndjson", true),
+    ]
+}
+
+/// One warm-up pass plus `repeats` timed runs of `run`: counters are
+/// asserted bit-identical across repetitions and to have served
+/// exactly `steps` requests; wall-clock takes the minimum.
+fn measure_wire_case(
+    id: &str,
+    steps: u64,
+    repeats: u32,
+    run: impl Fn() -> WorkCounters,
+) -> CaseResult {
+    let _ = run(); // warm-up (thread-pool and page-in)
+    let mut counters: Option<WorkCounters> = None;
+    let mut best_ns = u64::MAX;
+    for rep in 0..repeats {
+        let start = Instant::now();
+        let c = run();
+        let elapsed = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        match &counters {
+            None => counters = Some(c),
+            Some(first) => assert_eq!(
+                *first, c,
+                "case {id}: counters drifted between repetitions {rep}"
+            ),
+        }
+        best_ns = best_ns.min(elapsed.max(1));
+    }
+    let counters = counters.expect("at least one repetition ran");
+    assert_eq!(counters.requests, steps, "case {id}: sessions under-served");
+    CaseResult {
+        id: id.to_string(),
+        steps,
+        counters,
+        wall_ns: best_ns,
+        throughput: steps as f64 / (best_ns as f64 / 1e9),
+    }
+}
+
 /// Runs serve-layer cases with one warm-up pass and `repeats` timed
 /// repetitions each, mirroring [`run_cases`]: merged counters are
 /// asserted bit-identical across repetitions, wall-clock takes the
@@ -464,41 +667,28 @@ pub fn pinned_serve_cases() -> Vec<ServeCase> {
 #[must_use]
 pub fn run_serve_cases(cases: &[ServeCase], repeats: u32) -> Vec<CaseResult> {
     assert!(repeats > 0, "need at least one repetition");
-    let mut results = Vec::with_capacity(cases.len());
-    for case in cases {
-        let _ = case.run_once(); // warm-up (thread-pool and page-in)
-        let mut counters: Option<WorkCounters> = None;
-        let mut best_ns = u64::MAX;
-        for rep in 0..repeats {
-            let start = Instant::now();
-            let c = case.run_once();
-            let elapsed = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
-            match &counters {
-                None => counters = Some(c),
-                Some(first) => assert_eq!(
-                    *first, c,
-                    "case {}: counters drifted between repetitions {rep}",
-                    case.id
-                ),
-            }
-            best_ns = best_ns.min(elapsed.max(1));
-        }
-        let counters = counters.expect("at least one repetition ran");
-        assert_eq!(
-            counters.requests,
-            case.steps(),
-            "case {}: sessions under-served",
-            case.id
-        );
-        results.push(CaseResult {
-            id: case.id.clone(),
-            steps: case.steps(),
-            counters,
-            wall_ns: best_ns,
-            throughput: case.steps() as f64 / (best_ns as f64 / 1e9),
-        });
-    }
-    results
+    cases
+        .iter()
+        .map(|case| measure_wire_case(&case.id, case.steps(), repeats, || case.run_once()))
+        .collect()
+}
+
+/// Runs cluster-layer cases exactly like [`run_serve_cases`] runs
+/// serve-layer ones: warm-up, `repeats` timed repetitions, counters
+/// asserted bit-identical across repetitions (which, for a migrating
+/// case, is the determinism claim of the whole migration design:
+/// placement changes may never show up in the counters).
+///
+/// # Panics
+/// Panics if `repeats == 0`, on any cluster/protocol error, or if
+/// counters drift between repetitions.
+#[must_use]
+pub fn run_cluster_cases(cases: &[ClusterCase], repeats: u32) -> Vec<CaseResult> {
+    assert!(repeats > 0, "need at least one repetition");
+    cases
+        .iter()
+        .map(|case| measure_wire_case(&case.id, case.steps(), repeats, || case.run_once()))
+        .collect()
 }
 
 /// Pre-records `case.scenario.steps` requests of the case's workload
@@ -601,12 +791,14 @@ pub fn run_cases(suite: &str, cases: &[BenchCase], repeats: u32) -> BenchReport 
 }
 
 /// Runs a named suite ([`MAIN_SUITE`] is the only built-in one): the
-/// in-process [`pinned_cases`] followed by the over-the-wire
-/// [`pinned_serve_cases`].
+/// in-process [`pinned_cases`], then the over-the-wire
+/// [`pinned_serve_cases`], then the routed-and-migrated
+/// [`pinned_cluster_cases`].
 ///
 /// # Panics
 /// Panics on an unknown suite name (callers validate beforehand) and
-/// under the same conditions as [`run_cases`] / [`run_serve_cases`].
+/// under the same conditions as [`run_cases`] / [`run_serve_cases`] /
+/// [`run_cluster_cases`].
 #[must_use]
 pub fn run_suite(suite: &str, repeats: u32) -> BenchReport {
     assert_eq!(suite, MAIN_SUITE, "unknown suite `{suite}` (valid: main)");
@@ -614,6 +806,9 @@ pub fn run_suite(suite: &str, repeats: u32) -> BenchReport {
     report
         .cases
         .extend(run_serve_cases(&pinned_serve_cases(), repeats));
+    report
+        .cases
+        .extend(run_cluster_cases(&pinned_cluster_cases(), repeats));
     report
 }
 
@@ -662,11 +857,37 @@ mod tests {
             a.connections > a.workers as u64,
             "more connections than worker threads"
         );
-        assert_eq!(
-            serde_json::to_string(&a.session_scenario(7)).unwrap(),
-            serde_json::to_string(&b.session_scenario(7)).unwrap(),
-            "twins drive identical pinned scenarios"
+        // Both twins (and the cluster cases) drive the one shared
+        // pinned per-session scenario — spot-check its pins.
+        let scenario = wire_session_scenario(7);
+        assert_eq!(scenario.seed, 0xC0DE + 7, "per-session seeds stay pinned");
+        assert_eq!(scenario.audit, AuditSpec::Full);
+    }
+
+    #[test]
+    fn pinned_cluster_cases_are_routed_twins_of_the_serve_cases() {
+        let cluster = pinned_cluster_cases();
+        assert_eq!(cluster.len(), 2, "one shape, once per wire protocol");
+        let ids: Vec<&str> = cluster.iter().map(|c| c.id.as_str()).collect();
+        assert!(ids.contains(&"cluster-3x16conn-binary"));
+        assert!(ids.contains(&"cluster-3x16conn-ndjson"));
+        let [a, b] = &cluster[..] else { unreachable!() };
+        assert_ne!(a.ndjson, b.ndjson, "twins differ only in encoding");
+        assert_eq!(a.steps(), b.steps());
+        assert!(a.backends >= 2, "migration needs somewhere to go");
+        let round = a.migrate_after.expect("the cluster cases must migrate");
+        assert!(
+            round > 0 && round < a.batches,
+            "the forced migration lands mid-run"
         );
+        // The fleet is the serve twins' fleet exactly — that is what
+        // lets the baseline pin serve and cluster counters as equal.
+        let serve = &pinned_serve_cases()[0];
+        assert_eq!(a.steps(), serve.steps());
+        assert_eq!(a.connections, serve.connections);
+        assert_eq!(a.sessions_per_connection, serve.sessions_per_connection);
+        assert_eq!(a.batches, serve.batches);
+        assert_eq!(a.batch, serve.batch);
     }
 
     #[test]

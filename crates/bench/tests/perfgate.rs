@@ -8,8 +8,9 @@
 //! in the CI perf-gate job.
 
 use rdbp_bench::{
-    compare, pinned_cases, pinned_serve_cases, run_cases, run_serve_cases, BenchCase, BenchReport,
-    GateConfig, ServeCase, BENCH_SCHEMA_VERSION,
+    compare, pinned_cases, pinned_cluster_cases, pinned_serve_cases, run_cases, run_cluster_cases,
+    run_serve_cases, BenchCase, BenchReport, ClusterCase, GateConfig, ServeCase,
+    BENCH_SCHEMA_VERSION,
 };
 use rdbp_engine::{AlgorithmSpec, AuditSpec, InstanceSpec, Registries, Scenario, WorkloadSpec};
 use rdbp_model::{NoopObserver, WorkCounters};
@@ -219,6 +220,61 @@ fn serve_counters_are_identical_across_wire_protocols_and_reruns() {
 }
 
 #[test]
+fn cluster_counters_match_the_single_server_twins() {
+    // A small twin of the pinned cluster cases: the same session fleet
+    // as the mini serve shape above, but routed through a 2-backend
+    // cluster with every session force-migrated mid-run. The merged
+    // counters must be identical (a) between the wire protocols,
+    // (b) across independent cluster boots, and — the property the
+    // whole migration design is built on — (c) to the single-server
+    // fleet's counters: routing and live migration are placement, not
+    // behavior.
+    let shape = |id: &str, ndjson: bool| ClusterCase {
+        id: id.into(),
+        backends: 2,
+        connections: 4,
+        sessions_per_connection: 2,
+        batches: 2,
+        batch: 50,
+        workers_per_backend: 2,
+        migrate_after: Some(1),
+        ndjson,
+    };
+    let cases = [
+        shape("mini-cluster-binary", false),
+        shape("mini-cluster-ndjson", true),
+    ];
+    let results = run_cluster_cases(&cases, 1);
+    assert_eq!(results[0].steps, 4 * 2 * 2 * 50);
+    assert_eq!(
+        results[0].counters, results[1].counters,
+        "wire protocols must perform identical deterministic work"
+    );
+    let rerun = run_cluster_cases(&cases[..1], 1);
+    assert_eq!(
+        results[0].counters, rerun[0].counters,
+        "cluster counters must reproduce across cluster boots"
+    );
+    let single = run_serve_cases(
+        &[ServeCase {
+            id: "mini-cluster-reference".into(),
+            connections: 4,
+            sessions_per_connection: 2,
+            batches: 2,
+            batch: 50,
+            workers: 2,
+            ndjson: false,
+        }],
+        1,
+    );
+    assert_eq!(
+        results[0].counters, single[0].counters,
+        "a routed, live-migrated fleet must do exactly the work of a \
+         single-server one — migration is counter-neutral"
+    );
+}
+
+#[test]
 fn committed_baseline_matches_the_pinned_suite_shape() {
     // The committed BENCH_main.json must stay loadable, carry the
     // current schema version, and cover exactly the pinned case ids —
@@ -232,6 +288,7 @@ fn committed_baseline_matches_the_pinned_suite_shape() {
         .into_iter()
         .map(|c| c.id)
         .chain(pinned_serve_cases().into_iter().map(|c| c.id))
+        .chain(pinned_cluster_cases().into_iter().map(|c| c.id))
         .collect();
     let committed: Vec<String> = baseline.cases.iter().map(|c| c.id.clone()).collect();
     assert_eq!(

@@ -1,0 +1,293 @@
+//! The router's client-facing TCP frontend.
+//!
+//! Speaks exactly what an `rdbp-serve` backend speaks — the
+//! length-prefixed binary framing and the NDJSON debug protocol,
+//! auto-detected from each connection's first byte — so every existing
+//! client (`rdbp-load`, the e2e harnesses, a bare `nc` session) works
+//! against a router unchanged. Message-level error semantics mirror
+//! the backend reactor's: a malformed NDJSON line earns an error reply
+//! and the connection continues; a binary framing violation earns a
+//! final error reply and the connection closes (the stream is
+//! desynchronized).
+//!
+//! Unlike the backend's epoll reactor, the router frontend is a
+//! blocking thread per connection: its work is dominated by backend
+//! round trips (which hold per-session route locks anyway), and the
+//! handful of client connections a router fronts don't need
+//! multiplexing. Requests pipelined on one connection are parsed in
+//! bulk and answered strictly in order.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rdbp_serve::wire::{self, FrameHead, WireError, HEADER_LEN};
+use rdbp_serve::{Proto, Request, Response, MAX_FRAME};
+
+use crate::cluster::Cluster;
+
+/// How often a connection thread wakes from a blocking read to check
+/// the cluster-wide stop flag.
+const READ_TICK: Duration = Duration::from_millis(100);
+
+/// Runs the router frontend on `listener` until a client sends
+/// `shutdown` (or [`Cluster::begin_stop`] is called). Does **not**
+/// tear the cluster down — callers follow up with
+/// [`Cluster::shutdown`].
+///
+/// # Errors
+/// Returns I/O errors from the accept loop's own machinery;
+/// per-connection errors only end that connection.
+pub fn serve_router(listener: TcpListener, cluster: &Arc<Cluster>, proto: Proto) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let mut workers = Vec::new();
+    while !cluster.stopping() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let cluster = Arc::clone(cluster);
+                let handle = std::thread::Builder::new()
+                    .name("rdbp-router-conn".into())
+                    .spawn(move || connection_main(stream, &cluster, proto))?;
+                workers.push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+        workers.retain(|handle| !handle.is_finished());
+    }
+    // Connection threads observe the stop flag within one read tick.
+    for handle in workers {
+        let _ = handle.join();
+    }
+    Ok(())
+}
+
+/// Per-connection protocol, resolved on the first byte in auto mode.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ConnProto {
+    Ndjson,
+    Binary,
+}
+
+struct Connection {
+    stream: TcpStream,
+    proto: Option<ConnProto>,
+    inbuf: Vec<u8>,
+    /// Set when the connection must close after the queued replies
+    /// (EOF, framing violation, shutdown).
+    closing: bool,
+}
+
+/// One parsed inbound message: a request, or the error reply its
+/// malformed bytes earned.
+enum Inbound {
+    Op(Request),
+    Bad(Response),
+}
+
+fn connection_main(stream: TcpStream, cluster: &Arc<Cluster>, proto: Proto) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_TICK));
+    let mut conn = Connection {
+        stream,
+        proto: match proto {
+            Proto::Auto => None,
+            Proto::Ndjson => Some(ConnProto::Ndjson),
+            Proto::Binary => Some(ConnProto::Binary),
+        },
+        inbuf: Vec::new(),
+        closing: false,
+    };
+    let mut chunk = [0u8; 16 * 1024];
+    while !conn.closing && !cluster.stopping() {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => conn.closing = true,
+            Ok(n) => conn.inbuf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        }
+        for message in conn.parse() {
+            let response = match message {
+                Inbound::Op(Request::Shutdown) => {
+                    cluster.begin_stop();
+                    conn.closing = true;
+                    Response::Bye
+                }
+                Inbound::Op(request) => dispatch(cluster, request),
+                Inbound::Bad(response) => response,
+            };
+            if conn.write_response(&response).is_err() {
+                return;
+            }
+            if conn.closing {
+                break;
+            }
+        }
+    }
+}
+
+/// Executes one well-formed request against the cluster.
+fn dispatch(cluster: &Cluster, request: Request) -> Response {
+    let answer = |r: Result<Response, rdbp_serve::ServeError>| {
+        r.unwrap_or_else(|e| Response::Error { message: e.0 })
+    };
+    match request {
+        Request::Create { scenario } => answer(
+            cluster
+                .create(*scenario)
+                .map(|info| Response::Created { info }),
+        ),
+        Request::Submit { session, work } => answer(
+            cluster
+                .submit(session, &work)
+                .map(|summary| Response::Submitted { session, summary }),
+        ),
+        Request::Query { session } => answer(
+            cluster
+                .query(session)
+                .map(|status| Response::Status { status }),
+        ),
+        Request::Snapshot { session } => answer(
+            cluster
+                .snapshot(session)
+                .map(|snapshot| Response::Snapshot { session, snapshot }),
+        ),
+        Request::Restore { snapshot } => answer(
+            cluster
+                .restore(snapshot)
+                .map(|info| Response::Created { info }),
+        ),
+        Request::Close { session } => answer(
+            cluster
+                .close(session)
+                .map(|report| Response::Closed { session, report }),
+        ),
+        Request::Stats => Response::Stats {
+            stats: cluster.stats(),
+        },
+        Request::Ping => Response::Pong,
+        Request::Hello => Response::Hello {
+            hello: cluster.hello(),
+        },
+        Request::Migrate { session, backend } => answer(
+            cluster
+                .migrate(session, backend)
+                .map(|(from, to)| Response::Migrated { session, from, to }),
+        ),
+        Request::Lineage { session } => answer(
+            cluster
+                .lineage(session)
+                .map(|lineage| Response::Lineage { lineage }),
+        ),
+        Request::Cluster => Response::Cluster {
+            backends: cluster.cluster_info(),
+        },
+        // Handled by the caller before dispatch.
+        Request::Shutdown => Response::Bye,
+    }
+}
+
+impl Connection {
+    /// Drains every complete message currently buffered, in arrival
+    /// order. Framing violations set `closing` and the error reply is
+    /// the final message.
+    fn parse(&mut self) -> Vec<Inbound> {
+        if self.proto.is_none() {
+            let Some(&first) = self.inbuf.first() else {
+                return Vec::new();
+            };
+            self.proto = Some(if first == wire::MAGIC {
+                ConnProto::Binary
+            } else {
+                ConnProto::Ndjson
+            });
+        }
+        match self.proto {
+            Some(ConnProto::Ndjson) => self.parse_ndjson(),
+            Some(ConnProto::Binary) => self.parse_binary(),
+            None => Vec::new(),
+        }
+    }
+
+    fn parse_ndjson(&mut self) -> Vec<Inbound> {
+        let mut out = Vec::new();
+        loop {
+            let Some(end) = self.inbuf.iter().position(|&b| b == b'\n') else {
+                if self.inbuf.len() > MAX_FRAME {
+                    self.inbuf.clear();
+                    self.closing = true;
+                    out.push(Inbound::Bad(Response::Error {
+                        message: format!("request line exceeds the {MAX_FRAME}-byte cap"),
+                    }));
+                }
+                return out;
+            };
+            let line: Vec<u8> = self.inbuf.drain(..=end).collect();
+            let Ok(text) = std::str::from_utf8(&line[..end]) else {
+                out.push(Inbound::Bad(Response::Error {
+                    message: "request line is not UTF-8".into(),
+                }));
+                continue;
+            };
+            if text.trim().is_empty() {
+                continue;
+            }
+            out.push(match serde_json::from_str::<Request>(text) {
+                Ok(request) => Inbound::Op(request),
+                Err(e) => Inbound::Bad(Response::Error {
+                    message: e.to_string(),
+                }),
+            });
+        }
+    }
+
+    fn parse_binary(&mut self) -> Vec<Inbound> {
+        let mut out = Vec::new();
+        loop {
+            match wire::try_frame(&self.inbuf) {
+                Ok(FrameHead::Incomplete) => return out,
+                Ok(FrameHead::Complete { code, size }) => {
+                    let message = match wire::decode_request(code, &self.inbuf[HEADER_LEN..size]) {
+                        Ok(request) => Inbound::Op(request),
+                        Err(e) => Inbound::Bad(Response::Error {
+                            message: e.message().to_string(),
+                        }),
+                    };
+                    self.inbuf.drain(..size);
+                    out.push(message);
+                }
+                Err(e @ (WireError::Fatal(_) | WireError::Frame(_))) => {
+                    self.inbuf.clear();
+                    self.closing = true;
+                    out.push(Inbound::Bad(Response::Error {
+                        message: e.message().to_string(),
+                    }));
+                    return out;
+                }
+            }
+        }
+    }
+
+    fn write_response(&mut self, response: &Response) -> io::Result<()> {
+        match self.proto.unwrap_or(ConnProto::Ndjson) {
+            ConnProto::Ndjson => {
+                let mut text = serde_json::to_string(response)
+                    .map_err(io::Error::from)?
+                    .into_bytes();
+                text.push(b'\n');
+                self.stream.write_all(&text)
+            }
+            ConnProto::Binary => self.stream.write_all(&wire::encode_response(response)),
+        }
+    }
+}

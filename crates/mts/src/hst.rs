@@ -371,6 +371,11 @@ impl MtsPolicy for HstHedge {
     // The tree topology is construction-derived from `num_states`;
     // only each node's Hedge weights and phase accumulators are live
     // state (stored flat in arena order), plus the coupling and RNG.
+    // `probs_fresh` rides along so a restored policy performs exactly
+    // the work the uninterrupted one would: whether the next serve may
+    // reuse the cached leaf distribution is part of the state, and
+    // dropping it would make a live-migrated session's work counters
+    // drift from the unmigrated twin by one cache hit per restore.
     fn export_state(&self) -> Option<Value> {
         let log_w: Vec<Vec<f64>> = self.nodes.iter().map(|n| n.log_w.to_vec()).collect();
         let phase: Vec<Vec<f64>> = self.nodes.iter().map(|n| n.phase_cost.to_vec()).collect();
@@ -379,6 +384,7 @@ impl MtsPolicy for HstHedge {
             ("phase_cost".into(), phase.to_value()),
             ("coupling".into(), coupling_to_value(&self.coupling)),
             ("rng".into(), self.rng.to_value()),
+            ("probs_fresh".into(), self.probs_fresh.to_value()),
         ]))
     }
 
@@ -397,17 +403,25 @@ impl MtsPolicy for HstHedge {
             return Err(DeError("per-node state must have 2 entries".into()));
         }
         let coupling = coupling_from_value(state.get_field("coupling")?, self.num_states)?;
+        let probs_fresh = bool::from_value(state.get_field("probs_fresh")?)?;
         self.rng = StdRng::from_value(state.get_field("rng")?)?;
         self.coupling = coupling;
         for (node, (w, p)) in self.nodes.iter_mut().zip(log_w.iter().zip(&phase)) {
             node.log_w = [w[0], w[1]];
             node.phase_cost = [p[0], p[1]];
         }
-        // Rebuild the derived caches for the restored weights.
+        // Rebuild the derived caches for the restored weights. When the
+        // snapshot was taken with a fresh leaf distribution, recompute
+        // it now (bit-identical: `refresh_probs` is deterministic in
+        // `cond`) so the next serve reuses it exactly as the
+        // uninterrupted session would have.
         for (idx, node) in self.nodes.iter().enumerate() {
             self.cond[idx] = hedge_probs(node.log_w);
         }
-        self.probs_fresh = false;
+        if probs_fresh {
+            self.refresh_probs();
+        }
+        self.probs_fresh = probs_fresh;
         Ok(())
     }
 

@@ -19,6 +19,15 @@
 //! percentiles, and total audit violations; the exit code is nonzero
 //! if any request failed or any capacity violation was observed —
 //! which is exactly what the CI smoke job asserts.
+//!
+//! Cluster mode: `--router --backends 4` spawns a sibling
+//! `rdbp-router` fronting 4 `rdbp-serve` backends on an ephemeral
+//! port, aims the load at it, and shuts the whole cluster down when
+//! done — the one-command way to drive the scaling experiments.
+//! `--ping` skips the load entirely: it sends the `hello` admin op,
+//! prints the server's identity (name, version, protocol, workers),
+//! and exits 0 iff the server answers sanely — the same health check
+//! the router runs before attaching a backend.
 
 use std::net::SocketAddr;
 use std::process::exit;
@@ -48,6 +57,12 @@ struct Config {
     shutdown: bool,
     json: bool,
     csv: Option<String>,
+    /// Send `hello` and report the server identity instead of loading.
+    ping: bool,
+    /// Spawn a sibling `rdbp-router` and aim the load at it.
+    router: bool,
+    /// Backends for the spawned router (`--router` mode only).
+    backends: u64,
 }
 
 impl Default for Config {
@@ -70,6 +85,9 @@ impl Default for Config {
             shutdown: false,
             json: false,
             csv: None,
+            ping: false,
+            router: false,
+            backends: 2,
         }
     }
 }
@@ -101,7 +119,12 @@ fn print_help() {
          --shutdown       send a shutdown request when done\n\
          --json           machine-readable summary on stdout\n\
          --csv FILE       append the summary row (config, req/s, latency\n\
-         \x20                percentiles) to FILE, writing a header if new\n\n\
+         \x20                percentiles) to FILE, writing a header if new\n\
+         --ping           health-check: send `hello`, print the server\n\
+         \x20                identity, exit 0 iff it answers (no load)\n\
+         --router         spawn a sibling rdbp-router (ephemeral port) and\n\
+         \x20                drive it instead of --addr; implies --shutdown\n\
+         --backends N     backends for the spawned router (default 2)\n\n\
          Exit code: 0 clean, 1 on violations or request failures, 2 on usage errors."
     );
 }
@@ -118,6 +141,8 @@ fn parse_args() -> Config {
             "--no-audit" => cfg.audit = false,
             "--shutdown" => cfg.shutdown = true,
             "--json" => cfg.json = true,
+            "--ping" => cfg.ping = true,
+            "--router" => cfg.router = true,
             name => {
                 let Some(value) = it.next() else {
                     fail(format!("flag {name} needs a value"));
@@ -142,6 +167,7 @@ fn parse_args() -> Config {
                     "--policy" => cfg.policy = value,
                     "--csv" => cfg.csv = Some(value),
                     "--seed" => cfg.seed = value.parse().unwrap_or_else(|_| bad()),
+                    "--backends" => cfg.backends = value.parse().unwrap_or_else(|_| bad()),
                     other => fail(format!("unknown flag `{other}` (try --help)")),
                 }
             }
@@ -188,6 +214,82 @@ fn connect_client(cfg: &Config, addr: SocketAddr) -> std::io::Result<Client> {
         Client::connect_ndjson(addr)
     } else {
         Client::connect(addr)
+    }
+}
+
+/// Spawns a sibling `rdbp-router` fronting `cfg.backends` spawned
+/// `rdbp-serve` processes, returning the child and its bound address
+/// (via the same `--addr-file` handshake the router uses on its own
+/// backends).
+fn spawn_router(cfg: &Config) -> (std::process::Child, SocketAddr) {
+    let exe = std::env::current_exe()
+        .unwrap_or_else(|e| fail(format!("cannot locate current executable: {e}")));
+    let bin = exe
+        .parent()
+        .map(|dir| dir.join("rdbp-router"))
+        .filter(|p| p.is_file())
+        .unwrap_or_else(|| {
+            fail(format!(
+                "rdbp-router binary not found next to {} (build the workspace first)",
+                exe.display()
+            ))
+        });
+    let addr_file =
+        std::env::temp_dir().join(format!("rdbp-load-router-{}.addr", std::process::id()));
+    let _ = std::fs::remove_file(&addr_file);
+    let mut child = std::process::Command::new(&bin)
+        .arg("--port")
+        .arg("0")
+        .arg("--backends")
+        .arg(cfg.backends.to_string())
+        .arg("--addr-file")
+        .arg(&addr_file)
+        .spawn()
+        .unwrap_or_else(|e| fail(format!("cannot spawn {}: {e}", bin.display())));
+    let deadline = Instant::now() + std::time::Duration::from_secs(15);
+    let addr = loop {
+        if let Ok(text) = std::fs::read_to_string(&addr_file) {
+            let text = text.trim();
+            if !text.is_empty() {
+                break text
+                    .parse()
+                    .unwrap_or_else(|_| fail(format!("router wrote a bad address `{text}`")));
+            }
+        }
+        if let Ok(Some(status)) = child.try_wait() {
+            fail(format!(
+                "router exited ({status}) before writing its address"
+            ));
+        }
+        if Instant::now() >= deadline {
+            let _ = child.kill();
+            fail("spawned router never wrote its address file");
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    };
+    let _ = std::fs::remove_file(&addr_file);
+    (child, addr)
+}
+
+/// The `--ping` health check: `hello` round trip, identity on stdout.
+/// Returns the process exit code.
+fn ping(cfg: &Config, addr: SocketAddr) -> i32 {
+    match connect_client(cfg, addr).and_then(|mut c| c.call(&Request::Hello)) {
+        Ok(Response::Hello { hello }) => {
+            println!(
+                "{} {} proto {} workers {}",
+                hello.server, hello.version, hello.proto, hello.workers
+            );
+            0
+        }
+        Ok(other) => {
+            eprintln!("rdbp-load: unexpected hello reply: {other:?}");
+            1
+        }
+        Err(e) => {
+            eprintln!("rdbp-load: ping failed: {e}");
+            1
+        }
     }
 }
 
@@ -335,11 +437,30 @@ fn write_csv_row(
 }
 
 fn main() {
-    let cfg = parse_args();
+    let mut cfg = parse_args();
+    let mut router = None;
+    if cfg.router {
+        let (child, addr) = spawn_router(&cfg);
+        cfg.addr = addr.to_string();
+        // A spawned cluster is ours to tear down.
+        cfg.shutdown = true;
+        router = Some(child);
+    }
     let addr: SocketAddr = cfg
         .addr
         .parse()
         .unwrap_or_else(|_| fail(format!("invalid address `{}`", cfg.addr)));
+
+    if cfg.ping {
+        let code = ping(&cfg, addr);
+        if cfg.shutdown {
+            let _ = connect_client(&cfg, addr).and_then(|mut c| c.call(&Request::Shutdown));
+        }
+        if let Some(mut child) = router {
+            let _ = child.wait();
+        }
+        exit(code);
+    }
 
     // Round-robin the session indices over the connections (every
     // connection gets its own driver thread).
@@ -415,6 +536,10 @@ fn main() {
             Ok(other) => eprintln!("rdbp-load: unexpected shutdown reply: {other:?}"),
             Err(e) => eprintln!("rdbp-load: shutdown failed: {e}"),
         }
+    }
+    if let Some(mut child) = router {
+        // The router tears its spawned backends down before exiting.
+        let _ = child.wait();
     }
 
     if cfg.json {

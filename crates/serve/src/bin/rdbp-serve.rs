@@ -18,10 +18,11 @@
 
 use std::net::TcpListener;
 use std::process::exit;
+use std::time::Duration;
 
 use rdbp_engine::Registries;
-use rdbp_serve::server::serve_with;
-use rdbp_serve::{Proto, SessionManager};
+use rdbp_serve::server::serve_config;
+use rdbp_serve::{Proto, ServerConfig, SessionManager};
 
 fn fail(err: impl std::fmt::Display) -> ! {
     eprintln!("rdbp-serve: {err}");
@@ -36,6 +37,7 @@ fn main() {
         .clamp(1, 8);
     let mut addr_file: Option<String> = None;
     let mut proto = Proto::Auto;
+    let mut config = ServerConfig::default();
 
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -47,11 +49,13 @@ fn main() {
                      --port N       loopback TCP port; 0 = ephemeral (default 4117)\n\
                      --workers N    session worker threads (default: cores, capped at 8)\n\
                      --proto P      wire protocol: auto|ndjson|binary (default auto)\n\
-                     --addr-file F  write the bound host:port to F once listening"
+                     --addr-file F  write the bound host:port to F once listening\n\
+                     --drain-ms N   shutdown grace period for connections and\n\
+                                    busy workers, in milliseconds (default 5000)"
                 );
                 exit(0);
             }
-            "--port" | "--workers" | "--proto" | "--addr-file" => {
+            "--port" | "--workers" | "--proto" | "--addr-file" | "--drain-ms" => {
                 let Some(value) = it.next() else {
                     fail(format!("flag {flag} needs a value"));
                 };
@@ -70,6 +74,13 @@ fn main() {
                         }
                     }
                     "--proto" => proto = value.parse().unwrap_or_else(|e| fail(e)),
+                    "--drain-ms" => {
+                        let ms: u64 = value
+                            .parse()
+                            .unwrap_or_else(|_| fail(format!("invalid drain `{value}`")));
+                        config.shutdown_drain = Duration::from_millis(ms);
+                        config.stop_drain = Duration::from_millis(ms);
+                    }
                     _ => addr_file = Some(value),
                 }
             }
@@ -89,7 +100,8 @@ fn main() {
     eprintln!("rdbp-serve: listening on {addr} ({workers} workers, proto {proto:?})");
 
     let manager = SessionManager::new(workers, Registries::builtin());
-    if let Err(e) = serve_with(listener, manager, proto) {
+    config.proto = proto;
+    if let Err(e) = serve_config(listener, manager, config) {
         fail(e);
     }
     eprintln!("rdbp-serve: clean shutdown");

@@ -61,9 +61,11 @@ pub mod server;
 pub mod session;
 pub mod wire;
 
-pub use manager::{ManagerStats, SessionInfo, SessionManager, SessionStatus, Work, MAX_SUBMIT};
-pub use proto::{Request, Response};
-pub use server::{serve, Client, Proto};
+pub use manager::{
+    ManagerStats, SessionInfo, SessionManager, SessionStatus, StopReport, Work, MAX_SUBMIT,
+};
+pub use proto::{BackendSummary, Request, Response, ServerHello, SessionLineage, PROTO_VERSION};
+pub use server::{serve, serve_config, serve_with, Client, Proto, ServerConfig};
 pub use session::{BatchSummary, Session, SNAPSHOT_VERSION};
 pub use wire::MAX_FRAME;
 

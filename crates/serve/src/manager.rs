@@ -29,6 +29,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Mutex, RwLock};
@@ -87,6 +88,16 @@ pub struct SessionStatus {
     /// The session's deterministic work counters (work performed since
     /// creation or restore — see [`crate::Session::work_counters`]).
     pub counters: WorkCounters,
+}
+
+/// What [`SessionManager::stop_with_deadline`] observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StopReport {
+    /// Whether every worker exited within the deadline.
+    pub clean: bool,
+    /// Session ids still live when the deadline expired (empty on a
+    /// clean stop).
+    pub live_sessions: Vec<u64>,
 }
 
 /// Aggregate counters across all workers and sessions.
@@ -538,6 +549,52 @@ impl SessionManager {
         }
     }
 
+    /// [`SessionManager::stop`] with a bound: asks every worker to
+    /// drain and exit, but waits at most `deadline` for the joins. On
+    /// timeout the still-busy workers are left to finish in the
+    /// background (a later [`SessionManager::stop`] can re-join them),
+    /// and the sessions they strand are logged by id — so a wedged
+    /// submission can delay process exit, but never block it silently.
+    pub fn stop_with_deadline(&self, deadline: Duration) -> StopReport {
+        for queue in &self.queues {
+            let _ = queue.send(Op::Stop);
+        }
+        let mut pending: Vec<JoinHandle<()>> = std::mem::take(&mut *self.handles.lock());
+        let cutoff = Instant::now() + deadline;
+        loop {
+            let (finished, busy): (Vec<_>, Vec<_>) =
+                pending.into_iter().partition(JoinHandle::is_finished);
+            for handle in finished {
+                let _ = handle.join();
+            }
+            pending = busy;
+            if pending.is_empty() {
+                return StopReport {
+                    clean: true,
+                    live_sessions: Vec::new(),
+                };
+            }
+            if Instant::now() >= cutoff {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let mut live_sessions: Vec<u64> = self.shard_of.read().keys().copied().collect();
+        live_sessions.sort_unstable();
+        eprintln!(
+            "rdbp-serve: {} worker(s) still busy at the {deadline:?} stop deadline; \
+             sessions still live: {live_sessions:?}",
+            pending.len(),
+        );
+        // Hand the stragglers back so the pool can still be joined
+        // cleanly later.
+        self.handles.lock().extend(pending);
+        StopReport {
+            clean: false,
+            live_sessions,
+        }
+    }
+
     /// Stops every worker (open sessions are dropped) and joins the
     /// pool. Returns the final aggregate stats.
     #[must_use]
@@ -800,6 +857,37 @@ mod tests {
         assert!(manager.submit(99, Work::Generate(1)).is_err());
         assert!(manager.query(99).is_err());
         assert!(manager.close(99).is_err());
+    }
+
+    #[test]
+    fn stop_deadline_reports_stranded_sessions_then_rejoins() {
+        let manager = SessionManager::new(1, Registries::builtin());
+        let id = manager.create(scenario(2)).unwrap().id;
+        // Wedge the single worker with a near-cap submission (hundreds
+        // of milliseconds at minimum), then stop with a tiny deadline:
+        // the timeout path must fire and name the stranded session.
+        manager.submit_async(id, Work::Generate(MAX_SUBMIT), |_| {});
+        let report = manager.stop_with_deadline(Duration::from_millis(20));
+        assert!(
+            !report.clean,
+            "worker cannot drain a {MAX_SUBMIT}-step batch in 20ms"
+        );
+        assert_eq!(report.live_sessions, vec![id]);
+        // The straggler was handed back: an unbounded stop still joins
+        // the pool cleanly once the batch completes.
+        manager.stop();
+        let report = manager.stop_with_deadline(Duration::from_millis(20));
+        assert!(report.clean, "pool already joined");
+    }
+
+    #[test]
+    fn stop_deadline_is_clean_on_an_idle_pool() {
+        let manager = SessionManager::new(2, Registries::builtin());
+        let id = manager.create(scenario(4)).unwrap().id;
+        manager.submit(id, Work::Generate(50)).unwrap();
+        let report = manager.stop_with_deadline(Duration::from_secs(5));
+        assert!(report.clean);
+        assert!(report.live_sessions.is_empty());
     }
 
     #[test]

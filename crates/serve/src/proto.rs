@@ -30,6 +30,63 @@ use rdbp_model::{CostLedger, Edge, RunReport, WorkCounters};
 use crate::manager::{ManagerStats, SessionInfo, SessionStatus, Work};
 use crate::session::BatchSummary;
 
+/// Version of the request/response model (NDJSON and binary encodings
+/// alike). Servers report it in their `hello` response; a router
+/// refuses to attach to a backend speaking a different version.
+/// Version 2 added the admin ops: `hello`, `migrate`, `lineage`,
+/// `cluster`.
+pub const PROTO_VERSION: u64 = 2;
+
+/// What a server says about itself in reply to `hello` — the liveness
+/// handshake a router (or `rdbp-load --ping`) health-checks before
+/// trusting an address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerHello {
+    /// Which binary answered (`rdbp-serve`, `rdbp-router`).
+    pub server: String,
+    /// The answering crate's version string.
+    pub version: String,
+    /// The protocol model version ([`PROTO_VERSION`]).
+    pub proto: u64,
+    /// Session worker threads (for a router: attached backends).
+    pub workers: u64,
+}
+
+/// One session's cluster provenance: where it lives and what migration
+/// and failover did to it. Only a router answers `lineage`; a plain
+/// `rdbp-serve` reports an error (it has no cluster state).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionLineage {
+    /// The (router-assigned) session id.
+    pub session: u64,
+    /// Backend currently hosting the session.
+    pub backend: u64,
+    /// Completed live migrations.
+    pub migrations: u64,
+    /// Crash failovers (re-restores from a router-held snapshot).
+    pub failovers: u64,
+    /// Steps at the retained snapshot the router would replay from.
+    pub snapshot_steps: u64,
+    /// Requests acknowledged to clients but lost to crashes — the
+    /// explicit "replayed from snapshot N, lost K requests" contract.
+    pub lost_requests: u64,
+}
+
+/// One backend's row in a router's `cluster` response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendSummary {
+    /// Router-assigned backend id (stable for the router's lifetime).
+    pub id: u64,
+    /// The backend's listen address.
+    pub addr: String,
+    /// OS pid when the router spawned the process; 0 when attached.
+    pub pid: u64,
+    /// Whether the router currently considers the backend live.
+    pub alive: bool,
+    /// Sessions currently routed to the backend.
+    pub sessions: u64,
+}
+
 /// A client → server message.
 #[derive(Debug, Clone)]
 pub enum Request {
@@ -70,6 +127,22 @@ pub enum Request {
     Stats,
     /// Liveness probe.
     Ping,
+    /// Identify the server: name, version, protocol, worker count.
+    Hello,
+    /// Live-migrate a session to another backend (router only).
+    Migrate {
+        /// Target session.
+        session: u64,
+        /// Destination backend id; `None` = least-loaded placement.
+        backend: Option<u64>,
+    },
+    /// Read a session's migration/failover lineage (router only).
+    Lineage {
+        /// Target session.
+        session: u64,
+    },
+    /// Read the backend roster (router only).
+    Cluster,
     /// Stop the server after replying.
     Shutdown,
 }
@@ -115,6 +188,30 @@ pub enum Response {
     },
     /// Reply to `Ping`.
     Pong,
+    /// Reply to `Hello`.
+    Hello {
+        /// The server's self-description.
+        hello: ServerHello,
+    },
+    /// A live migration completed.
+    Migrated {
+        /// The migrated session.
+        session: u64,
+        /// Backend the session left.
+        from: u64,
+        /// Backend now hosting the session.
+        to: u64,
+    },
+    /// A session's cluster lineage.
+    Lineage {
+        /// The provenance record.
+        lineage: SessionLineage,
+    },
+    /// The router's backend roster.
+    Cluster {
+        /// One row per backend, in id order.
+        backends: Vec<BackendSummary>,
+    },
     /// Reply to `Shutdown` (the server stops after sending it).
     Bye,
     /// Any failure (the connection stays usable).
@@ -168,6 +265,20 @@ impl Serialize for Request {
             }
             Request::Stats => tag("stats", vec![], "op"),
             Request::Ping => tag("ping", vec![], "op"),
+            Request::Hello => tag("hello", vec![], "op"),
+            Request::Migrate { session, backend } => {
+                let mut fields = vec![("session".into(), session.to_value())];
+                if let Some(backend) = backend {
+                    fields.push(("backend".into(), backend.to_value()));
+                }
+                tag("migrate", fields, "op")
+            }
+            Request::Lineage { session } => tag(
+                "lineage",
+                vec![("session".into(), session.to_value())],
+                "op",
+            ),
+            Request::Cluster => tag("cluster", vec![], "op"),
             Request::Shutdown => tag("shutdown", vec![], "op"),
         }
     }
@@ -219,10 +330,19 @@ impl Deserialize for Request {
             }),
             "stats" => Ok(Request::Stats),
             "ping" => Ok(Request::Ping),
+            "hello" => Ok(Request::Hello),
+            "migrate" => Ok(Request::Migrate {
+                session: u64::from_value(v.get_field("session")?)?,
+                backend: opt_field(v, "backend")?,
+            }),
+            "lineage" => Ok(Request::Lineage {
+                session: u64::from_value(v.get_field("session")?)?,
+            }),
+            "cluster" => Ok(Request::Cluster),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(DeError(format!(
                 "unknown op `{other}` (valid: create, submit, query, snapshot, restore, \
-                 close, stats, ping, shutdown)"
+                 close, stats, ping, hello, migrate, lineage, cluster, shutdown)"
             ))),
         }
     }
@@ -292,6 +412,52 @@ impl Serialize for Response {
                 "ok",
             ),
             Response::Pong => tag("pong", vec![], "ok"),
+            Response::Hello { hello } => tag(
+                "hello",
+                vec![
+                    ("server".into(), hello.server.to_value()),
+                    ("version".into(), hello.version.to_value()),
+                    ("proto".into(), hello.proto.to_value()),
+                    ("workers".into(), hello.workers.to_value()),
+                ],
+                "ok",
+            ),
+            Response::Migrated { session, from, to } => tag(
+                "migrated",
+                vec![
+                    ("session".into(), session.to_value()),
+                    ("from".into(), from.to_value()),
+                    ("to".into(), to.to_value()),
+                ],
+                "ok",
+            ),
+            Response::Lineage { lineage } => tag(
+                "lineage",
+                vec![
+                    ("session".into(), lineage.session.to_value()),
+                    ("backend".into(), lineage.backend.to_value()),
+                    ("migrations".into(), lineage.migrations.to_value()),
+                    ("failovers".into(), lineage.failovers.to_value()),
+                    ("snapshot_steps".into(), lineage.snapshot_steps.to_value()),
+                    ("lost_requests".into(), lineage.lost_requests.to_value()),
+                ],
+                "ok",
+            ),
+            Response::Cluster { backends } => {
+                let rows: Vec<Value> = backends
+                    .iter()
+                    .map(|b| {
+                        Value::Obj(vec![
+                            ("id".into(), b.id.to_value()),
+                            ("addr".into(), b.addr.to_value()),
+                            ("pid".into(), b.pid.to_value()),
+                            ("alive".into(), b.alive.to_value()),
+                            ("sessions".into(), b.sessions.to_value()),
+                        ])
+                    })
+                    .collect();
+                tag("cluster", vec![("backends".into(), Value::Arr(rows))], "ok")
+            }
             Response::Bye => tag("bye", vec![], "ok"),
             Response::Error { message } => {
                 tag("error", vec![("message".into(), message.to_value())], "ok")
@@ -349,6 +515,48 @@ impl Deserialize for Response {
                 },
             }),
             "pong" => Ok(Response::Pong),
+            "hello" => Ok(Response::Hello {
+                hello: ServerHello {
+                    server: String::from_value(v.get_field("server")?)?,
+                    version: String::from_value(v.get_field("version")?)?,
+                    proto: u64::from_value(v.get_field("proto")?)?,
+                    workers: u64::from_value(v.get_field("workers")?)?,
+                },
+            }),
+            "migrated" => Ok(Response::Migrated {
+                session: u64::from_value(v.get_field("session")?)?,
+                from: u64::from_value(v.get_field("from")?)?,
+                to: u64::from_value(v.get_field("to")?)?,
+            }),
+            "lineage" => Ok(Response::Lineage {
+                lineage: SessionLineage {
+                    session: u64::from_value(v.get_field("session")?)?,
+                    backend: u64::from_value(v.get_field("backend")?)?,
+                    migrations: u64::from_value(v.get_field("migrations")?)?,
+                    failovers: u64::from_value(v.get_field("failovers")?)?,
+                    snapshot_steps: u64::from_value(v.get_field("snapshot_steps")?)?,
+                    lost_requests: u64::from_value(v.get_field("lost_requests")?)?,
+                },
+            }),
+            "cluster" => {
+                let rows = match v.get_field("backends")? {
+                    Value::Arr(rows) => rows,
+                    other => return Err(DeError(format!("expected array, got {other:?}"))),
+                };
+                let backends = rows
+                    .iter()
+                    .map(|row| {
+                        Ok(BackendSummary {
+                            id: u64::from_value(row.get_field("id")?)?,
+                            addr: String::from_value(row.get_field("addr")?)?,
+                            pid: u64::from_value(row.get_field("pid")?)?,
+                            alive: bool::from_value(row.get_field("alive")?)?,
+                            sessions: u64::from_value(row.get_field("sessions")?)?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, DeError>>()?;
+                Ok(Response::Cluster { backends })
+            }
             "bye" => Ok(Response::Bye),
             "error" => Ok(Response::Error {
                 message: String::from_value(v.get_field("message")?)?,
@@ -401,6 +609,17 @@ mod tests {
             Request::Close { session: 3 },
             Request::Stats,
             Request::Ping,
+            Request::Hello,
+            Request::Migrate {
+                session: 4,
+                backend: None,
+            },
+            Request::Migrate {
+                session: 4,
+                backend: Some(2),
+            },
+            Request::Lineage { session: 4 },
+            Request::Cluster,
             Request::Shutdown,
         ] {
             let text = serde_json::to_string(&req).unwrap();
@@ -451,6 +670,47 @@ mod tests {
                     total_served: 1000,
                     total_violations: 0,
                 },
+            },
+            Response::Hello {
+                hello: ServerHello {
+                    server: "rdbp-serve".into(),
+                    version: "0.1.0".into(),
+                    proto: PROTO_VERSION,
+                    workers: 4,
+                },
+            },
+            Response::Migrated {
+                session: 9,
+                from: 0,
+                to: 2,
+            },
+            Response::Lineage {
+                lineage: SessionLineage {
+                    session: 9,
+                    backend: 2,
+                    migrations: 1,
+                    failovers: 1,
+                    snapshot_steps: 400,
+                    lost_requests: 17,
+                },
+            },
+            Response::Cluster {
+                backends: vec![
+                    BackendSummary {
+                        id: 0,
+                        addr: "127.0.0.1:4100".into(),
+                        pid: 1234,
+                        alive: true,
+                        sessions: 5,
+                    },
+                    BackendSummary {
+                        id: 1,
+                        addr: "127.0.0.1:4101".into(),
+                        pid: 0,
+                        alive: false,
+                        sessions: 0,
+                    },
+                ],
             },
         ] {
             let text = serde_json::to_string(&resp).unwrap();

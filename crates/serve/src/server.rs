@@ -50,7 +50,7 @@ use crossbeam::channel::{unbounded, Sender};
 use mio::{Events, Interest, Poll, Token, Waker};
 
 use crate::manager::SessionManager;
-use crate::proto::{Request, Response};
+use crate::proto::{Request, Response, ServerHello, PROTO_VERSION};
 use crate::wire::{self, FrameHead, WireError, HEADER_LEN, MAX_FRAME};
 
 /// Which wire protocol(s) the server accepts.
@@ -101,9 +101,36 @@ const READ_SOFT_CAP: usize = MAX_FRAME + HEADER_LEN;
 /// (backpressure instead of unbounded growth).
 const PIPELINE_MAX: usize = 1024;
 
-/// Grace period for live connections to finish in-flight work after a
-/// `shutdown` request before they are dropped.
-const SHUTDOWN_DRAIN: Duration = Duration::from_secs(5);
+/// Default grace period for live connections to finish in-flight work
+/// after a `shutdown` request before they are dropped (see
+/// [`ServerConfig::shutdown_drain`]).
+pub const DEFAULT_SHUTDOWN_DRAIN: Duration = Duration::from_secs(5);
+
+/// Tunables for one [`serve_config`] run. The drains used to be buried
+/// magic constants; they are knobs now so tests can exercise the
+/// timeout paths and operators can size them to their workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Which wire protocol(s) to accept.
+    pub proto: Proto,
+    /// Grace period for live connections to finish in-flight work and
+    /// flush after a `shutdown` request, before they are dropped.
+    pub shutdown_drain: Duration,
+    /// Deadline handed to [`SessionManager::stop_with_deadline`] when
+    /// the reactor exits: how long to wait for busy workers before
+    /// logging the sessions still live and detaching.
+    pub stop_drain: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            proto: Proto::Auto,
+            shutdown_drain: DEFAULT_SHUTDOWN_DRAIN,
+            stop_drain: DEFAULT_SHUTDOWN_DRAIN,
+        }
+    }
+}
 
 /// A unit of work queued on one connection, in request order.
 enum Job {
@@ -345,6 +372,27 @@ pub fn serve(listener: TcpListener, manager: SessionManager) -> io::Result<()> {
 /// Returns any I/O error from the reactor's own machinery (accept
 /// loop, poll); per-connection errors only end that connection.
 pub fn serve_with(listener: TcpListener, manager: SessionManager, proto: Proto) -> io::Result<()> {
+    serve_config(
+        listener,
+        manager,
+        ServerConfig {
+            proto,
+            ..ServerConfig::default()
+        },
+    )
+}
+
+/// [`serve`], with every tunable exposed.
+///
+/// # Errors
+/// Returns any I/O error from the reactor's own machinery (accept
+/// loop, poll); per-connection errors only end that connection.
+pub fn serve_config(
+    listener: TcpListener,
+    manager: SessionManager,
+    config: ServerConfig,
+) -> io::Result<()> {
+    let proto = config.proto;
     listener.set_nonblocking(true)?;
     let manager = Arc::new(manager);
     let mut poll = Poll::new()?;
@@ -420,7 +468,7 @@ pub fn serve_with(listener: TcpListener, manager: SessionManager, proto: Proto) 
         }
 
         if shutdown_requested && drain_deadline.is_none() {
-            drain_deadline = Some(Instant::now() + SHUTDOWN_DRAIN);
+            drain_deadline = Some(Instant::now() + config.shutdown_drain);
             let _ = poll.deregister(&listener);
             // Every connection stops reading; in-flight ops and queued
             // output get the grace period to finish.
@@ -453,9 +501,11 @@ pub fn serve_with(listener: TcpListener, manager: SessionManager, proto: Proto) 
 
     // Close any remaining sockets, then stop the worker pool. Workers
     // drain their queues; straggler completions land in `done_rx` and
-    // are dropped with it.
+    // are dropped with it. A worker still busy at the deadline is
+    // logged (with the sessions it strands) and detached rather than
+    // wedging the exit path forever.
     drop(conns);
-    manager.stop();
+    manager.stop_with_deadline(config.stop_drain);
     result
 }
 
@@ -638,7 +688,27 @@ fn start_op(
             stats: manager.stats(),
         }),
         Request::Ping => Started::Inline(Response::Pong),
+        Request::Hello => Started::Inline(Response::Hello {
+            hello: ServerHello {
+                server: "rdbp-serve".into(),
+                version: env!("CARGO_PKG_VERSION").into(),
+                proto: PROTO_VERSION,
+                workers: manager.workers() as u64,
+            },
+        }),
+        // Cluster admin ops: answered by rdbp-router, refused here with
+        // the established error shape so misdirected clients learn what
+        // they connected to instead of hanging.
+        Request::Migrate { .. } => Started::Inline(not_a_router("migrate")),
+        Request::Lineage { .. } => Started::Inline(not_a_router("lineage")),
+        Request::Cluster => Started::Inline(not_a_router("cluster")),
         Request::Shutdown => Started::Shutdown,
+    }
+}
+
+fn not_a_router(op: &str) -> Response {
+    Response::Error {
+        message: format!("op `{op}` requires a router; this server is a plain rdbp-serve backend"),
     }
 }
 
@@ -682,6 +752,18 @@ impl Client {
             writer: stream,
             ndjson,
         })
+    }
+
+    /// Bounds every subsequent [`Client::recv`] (`None` = block
+    /// forever, the default). A timed-out `recv` returns
+    /// [`io::ErrorKind::WouldBlock`]/[`io::ErrorKind::TimedOut`] —
+    /// how a router's monitor detects a backend that stopped answering
+    /// pings without committing its own thread forever.
+    ///
+    /// # Errors
+    /// Returns any underlying socket error.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
     }
 
     /// Sends one request without waiting for its response.

@@ -30,7 +30,9 @@ use rdbp_model::{
 use crate::ServeError;
 
 /// Snapshot format version; bumped on incompatible layout changes.
-pub const SNAPSHOT_VERSION: u64 = 1;
+/// Version 2: `hst-hedge` state gained the `probs_fresh` cache bit, so
+/// a restored session performs work-counter-identical serves.
+pub const SNAPSHOT_VERSION: u64 = 2;
 
 /// What one batched submission did (cumulative fields cover the whole
 /// session so far, not just this batch).

@@ -6,8 +6,8 @@
 //!
 //! ```text
 //! offset 0   u8   MAGIC (0xB5 — never a valid NDJSON first byte)
-//! offset 1   u8   code: request opcode (0x01–0x09) or
-//!                 response status (0x81–0x88, 0xEF = error)
+//! offset 1   u8   code: request opcode (0x01–0x0D) or
+//!                 response status (0x81–0x8C, 0xEF = error)
 //! offset 2   u32  payload length, little-endian (≤ MAX_FRAME)
 //! offset 6   …    payload: the message body, binary-value encoded
 //! ```
@@ -90,7 +90,7 @@ impl std::error::Error for WireError {}
 // --- opcode tables -------------------------------------------------------
 
 /// Request opcodes, mirroring the NDJSON `"op"` strings 1:1.
-const REQUEST_OPS: [(u8, &str); 9] = [
+const REQUEST_OPS: [(u8, &str); 13] = [
     (0x01, "create"),
     (0x02, "submit"),
     (0x03, "query"),
@@ -100,11 +100,15 @@ const REQUEST_OPS: [(u8, &str); 9] = [
     (0x07, "stats"),
     (0x08, "ping"),
     (0x09, "shutdown"),
+    (0x0A, "hello"),
+    (0x0B, "migrate"),
+    (0x0C, "lineage"),
+    (0x0D, "cluster"),
 ];
 
 /// Response status codes, mirroring the NDJSON `"ok"` strings 1:1.
 /// The high bit distinguishes responses from requests on the wire.
-const RESPONSE_KINDS: [(u8, &str); 9] = [
+const RESPONSE_KINDS: [(u8, &str); 13] = [
     (0x81, "created"),
     (0x82, "submitted"),
     (0x83, "status"),
@@ -113,6 +117,10 @@ const RESPONSE_KINDS: [(u8, &str); 9] = [
     (0x86, "stats"),
     (0x87, "pong"),
     (0x88, "bye"),
+    (0x89, "hello"),
+    (0x8A, "migrated"),
+    (0x8B, "lineage"),
+    (0x8C, "cluster"),
     (0xEF, "error"),
 ];
 
@@ -470,6 +478,17 @@ mod tests {
             Request::Close { session: 3 },
             Request::Stats,
             Request::Ping,
+            Request::Hello,
+            Request::Migrate {
+                session: 4,
+                backend: Some(1),
+            },
+            Request::Migrate {
+                session: 4,
+                backend: None,
+            },
+            Request::Lineage { session: 4 },
+            Request::Cluster,
             Request::Shutdown,
         ]
     }
@@ -524,6 +543,38 @@ mod tests {
                 snapshot: Value::Obj(vec![("state".into(), Value::Arr(vec![Value::UInt(9)]))]),
             },
             Response::Pong,
+            Response::Hello {
+                hello: crate::proto::ServerHello {
+                    server: "rdbp-router".into(),
+                    version: "0.1.0".into(),
+                    proto: crate::proto::PROTO_VERSION,
+                    workers: 3,
+                },
+            },
+            Response::Migrated {
+                session: 5,
+                from: 1,
+                to: 0,
+            },
+            Response::Lineage {
+                lineage: crate::proto::SessionLineage {
+                    session: 5,
+                    backend: 0,
+                    migrations: 2,
+                    failovers: 0,
+                    snapshot_steps: 128,
+                    lost_requests: 0,
+                },
+            },
+            Response::Cluster {
+                backends: vec![crate::proto::BackendSummary {
+                    id: 0,
+                    addr: "127.0.0.1:4100".into(),
+                    pid: 42,
+                    alive: true,
+                    sessions: 3,
+                }],
+            },
             Response::Bye,
             Response::Error {
                 message: "nope".into(),
