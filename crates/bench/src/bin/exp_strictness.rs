@@ -9,7 +9,7 @@
 //! server block — the optimal (static or dynamic) cost is 0, since the
 //! initial placement already collocates the pair.
 
-use rdbp_bench::{full_profile, parallel_map, Table};
+use rdbp_bench::{full_profile, mean, parallel_map, Table};
 use rdbp_core::{DynamicConfig, DynamicPartitioner, StaticConfig, StaticPartitioner};
 use rdbp_model::{run_trace, AuditLevel, Edge, RingInstance};
 use rdbp_mts::PolicyKind;
@@ -66,9 +66,9 @@ fn main() {
                         shift: None,
                     },
                 );
-                dyn_costs.push(run_trace(&mut alg, &trace, AuditLevel::None).ledger.total());
+                dyn_costs.push(run_trace(&mut alg, &trace, AuditLevel::None).ledger.total() as f64);
             }
-            let dyn_mean = dyn_costs.iter().sum::<u64>() as f64 / dyn_costs.len() as f64;
+            let dyn_mean = mean(&dyn_costs);
             (stat_cost, dyn_mean)
         };
         let (stat_cold, dyn_cold) = measure(cold_edge);

@@ -18,6 +18,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp_coupling_ablation",
     "exp_shift_ablation",
     "exp_strictness",
+    "exp_ratio_sweep",
     "exp_throughput",
     "exp_serve_throughput",
     "exp_serve_scaling",

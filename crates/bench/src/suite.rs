@@ -35,7 +35,11 @@ use rdbp_serve::{serve, Client, Proto, Request, Response, SessionManager, Work};
 /// Version of the `BENCH_*.json` schema. Bumped on any incompatible
 /// change to the report layout or to the [`WorkCounters`] metric set;
 /// [`crate::perfgate::compare`] refuses to diff mismatched versions.
-pub const BENCH_SCHEMA_VERSION: u64 = 1;
+///
+/// v2: the metric set grew the offline-oracle counters
+/// (`oracle_cut_evals`, `oracle_rounding_passes`) and the suite grew
+/// the oracle cases.
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
 
 /// Name of the pinned default suite (and of its committed baseline,
 /// `bench_results/BENCH_main.json`).
@@ -620,6 +624,114 @@ pub fn pinned_cluster_cases() -> Vec<ClusterCase> {
     ]
 }
 
+/// One pinned oracle benchmark: a pinned workload trace pushed through
+/// the ringload oracle (certified dynamic-OPT bounds, the hot loop of
+/// the S6 ratio sweep) plus a seeded classical ring-loading instance
+/// pushed through the `O(n²)` split scan and the unsplit rounding.
+///
+/// The gated signal is the oracle work — `oracle_cut_evals` /
+/// `oracle_rounding_passes` — which is deterministic for a pinned
+/// trace and demand seed; `requests` is set to the trace length so the
+/// shared measurement harness can assert the case served its steps.
+#[derive(Debug, Clone)]
+pub struct OracleCase {
+    /// Stable case id (report key).
+    pub id: String,
+    /// Pinned scenario whose workload supplies the trace (the
+    /// algorithm is never run — oracles bound OPT, not the online
+    /// cost).
+    pub scenario: Scenario,
+    /// Seeded ring-loading demands evaluated by the classical solver.
+    pub demands: u32,
+    /// Seed for the demand set (chained through [`workload_seed`]).
+    pub demand_seed: u64,
+}
+
+impl OracleCase {
+    fn new(id: &str, workload: &str, steps: u64, demands: u32, demand_seed: u64) -> Self {
+        let mut algorithm = AlgorithmSpec::named("dynamic");
+        algorithm.policy = Some("hedge".into());
+        let mut scenario = Scenario::new(
+            InstanceSpec::packed(8, 32),
+            algorithm,
+            WorkloadSpec::named(workload),
+            steps,
+        );
+        scenario.seed = 0x0AC1E + steps; // pinned, distinct per case size
+        scenario.audit = AuditSpec::None;
+        Self {
+            id: id.to_string(),
+            scenario,
+            demands,
+            demand_seed,
+        }
+    }
+
+    /// The seeded demand set: endpoints and amounts drawn from a
+    /// [`workload_seed`] chain — deterministic, instance-shaped.
+    fn demand_set(&self, n: u32) -> Vec<rdbp_ringload::Demand> {
+        let mut state = self.demand_seed;
+        let mut draw = || {
+            state = workload_seed(state);
+            state
+        };
+        (0..self.demands)
+            .map(|_| {
+                let from = (draw() % u64::from(n)) as u32;
+                let delta = 1 + (draw() % u64::from(n - 1)) as u32;
+                let amount = 1 + draw() % 9;
+                rdbp_ringload::Demand::new(from, (from + delta) % n, amount)
+            })
+            .collect()
+    }
+
+    /// Bounds the trace with the ringload oracle and solves the seeded
+    /// ring-loading instance, returning the merged work counters.
+    fn run_once(&self, trace: &[Edge]) -> WorkCounters {
+        use rdbp_offline::OfflineOracle as _;
+        let instance = self
+            .scenario
+            .instance
+            .build()
+            .expect("pinned instance must build");
+        let initial = Placement::contiguous(&instance);
+        let mut oracle = rdbp_ringload::RingloadOracle::new();
+        let lb = oracle.lower_bound(&instance, &initial, trace);
+        let ub = oracle
+            .upper_bound(&instance, &initial, trace)
+            .expect("ringload always has an upper bound");
+        assert!(lb <= ub, "case {}: certificate inverted", self.id);
+        let mut counters = oracle.work_counters();
+
+        let mut solver =
+            rdbp_ringload::RingLoading::new(instance.n(), self.demand_set(instance.n()));
+        let split = solver.split_optimum();
+        let rounded = solver.round_unsplit();
+        assert!(
+            split <= rounded.max_load as f64,
+            "case {}: rounding below the split optimum",
+            self.id
+        );
+        counters.merge(&solver.work_counters());
+        // The shared harness gates on "served exactly the pinned
+        // steps"; an oracle case's unit of service is a trace element.
+        counters.requests = trace.len() as u64;
+        counters
+    }
+}
+
+/// The pinned oracle cases of the `main` suite: the ringload oracle +
+/// classical solver over two workload shapes (skew and drift). These
+/// gate the S6 ratio-sweep hot path the same way the serve cases gate
+/// the wire path.
+#[must_use]
+pub fn pinned_oracle_cases() -> Vec<OracleCase> {
+    vec![
+        OracleCase::new("oracle-ringload-zipf", "zipf", 20_000, 96, 0x0DD5),
+        OracleCase::new("oracle-ringload-sliding", "sliding", 20_000, 96, 0x0DD6),
+    ]
+}
+
 /// One warm-up pass plus `repeats` timed runs of `run`: counters are
 /// asserted bit-identical across repetitions and to have served
 /// exactly `steps` requests; wall-clock takes the minimum.
@@ -673,6 +785,30 @@ pub fn run_serve_cases(cases: &[ServeCase], repeats: u32) -> Vec<CaseResult> {
         .collect()
 }
 
+/// Runs oracle cases through the shared measurement harness: the
+/// pinned trace is recorded once, then warm-up + `repeats` timed
+/// oracle evaluations with counters asserted bit-identical across
+/// repetitions — the determinism claim `rdbp-sim --ratio` and the S6
+/// sweep rely on.
+///
+/// # Panics
+/// Panics if `repeats == 0`, a case fails to resolve, a certificate
+/// inverts (LB > UB), or counters drift between repetitions.
+#[must_use]
+pub fn run_oracle_cases(cases: &[OracleCase], repeats: u32) -> Vec<CaseResult> {
+    assert!(repeats > 0, "need at least one repetition");
+    let registries = Registries::builtin();
+    cases
+        .iter()
+        .map(|case| {
+            let trace = record_scenario_trace(&case.id, &case.scenario, &registries);
+            measure_wire_case(&case.id, case.scenario.steps, repeats, || {
+                case.run_once(&trace)
+            })
+        })
+        .collect()
+}
+
 /// Runs cluster-layer cases exactly like [`run_serve_cases`] runs
 /// serve-layer ones: warm-up, `repeats` timed repetitions, counters
 /// asserted bit-identical across repetitions (which, for a migrating
@@ -691,36 +827,34 @@ pub fn run_cluster_cases(cases: &[ClusterCase], repeats: u32) -> Vec<CaseResult>
         .collect()
 }
 
-/// Pre-records `case.scenario.steps` requests of the case's workload
+/// Pre-records `scenario.steps` requests of the scenario's workload
 /// (resolved with the scenario's derived workload seed, exactly as a
 /// live run would) against the canonical contiguous placement.
 ///
 /// # Panics
 /// Panics if the workload is adaptive — an adaptive adversary has no
 /// placement-independent trace.
-fn record_trace(case: &BenchCase, registries: &Registries) -> Vec<Edge> {
-    let instance = case
-        .scenario
+fn record_scenario_trace(id: &str, scenario: &Scenario, registries: &Registries) -> Vec<Edge> {
+    let instance = scenario
         .instance
         .build()
         .expect("pinned instance must build");
     let mut workload = registries
         .workloads
-        .resolve(
-            &case.scenario.workload,
-            &instance,
-            workload_seed(case.scenario.seed),
-        )
+        .resolve(&scenario.workload, &instance, workload_seed(scenario.seed))
         .expect("pinned workload must resolve");
     assert!(
         !workload.is_adaptive(),
-        "case {}: cannot pre-record an adaptive workload",
-        case.id
+        "case {id}: cannot pre-record an adaptive workload"
     );
     let placement = Placement::contiguous(&instance);
-    let mut requests = Vec::with_capacity(case.scenario.steps as usize);
-    workload.fill_batch(&placement, case.scenario.steps, &mut requests);
+    let mut requests = Vec::with_capacity(scenario.steps as usize);
+    workload.fill_batch(&placement, scenario.steps, &mut requests);
     requests
+}
+
+fn record_trace(case: &BenchCase, registries: &Registries) -> Vec<Edge> {
+    record_scenario_trace(&case.id, &case.scenario, registries)
 }
 
 /// Runs `cases` with one warm-up pass and `repeats` timed repetitions
@@ -793,7 +927,7 @@ pub fn run_cases(suite: &str, cases: &[BenchCase], repeats: u32) -> BenchReport 
 /// Runs a named suite ([`MAIN_SUITE`] is the only built-in one): the
 /// in-process [`pinned_cases`], then the over-the-wire
 /// [`pinned_serve_cases`], then the routed-and-migrated
-/// [`pinned_cluster_cases`].
+/// [`pinned_cluster_cases`], then the offline [`pinned_oracle_cases`].
 ///
 /// # Panics
 /// Panics on an unknown suite name (callers validate beforehand) and
@@ -809,6 +943,9 @@ pub fn run_suite(suite: &str, repeats: u32) -> BenchReport {
     report
         .cases
         .extend(run_cluster_cases(&pinned_cluster_cases(), repeats));
+    report
+        .cases
+        .extend(run_oracle_cases(&pinned_oracle_cases(), repeats));
     report
 }
 
@@ -888,6 +1025,41 @@ mod tests {
         assert_eq!(a.sessions_per_connection, serve.sessions_per_connection);
         assert_eq!(a.batches, serve.batches);
         assert_eq!(a.batch, serve.batch);
+    }
+
+    #[test]
+    fn pinned_oracle_cases_are_pinned_and_runnable() {
+        let cases = pinned_oracle_cases();
+        assert_eq!(cases.len(), 2, "two oracle shapes");
+        let ids: Vec<&str> = cases.iter().map(|c| c.id.as_str()).collect();
+        assert!(ids.contains(&"oracle-ringload-zipf"));
+        assert!(ids.contains(&"oracle-ringload-sliding"));
+        for case in &cases {
+            assert_eq!(case.demands, 96, "demand count stays pinned");
+            // The demand set is fully seed-determined and well-formed.
+            let demands = case.demand_set(256);
+            assert_eq!(demands, case.demand_set(256));
+            assert_eq!(demands.len(), 96);
+            assert!(demands.iter().all(|d| d.from != d.to && d.amount > 0));
+        }
+        assert_ne!(
+            cases[0].demand_seed, cases[1].demand_seed,
+            "distinct demand seeds"
+        );
+    }
+
+    #[test]
+    fn oracle_cases_produce_identical_counters_across_independent_runs() {
+        // The oracle-determinism claim at suite scope: two *separate*
+        // invocations (fresh traces, fresh oracles) must agree bit for
+        // bit, and the oracle metrics must actually be exercised.
+        let mini = OracleCase::new("oracle-mini", "zipf", 500, 12, 0x0DD7);
+        let a = run_oracle_cases(std::slice::from_ref(&mini), 1);
+        let b = run_oracle_cases(std::slice::from_ref(&mini), 1);
+        assert_eq!(a[0].counters, b[0].counters);
+        assert_eq!(a[0].counters.requests, 500);
+        assert!(a[0].counters.oracle_cut_evals > 0);
+        assert!(a[0].counters.oracle_rounding_passes > 0);
     }
 
     #[test]

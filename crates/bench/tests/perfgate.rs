@@ -8,9 +8,9 @@
 //! in the CI perf-gate job.
 
 use rdbp_bench::{
-    compare, pinned_cases, pinned_cluster_cases, pinned_serve_cases, run_cases, run_cluster_cases,
-    run_serve_cases, BenchCase, BenchReport, ClusterCase, GateConfig, ServeCase,
-    BENCH_SCHEMA_VERSION,
+    compare, pinned_cases, pinned_cluster_cases, pinned_oracle_cases, pinned_serve_cases,
+    run_cases, run_cluster_cases, run_oracle_cases, run_serve_cases, BenchCase, BenchReport,
+    ClusterCase, GateConfig, ServeCase, BENCH_SCHEMA_VERSION,
 };
 use rdbp_engine::{AlgorithmSpec, AuditSpec, InstanceSpec, Registries, Scenario, WorkloadSpec};
 use rdbp_model::{NoopObserver, WorkCounters};
@@ -108,6 +108,49 @@ fn counters_reflect_real_work_per_family() {
     let greedy = report.case("mini-greedy").unwrap();
     assert_eq!(greedy.counters.policy_serve_hit, 0, "baselines have no MTS");
     assert!(greedy.counters.migrations > 0, "the chaser forces moves");
+
+    // The oracle metrics belong to offline oracles alone: every online
+    // mini case must leave them untouched.
+    for case in &report.cases {
+        assert_eq!(case.counters.oracle_cut_evals, 0, "case {}", case.id);
+        assert_eq!(case.counters.oracle_rounding_passes, 0, "case {}", case.id);
+    }
+}
+
+#[test]
+fn oracle_counters_are_identical_across_independent_invocations() {
+    // The oracle twin of the determinism property above: two fully
+    // independent harness invocations (fresh trace recording, fresh
+    // oracle and solver state) must produce bit-identical counters,
+    // and the oracle metrics must be the ones doing the work.
+    let minis = [
+        rdbp_bench::OracleCase {
+            id: "mini-oracle-zipf".into(),
+            scenario: scenario("dynamic", Some("hedge"), "zipf", AuditSpec::None),
+            demands: 16,
+            demand_seed: 0x0DD8,
+        },
+        rdbp_bench::OracleCase {
+            id: "mini-oracle-uniform".into(),
+            scenario: scenario("never-move", None, "uniform", AuditSpec::None),
+            demands: 16,
+            demand_seed: 0x0DD9,
+        },
+    ];
+    let a = run_oracle_cases(&minis, 2);
+    let b = run_oracle_cases(&minis, 2);
+    for (ca, cb) in a.iter().zip(&b) {
+        assert_eq!(ca.id, cb.id);
+        assert_eq!(ca.counters, cb.counters, "case {}", ca.id);
+        assert_eq!(ca.counters.requests, 600, "one unit per trace element");
+        assert!(ca.counters.oracle_cut_evals > 0, "case {}", ca.id);
+        assert!(ca.counters.oracle_rounding_passes > 0, "case {}", ca.id);
+        // Oracle cases run no online algorithm: the online metrics
+        // stay zero, exactly mirroring the online cases' zero oracle
+        // metrics.
+        assert_eq!(ca.counters.migrations, 0, "case {}", ca.id);
+        assert_eq!(ca.counters.policy_serve_hit, 0, "case {}", ca.id);
+    }
 }
 
 #[test]
@@ -289,6 +332,7 @@ fn committed_baseline_matches_the_pinned_suite_shape() {
         .map(|c| c.id)
         .chain(pinned_serve_cases().into_iter().map(|c| c.id))
         .chain(pinned_cluster_cases().into_iter().map(|c| c.id))
+        .chain(pinned_oracle_cases().into_iter().map(|c| c.id))
         .collect();
     let committed: Vec<String> = baseline.cases.iter().map(|c| c.id.clone()).collect();
     assert_eq!(

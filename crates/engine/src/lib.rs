@@ -46,8 +46,10 @@ pub mod spec;
 pub use exec::{mean, parallel_map, stddev};
 pub use grid::{summarize, GridRun, GridSummary, ScenarioGrid};
 pub use registry::{
-    parse_policy, AlgorithmBuilder, AlgorithmRegistry, BuiltAlgorithm, Registries, WorkloadBuilder,
-    WorkloadRegistry,
+    parse_policy, AlgorithmBuilder, AlgorithmRegistry, BuiltAlgorithm, OracleBuilder,
+    OracleRegistry, Registries, WorkloadBuilder, WorkloadRegistry,
 };
 pub use runner::{workload_seed, PreparedScenario};
-pub use spec::{AlgorithmSpec, AuditSpec, InstanceSpec, Scenario, SpecError, WorkloadSpec};
+pub use spec::{
+    AlgorithmSpec, AuditSpec, InstanceSpec, OracleSpec, Scenario, SpecError, WorkloadSpec,
+};

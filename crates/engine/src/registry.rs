@@ -16,8 +16,10 @@ use rdbp_baselines::{ComponentSweep, GreedySwap, NeverMove};
 use rdbp_core::{DynamicConfig, DynamicPartitioner, StaticConfig, StaticPartitioner};
 use rdbp_model::{workload, OnlineAlgorithm, RingInstance, Workload};
 use rdbp_mts::PolicyKind;
+use rdbp_offline::{ExactDynamicOracle, IntervalOracle, OfflineOracle};
+use rdbp_ringload::RingloadOracle;
 
-use crate::spec::{AlgorithmSpec, SpecError, WorkloadSpec};
+use crate::spec::{AlgorithmSpec, OracleSpec, SpecError, WorkloadSpec};
 
 /// A resolved algorithm together with the load bound it guarantees
 /// (used when a scenario asks for [`crate::AuditSpec::Full`] auditing).
@@ -304,22 +306,106 @@ impl WorkloadRegistry {
     }
 }
 
-/// Both registries bundled — what [`crate::Scenario::run_with`] and the
-/// grid executor take.
+/// Constructor signature for registered offline oracles.
+pub type OracleBuilder = Box<
+    dyn Fn(&RingInstance, &OracleSpec) -> Result<Box<dyn OfflineOracle>, SpecError> + Send + Sync,
+>;
+
+/// Registry of offline oracles
+/// ([`rdbp_offline::OfflineOracle`]), keyed by name — the construction
+/// path behind `rdbp-sim --opt-oracle` and the ratio experiments.
+pub struct OracleRegistry {
+    entries: BTreeMap<String, OracleBuilder>,
+}
+
+impl OracleRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// The registry of built-in oracles: `exact` (brute-force dynamic
+    /// OPT, tiny instances only), `interval` (the `OPT_R` comparator)
+    /// and `ringload` (the scalable certified-bound oracle).
+    #[must_use]
+    pub fn builtin() -> Self {
+        let mut reg = Self::empty();
+        reg.register("exact", |_inst, _spec| {
+            Ok(Box::new(ExactDynamicOracle) as Box<dyn OfflineOracle>)
+        });
+        reg.register("interval", |_inst, spec| {
+            let epsilon = spec.epsilon.unwrap_or(0.5);
+            if !(epsilon.is_finite() && epsilon > 0.0) {
+                return Err(SpecError(format!(
+                    "interval oracle epsilon must be positive, got {epsilon}"
+                )));
+            }
+            Ok(Box::new(IntervalOracle {
+                epsilon,
+                shift: spec.shift.unwrap_or(0),
+            }) as _)
+        });
+        reg.register("ringload", |_inst, _spec| {
+            Ok(Box::new(RingloadOracle::new()) as _)
+        });
+        reg
+    }
+
+    /// Registers (or replaces) an oracle under `name`.
+    pub fn register<F>(&mut self, name: impl Into<String>, builder: F)
+    where
+        F: Fn(&RingInstance, &OracleSpec) -> Result<Box<dyn OfflineOracle>, SpecError>
+            + Send
+            + Sync
+            + 'static,
+    {
+        self.entries.insert(name.into(), Box::new(builder));
+    }
+
+    /// The registered keys, sorted.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
+
+    /// Resolves `spec` into a live oracle for `instance`.
+    ///
+    /// # Errors
+    /// Returns a [`SpecError`] for unknown keys (listing the valid
+    /// ones) or invalid parameters.
+    pub fn resolve(
+        &self,
+        spec: &OracleSpec,
+        instance: &RingInstance,
+    ) -> Result<Box<dyn OfflineOracle>, SpecError> {
+        let builder = self.entries.get(&spec.name).ok_or_else(|| {
+            unknown_key("oracle", &spec.name, self.entries.keys().map(Clone::clone))
+        })?;
+        builder(instance, spec)
+    }
+}
+
+/// All three registries bundled — what [`crate::Scenario::run_with`]
+/// and the grid executor take.
 pub struct Registries {
     /// Algorithm constructors.
     pub algorithms: AlgorithmRegistry,
     /// Workload constructors.
     pub workloads: WorkloadRegistry,
+    /// Offline-oracle constructors.
+    pub oracles: OracleRegistry,
 }
 
 impl Registries {
-    /// Both built-in registries.
+    /// All built-in registries.
     #[must_use]
     pub fn builtin() -> Self {
         Self {
             algorithms: AlgorithmRegistry::builtin(),
             workloads: WorkloadRegistry::builtin(),
+            oracles: OracleRegistry::builtin(),
         }
     }
 }
@@ -375,6 +461,35 @@ mod tests {
             ..WorkloadSpec::named("bursty")
         };
         assert!(reg.resolve(&spec, &inst, 0).is_err());
+    }
+
+    #[test]
+    fn unknown_oracle_lists_valid_keys() {
+        let reg = OracleRegistry::builtin();
+        let inst = InstanceSpec::packed(4, 8).build().unwrap();
+        let err = reg
+            .resolve(&OracleSpec::named("crystal-ball"), &inst)
+            .err()
+            .expect("must fail");
+        assert!(err.0.contains("unknown oracle `crystal-ball`"), "{err}");
+        assert!(err.0.contains("exact"), "{err}");
+        assert!(err.0.contains("interval"), "{err}");
+        assert!(err.0.contains("ringload"), "{err}");
+    }
+
+    #[test]
+    fn builtin_oracles_resolve_and_report_their_names() {
+        let reg = OracleRegistry::builtin();
+        let inst = InstanceSpec::packed(2, 4).build().unwrap();
+        for key in ["exact", "interval", "ringload"] {
+            let oracle = reg.resolve(&OracleSpec::named(key), &inst).unwrap();
+            assert_eq!(oracle.name(), key);
+        }
+        let spec = OracleSpec {
+            epsilon: Some(-0.5),
+            ..OracleSpec::named("interval")
+        };
+        assert!(reg.resolve(&spec, &inst).is_err());
     }
 
     #[test]

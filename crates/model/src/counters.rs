@@ -32,7 +32,7 @@ use serde::{Deserialize, Serialize};
 
 /// Number of metrics in a [`WorkCounters`] (the arity of
 /// [`WorkCounters::named`]).
-pub const NUM_WORK_METRICS: usize = 10;
+pub const NUM_WORK_METRICS: usize = 12;
 
 /// A merged snapshot of every deterministic work counter — the unit the
 /// perf gate diffs. See the module docs for who counts what.
@@ -64,6 +64,13 @@ pub struct WorkCounters {
     /// Quantile-coupling follow/resample operations (randomized
     /// policies).
     pub coupling_follows: u64,
+    /// Cut-pair/window evaluations performed by offline oracles (the
+    /// ring-loading solver's demands-across-cuts scan and the oracle's
+    /// per-offset window scan).
+    pub oracle_cut_evals: u64,
+    /// Rounding/strategy-evaluation passes performed by offline oracles
+    /// (unsplit rounding sweeps and candidate-rotation evaluations).
+    pub oracle_rounding_passes: u64,
 }
 
 impl WorkCounters {
@@ -83,6 +90,8 @@ impl WorkCounters {
             ("hst_node_visits", self.hst_node_visits),
             ("hst_cache_hits", self.hst_cache_hits),
             ("coupling_follows", self.coupling_follows),
+            ("oracle_cut_evals", self.oracle_cut_evals),
+            ("oracle_rounding_passes", self.oracle_rounding_passes),
         ]
     }
 
@@ -108,13 +117,14 @@ impl WorkCounters {
         self.hst_node_visits += other.hst_node_visits;
         self.hst_cache_hits += other.hst_cache_hits;
         self.coupling_follows += other.coupling_follows;
+        self.oracle_cut_evals += other.oracle_cut_evals;
+        self.oracle_rounding_passes += other.oracle_rounding_passes;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use serde::{Deserialize as _, Serialize as _};
 
     #[test]
     fn named_covers_every_field_exactly_once() {
@@ -131,11 +141,13 @@ mod tests {
             hst_node_visits: 8,
             hst_cache_hits: 9,
             coupling_follows: 10,
+            oracle_cut_evals: 11,
+            oracle_rounding_passes: 12,
         };
         let named = c.named();
         assert_eq!(named.len(), NUM_WORK_METRICS);
         let values: Vec<u64> = named.iter().map(|&(_, v)| v).collect();
-        assert_eq!(values, (1..=10).collect::<Vec<u64>>());
+        assert_eq!(values, (1..=12).collect::<Vec<u64>>());
         let mut names: Vec<&str> = named.iter().map(|&(n, _)| n).collect();
         names.sort_unstable();
         names.dedup();

@@ -1,0 +1,308 @@
+//! The [`OfflineOracle`] trait: interchangeable offline comparators.
+//!
+//! Every ratio experiment needs the other side of the fraction, but the
+//! exact solvers in this crate have wildly different feasibility
+//! envelopes: [`crate::dynamic_opt`] is exact and tiny (n ≤ 12),
+//! [`crate::interval_opt`] is exact per interval but only a
+//! constant-factor comparator, and the ring-loading oracle in
+//! `rdbp_ringload` scales to tens of thousands of processes. The trait
+//! makes them interchangeable behind one surface so the sim binary, the
+//! engine registry and the `exp_*` sweeps can swap comparators with a
+//! flag (DESIGN.md §13).
+//!
+//! ## Tolerance contract
+//!
+//! * [`OfflineOracle::lower_bound`] must return a **certified lower
+//!   bound** on the cost (communication + migrations) of *any* offline
+//!   schedule that respects capacity `k`, starting from `initial` —
+//!   with one documented exception: [`IntervalOracle`] returns the raw
+//!   `OPT_R` comparator of Lemma 3.3, which lower-bounds the optimum
+//!   only up to that lemma's constant. `0.0` is always sound, and is
+//!   what oracles return outside their feasible envelope.
+//! * [`OfflineOracle::opt_cost`] returns the **exact** optimum when the
+//!   oracle can certify it, `None` otherwise.
+//! * [`OfflineOracle::upper_bound`] returns the cost of an explicit
+//!   feasible schedule (an upper bound on the optimum); by default the
+//!   exact optimum itself.
+//!
+//! So for every oracle and instance:
+//! `lower_bound ≤ OPT ≤ upper_bound` (when the latter is `Some`), and
+//! `tests/ringload_oracle.rs` machine-checks the sandwich against
+//! [`crate::dynamic_opt`] wherever the exact solver is feasible.
+
+use rdbp_model::{Edge, Placement, RingInstance, WorkCounters};
+use serde::{DeError, Deserialize, Serialize, Value};
+
+use crate::{dynamic_opt, interval_opt, IntervalLayout};
+
+/// An interchangeable offline comparator for ratio experiments.
+///
+/// Methods take `&mut self` so implementations can keep deterministic
+/// work counters (surfaced via [`OfflineOracle::work_counters`] and
+/// merged into the perf-gate ledger by callers).
+pub trait OfflineOracle {
+    /// Stable oracle name (doubles as the registry key).
+    fn name(&self) -> &'static str;
+
+    /// Whether the oracle's certified envelope covers `instance`.
+    /// Outside it, `lower_bound` degrades to a trivial bound and
+    /// `opt_cost` returns `None`.
+    fn supports(&self, instance: &RingInstance) -> bool {
+        let _ = instance;
+        true
+    }
+
+    /// A certified lower bound on the optimal offline cost for `trace`
+    /// (see the module docs for the exact contract).
+    fn lower_bound(&mut self, instance: &RingInstance, initial: &Placement, trace: &[Edge]) -> f64;
+
+    /// The exact optimum, when this oracle can certify it.
+    fn opt_cost(
+        &mut self,
+        instance: &RingInstance,
+        initial: &Placement,
+        trace: &[Edge],
+    ) -> Option<f64>;
+
+    /// The cost of an explicit feasible offline schedule — a certified
+    /// upper bound on the optimum. Defaults to the exact optimum.
+    fn upper_bound(
+        &mut self,
+        instance: &RingInstance,
+        initial: &Placement,
+        trace: &[Edge],
+    ) -> Option<f64> {
+        self.opt_cost(instance, initial, trace)
+    }
+
+    /// The deterministic work this oracle performed so far (the
+    /// `oracle_*` metrics of [`WorkCounters`]); zero for the exact
+    /// solvers, which are gated on wall-clock-irrelevant sizes.
+    fn work_counters(&self) -> WorkCounters {
+        WorkCounters::default()
+    }
+}
+
+/// The exact brute-force dynamic optimum ([`dynamic_opt`]) as an
+/// oracle. Certifies `OPT` exactly inside its envelope (`n ≤ 12`,
+/// `ℓ ≤ 5`) and degrades to the trivial lower bound `0` outside it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactDynamicOracle;
+
+impl OfflineOracle for ExactDynamicOracle {
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+
+    fn supports(&self, instance: &RingInstance) -> bool {
+        instance.n() <= 12 && instance.servers() <= 5
+    }
+
+    fn lower_bound(&mut self, instance: &RingInstance, initial: &Placement, trace: &[Edge]) -> f64 {
+        if self.supports(instance) {
+            dynamic_opt(instance, initial, trace) as f64
+        } else {
+            0.0
+        }
+    }
+
+    fn opt_cost(
+        &mut self,
+        instance: &RingInstance,
+        initial: &Placement,
+        trace: &[Edge],
+    ) -> Option<f64> {
+        self.supports(instance)
+            .then(|| dynamic_opt(instance, initial, trace) as f64)
+    }
+}
+
+/// The interval-based optimum `OPT_R` of Lemma 3.3 as an oracle.
+///
+/// `OPT_R` is the comparator the F3 sweep plots against: exact per
+/// interval, but a lower bound on the true dynamic optimum only up to
+/// the constant of Lemma 3.3 — which is why ratios against it are
+/// labelled `cost/OPT_R`, never competitive ratios. `opt_cost` is
+/// therefore always `None`.
+#[derive(Debug, Clone, Copy)]
+pub struct IntervalOracle {
+    /// Augmentation slack ε the interval geometry is derived for.
+    pub epsilon: f64,
+    /// Interval shift `R ∈ {0,…,k′−1}` (the algorithm under test draws
+    /// it randomly; pass the same value to compare like with like).
+    pub shift: u32,
+}
+
+impl Default for IntervalOracle {
+    fn default() -> Self {
+        Self {
+            epsilon: 0.5,
+            shift: 0,
+        }
+    }
+}
+
+impl OfflineOracle for IntervalOracle {
+    fn name(&self) -> &'static str {
+        "interval"
+    }
+
+    fn lower_bound(
+        &mut self,
+        instance: &RingInstance,
+        _initial: &Placement,
+        trace: &[Edge],
+    ) -> f64 {
+        let layout = IntervalLayout::new(instance, self.epsilon, self.shift);
+        interval_opt(&layout, trace).total
+    }
+
+    fn opt_cost(
+        &mut self,
+        _instance: &RingInstance,
+        _initial: &Placement,
+        _trace: &[Edge],
+    ) -> Option<f64> {
+        None
+    }
+}
+
+/// One oracle evaluation against an observed run, ready for reporting.
+///
+/// Deliberately *not* part of [`rdbp_model::RunReport`]: the run report
+/// derives `Eq` and is pinned byte-for-byte by the snapshot/wire tests,
+/// while oracle bounds are `f64`s computed after the run. The sim
+/// binary composes the two side by side instead
+/// (`{"report": …, "oracle": …}`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleReport {
+    /// Name of the oracle that produced the bounds.
+    pub oracle: String,
+    /// The observed online cost (communication + migrations).
+    pub cost: u64,
+    /// The oracle's certified lower bound.
+    pub lower_bound: f64,
+    /// The oracle's certified upper bound on the optimum, if it
+    /// produced one.
+    pub upper_bound: Option<f64>,
+    /// `cost / max(lower_bound, 1)` — an upper bound on the true
+    /// competitive ratio of this run.
+    pub ratio: f64,
+}
+
+impl OracleReport {
+    /// Builds a report, deriving the ratio with the `max(·, 1)` guard
+    /// (a zero lower bound must not divide).
+    #[must_use]
+    pub fn new(
+        oracle: impl Into<String>,
+        cost: u64,
+        lower_bound: f64,
+        upper_bound: Option<f64>,
+    ) -> Self {
+        Self {
+            oracle: oracle.into(),
+            cost,
+            lower_bound,
+            upper_bound,
+            ratio: cost as f64 / lower_bound.max(1.0),
+        }
+    }
+}
+
+impl Serialize for OracleReport {
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("oracle".into(), self.oracle.to_value()),
+            ("cost".into(), self.cost.to_value()),
+            ("lower_bound".into(), self.lower_bound.to_value()),
+            (
+                "upper_bound".into(),
+                match self.upper_bound {
+                    Some(u) => u.to_value(),
+                    None => Value::Null,
+                },
+            ),
+            ("ratio".into(), self.ratio.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for OracleReport {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let upper_bound = match v.get_field("upper_bound")? {
+            Value::Null => None,
+            other => Some(f64::from_value(other)?),
+        };
+        Ok(Self {
+            oracle: String::from_value(v.get_field("oracle")?)?,
+            cost: u64::from_value(v.get_field("cost")?)?,
+            lower_bound: f64::from_value(v.get_field("lower_bound")?)?,
+            upper_bound,
+            ratio: f64::from_value(v.get_field("ratio")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_trace(instance: &RingInstance) -> Vec<Edge> {
+        (0..40u64).map(|i| instance.edge(i * 3 + 1)).collect()
+    }
+
+    #[test]
+    fn exact_oracle_is_its_own_sandwich() {
+        let inst = RingInstance::packed(2, 4);
+        let initial = Placement::contiguous(&inst);
+        let trace = tiny_trace(&inst);
+        let mut oracle = ExactDynamicOracle;
+        assert!(oracle.supports(&inst));
+        let lb = oracle.lower_bound(&inst, &initial, &trace);
+        let opt = oracle.opt_cost(&inst, &initial, &trace).unwrap();
+        let ub = oracle.upper_bound(&inst, &initial, &trace).unwrap();
+        assert_eq!(lb, opt);
+        assert_eq!(ub, opt);
+        assert_eq!(opt, dynamic_opt(&inst, &initial, &trace) as f64);
+    }
+
+    #[test]
+    fn exact_oracle_degrades_gracefully_outside_its_envelope() {
+        let inst = RingInstance::packed(8, 32);
+        let initial = Placement::contiguous(&inst);
+        let trace = tiny_trace(&inst);
+        let mut oracle = ExactDynamicOracle;
+        assert!(!oracle.supports(&inst));
+        assert_eq!(oracle.lower_bound(&inst, &initial, &trace), 0.0);
+        assert_eq!(oracle.opt_cost(&inst, &initial, &trace), None);
+    }
+
+    #[test]
+    fn interval_oracle_matches_the_f3_comparator() {
+        let inst = RingInstance::packed(4, 8);
+        let initial = Placement::contiguous(&inst);
+        let trace = tiny_trace(&inst);
+        let mut oracle = IntervalOracle {
+            epsilon: 0.5,
+            shift: 3,
+        };
+        let layout = IntervalLayout::new(&inst, 0.5, 3);
+        let direct = interval_opt(&layout, &trace).total;
+        assert_eq!(oracle.lower_bound(&inst, &initial, &trace), direct);
+        assert_eq!(oracle.opt_cost(&inst, &initial, &trace), None);
+        assert_eq!(oracle.upper_bound(&inst, &initial, &trace), None);
+    }
+
+    #[test]
+    fn oracle_report_guards_the_ratio_and_round_trips() {
+        let r = OracleReport::new("ringload", 120, 40.0, Some(90.0));
+        assert_eq!(r.ratio, 3.0);
+        let zero = OracleReport::new("ringload", 7, 0.0, None);
+        assert_eq!(zero.ratio, 7.0, "max(lb,1) guard");
+        for report in [&r, &zero] {
+            let back = OracleReport::from_value(&report.to_value()).unwrap();
+            assert_eq!(&back, report);
+        }
+    }
+}

@@ -51,7 +51,13 @@ impl Args {
             }
             if matches!(
                 name,
-                "opt" | "audit" | "json" | "counters" | "list-algorithms" | "list-workloads"
+                "opt"
+                    | "audit"
+                    | "json"
+                    | "counters"
+                    | "ratio"
+                    | "list-algorithms"
+                    | "list-workloads"
             ) {
                 map.insert(name.to_string(), "true".to_string());
                 continue;
@@ -101,6 +107,11 @@ fn print_help() {
          --batch N        serve in batches of N through the batch driver\n\
          \x20                (identical report; incompatible with --opt and traces)\n\
          --opt            also compute the exact static-OPT lower bound\n\
+         --ratio          also compare against an offline oracle: report\n\
+         \x20                cost / oracle-LB (and the oracle's UB when it has\n\
+         \x20                one); with --json adds an \"oracle\" object\n\
+         --opt-oracle O   oracle for --ratio: exact|interval|ringload\n\
+         \x20                (default ringload; `exact` needs a tiny instance)\n\
          --audit          run with full per-step auditing\n\
          --json           print the run report as JSON\n\
          --counters       also print the deterministic work counters\n\
@@ -190,7 +201,7 @@ fn main() {
         n
     });
     if batch.is_some() {
-        for incompatible in ["opt", "save-trace", "load-trace"] {
+        for incompatible in ["opt", "ratio", "save-trace", "load-trace"] {
             if args.0.contains_key(incompatible) {
                 fail(format!(
                     "--batch serves without per-step events and cannot be combined \
@@ -227,20 +238,55 @@ fn main() {
     });
     // The counted entry points are the same runs with the work-counter
     // ledger surfaced on the side — identical reports either way.
-    let (report, counters) = match (&loaded, batch) {
+    let (report, mut counters) = match (&loaded, batch) {
         (Some(t), _) => prepared.replay_counted(&t.requests, &mut recorder),
         (None, Some(n)) => prepared.run_batched_counted(n, &mut rdbp::model::NoopObserver),
         (None, None) => prepared.run_counted(&mut recorder),
     };
     let requests = recorder.into_requests();
 
+    // --ratio compares the run against an offline oracle on the exact
+    // trace just served (DESIGN.md §13). The oracle's own work shows up
+    // in the counters, so a perf-gated CLI run accounts for it too.
+    let oracle_report = if args.flag("ratio") {
+        let spec = OracleSpec::named(args.str("opt-oracle", "ringload"));
+        let mut oracle = registries
+            .oracles
+            .resolve(&spec, &inst)
+            .unwrap_or_else(|e| fail(e));
+        if !oracle.supports(&inst) {
+            fail(format!(
+                "oracle `{}` does not support n={} ℓ={} k={} — try --opt-oracle ringload",
+                spec.name,
+                inst.n(),
+                inst.servers(),
+                inst.capacity()
+            ));
+        }
+        let initial = Placement::contiguous(&inst);
+        let lb = oracle.lower_bound(&inst, &initial, &requests);
+        let ub = oracle.upper_bound(&inst, &initial, &requests);
+        counters.merge(&oracle.work_counters());
+        Some(OracleReport::new(
+            oracle.name(),
+            report.ledger.total(),
+            lb,
+            ub,
+        ))
+    } else {
+        None
+    };
+
     if args.flag("json") {
-        let text = if args.flag("counters") {
-            let wrapped = Value::Obj(vec![
-                ("report".into(), report.to_value()),
-                ("counters".into(), counters.to_value()),
-            ]);
-            serde_json::to_string(&JsonValue(wrapped))
+        let text = if args.flag("counters") || oracle_report.is_some() {
+            let mut fields = vec![("report".into(), report.to_value())];
+            if args.flag("counters") {
+                fields.push(("counters".into(), counters.to_value()));
+            }
+            if let Some(orep) = &oracle_report {
+                fields.push(("oracle".into(), orep.to_value()));
+            }
+            serde_json::to_string(&JsonValue(Value::Obj(fields)))
         } else {
             serde_json::to_string(&report)
         }
@@ -268,6 +314,15 @@ fn main() {
             for (name, value) in counters.named() {
                 println!("  {name:<20} {value}");
             }
+        }
+        if let Some(orep) = &oracle_report {
+            let ub = orep
+                .upper_bound
+                .map_or_else(|| "n/a".to_string(), |u| format!("{u:.1}"));
+            println!(
+                "oracle {}: LB {:.1} UB {ub} → ratio {:.2}",
+                orep.oracle, orep.lower_bound, orep.ratio
+            );
         }
     }
 

@@ -23,7 +23,13 @@
 //!   optimal-transport couplings;
 //! * [`offline`] — every comparator the analysis uses:
 //!   exact static OPT, exact tiny dynamic OPT, interval-based `OPT_R`,
-//!   the Lemma 3.4 well-behaved strategy, lower-bound adversaries;
+//!   the Lemma 3.4 well-behaved strategy, lower-bound adversaries, and
+//!   the [`OfflineOracle`](rdbp_offline::OfflineOracle) trait
+//!   unifying them for ratio reporting;
+//! * [`ringload`] — the fast ring-loading OPT oracle: the
+//!   classical `O(n²)` split/unsplit ring-loading solver
+//!   (demands-across-cuts, tight cuts, rounding) and the scalable
+//!   certified-bound oracle behind the S6 ratio sweep (DESIGN.md §13);
 //! * [`baselines`] — the straw men: never-move, greedy
 //!   swapping, component-growing deterministic repartitioners;
 //! * [`engine`] — the scenario engine: serializable
@@ -66,6 +72,7 @@ pub use rdbp_engine as engine;
 pub use rdbp_model as model;
 pub use rdbp_mts as mts;
 pub use rdbp_offline as offline;
+pub use rdbp_ringload as ringload;
 pub use rdbp_serve as serve;
 pub use rdbp_smin as smin;
 
@@ -75,8 +82,8 @@ pub mod prelude {
     pub use rdbp_core::staticmodel::HittingGame;
     pub use rdbp_core::{DynamicConfig, DynamicPartitioner, StaticConfig, StaticPartitioner};
     pub use rdbp_engine::{
-        summarize, AlgorithmRegistry, AlgorithmSpec, AuditSpec, InstanceSpec, Registries, Scenario,
-        ScenarioGrid, SpecError, WorkloadRegistry, WorkloadSpec,
+        summarize, AlgorithmRegistry, AlgorithmSpec, AuditSpec, InstanceSpec, OracleRegistry,
+        OracleSpec, Registries, Scenario, ScenarioGrid, SpecError, WorkloadRegistry, WorkloadSpec,
     };
     pub use rdbp_model::observers;
     pub use rdbp_model::workload;
@@ -86,6 +93,10 @@ pub mod prelude {
         RingInstance, RunReport, Segment, Server, StepEvent,
     };
     pub use rdbp_mts::PolicyKind;
-    pub use rdbp_offline::{dynamic_opt, interval_opt, static_opt, IntervalLayout};
+    pub use rdbp_offline::{
+        dynamic_opt, interval_opt, static_opt, ExactDynamicOracle, IntervalLayout, IntervalOracle,
+        OfflineOracle, OracleReport,
+    };
+    pub use rdbp_ringload::{Demand, RingLoading, RingloadOracle, Routing};
     pub use rdbp_serve::{Session, SessionManager};
 }

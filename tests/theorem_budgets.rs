@@ -4,6 +4,7 @@
 //! linear-in-k behaviour).
 
 use rdbp::core::staticmodel::HittingGame;
+use rdbp::engine::mean;
 use rdbp::model::workload::{record, UniformRandom};
 use rdbp::prelude::*;
 
@@ -25,7 +26,7 @@ fn hitting_game_stays_logarithmic() {
             }
             ratios.push(g.cost() as f64 / g.opt_static().max(1) as f64);
         }
-        let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        let mean = mean(&ratios);
         let budget = 10.0 * (k as f64).ln() + 8.0;
         assert!(
             mean <= budget,
@@ -58,7 +59,7 @@ fn dynamic_ratio_stays_polylog() {
             let opt_r = interval_opt(&layout, &trace).total.max(1.0);
             ratios.push(r.ledger.total() as f64 / opt_r);
         }
-        let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        let mean = mean(&ratios);
         let logk = f64::from(k).ln();
         let budget = 4.0 * logk * logk + 8.0;
         assert!(
@@ -87,7 +88,7 @@ fn static_ratio_stays_polylog() {
             let r = run_trace(&mut alg, &requests, AuditLevel::None);
             ratios.push(r.ledger.total() as f64 / opt.weight.max(1) as f64);
         }
-        let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        let mean = mean(&ratios);
         let logk = f64::from(k).ln();
         let budget = 6.0 * logk * logk + 10.0;
         assert!(
