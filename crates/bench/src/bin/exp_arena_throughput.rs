@@ -1,0 +1,162 @@
+//! **S7** — serve-path throughput after the data-oriented hot-path
+//! rewrite (DESIGN.md §14): the HstHedge hierarchy flattened into a
+//! BFS arena with branching ≤ 4 (O(depth) hit walks, tree-descent
+//! coupling, generation-stamped caches) and the `Placement` moved to
+//! SoA (load histogram + columnar migration journal).
+//!
+//! Two tables:
+//!
+//! 1. the S1/S2-shaped `SessionManager` throughput sweep (identical
+//!    sessions, seeds and batch shape, so the rows diff directly
+//!    against the S1/S2 records in EXPERIMENTS.md), and
+//! 2. the layout ledger: exact work counters of the pinned
+//!    `dyn-hedge-zipf-b1000-none` perf-gate scenario plus the arena
+//!    debug accessors (`hst_arena_bytes` / `hst_levels`) — the
+//!    counter-side before/after of the rewrite
+//!    (`hst_node_visits ÷ requests`).
+//!
+//! Like S2 this doubles as a smoke: the process exits nonzero on any
+//! violation, lost request, or zero throughput.
+
+use std::time::Instant;
+
+use rdbp_bench::{f3, full_profile, Table};
+use rdbp_engine::{AlgorithmSpec, AuditSpec, InstanceSpec, Registries, Scenario, WorkloadSpec};
+use rdbp_model::{split_mix64, NoopObserver};
+use rdbp_mts::HstHedge;
+use rdbp_serve::{SessionManager, Work};
+
+fn scenario(seed: u64, audit: AuditSpec) -> Scenario {
+    let mut algorithm = AlgorithmSpec::named("dynamic");
+    algorithm.policy = Some("hedge".into());
+    let mut s = Scenario::new(
+        InstanceSpec::packed(8, 32),
+        algorithm,
+        WorkloadSpec::named("uniform"),
+        0,
+    );
+    s.seed = seed;
+    s.audit = audit;
+    s
+}
+
+/// Drives `sessions` concurrent sessions for `total` requests each;
+/// returns aggregate requests/second. Same harness as S2
+/// (`exp_serve_throughput`), so the rows are directly comparable.
+fn measure(sessions: u64, total: u64, batch: u64, audit: AuditSpec) -> f64 {
+    let manager = SessionManager::with_default_workers();
+    let ids: Vec<u64> = (0..sessions)
+        .map(|i| {
+            manager
+                .create(scenario(split_mix64(i), audit))
+                .expect("create session")
+                .id
+        })
+        .collect();
+    let start = Instant::now();
+    crossbeam::thread::scope(|scope| {
+        for &id in &ids {
+            let manager = &manager;
+            scope.spawn(move |_| {
+                let mut left = total;
+                while left > 0 {
+                    let take = left.min(batch);
+                    manager.submit(id, Work::Generate(take)).expect("submit");
+                    left -= take;
+                }
+            });
+        }
+    })
+    .expect("session threads");
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = manager.shutdown();
+    assert_eq!(stats.total_served, sessions * total);
+    assert_eq!(stats.total_violations, 0, "audited runs must stay clean");
+    let throughput = (sessions * total) as f64 / elapsed;
+    assert!(
+        throughput > 0.0 && throughput.is_finite(),
+        "throughput collapsed to zero"
+    );
+    throughput
+}
+
+fn main() {
+    let (per_session, batch) = if full_profile() {
+        (200_000u64, 1_000u64)
+    } else {
+        (20_000u64, 500u64)
+    };
+    let mut table = Table::new(
+        "S7 — arena serve-path throughput (dynamic×uniform, ℓ=8 k=32)",
+        &[
+            "sessions",
+            "requests",
+            "audit=none req/s",
+            "audit=full req/s",
+            "full/none",
+        ],
+    );
+    for sessions in [1u64, 4, 16] {
+        // Warm-up pass so thread-pool spin-up is off the books.
+        let _ = measure(sessions, per_session / 10, batch, AuditSpec::None);
+        let unaudited = measure(sessions, per_session, batch, AuditSpec::None);
+        let audited = measure(sessions, per_session, batch, AuditSpec::Full);
+        table.row(vec![
+            sessions.to_string(),
+            (sessions * per_session).to_string(),
+            f3(unaudited),
+            f3(audited),
+            f3(audited / unaudited),
+        ]);
+    }
+    table.emit("s7_arena_throughput");
+    println!("Compare against the S2/S3 records in EXPERIMENTS.md (same shape and seeds).");
+
+    // The layout ledger: exact counters of the pinned perf-gate hedge
+    // scenario (the very case the committed baseline gates), plus the
+    // arena debug accessors at the scenario's per-interval state count
+    // (k′ = ⌈1.5·32⌉ = 48).
+    let mut pinned = scenario(0x5EED + 40_000, AuditSpec::None);
+    pinned.workload = WorkloadSpec::named("zipf");
+    pinned.steps = 40_000;
+    let prepared = pinned
+        .resolve(&Registries::builtin())
+        .expect("pinned scenario resolves");
+    let (report, counters) = prepared.run_batched_counted(1_000, &mut NoopObserver);
+    assert_eq!(report.steps, 40_000);
+    let probe = HstHedge::new(48, 24, 1);
+    let mut ledger = Table::new(
+        "S7 — HstHedge layout ledger (dyn-hedge-zipf-b1000-none)",
+        &["metric", "value"],
+    );
+    ledger.row(vec!["requests".into(), counters.requests.to_string()]);
+    ledger.row(vec![
+        "policy_serve_hit".into(),
+        counters.policy_serve_hit.to_string(),
+    ]);
+    ledger.row(vec![
+        "hst_node_visits".into(),
+        counters.hst_node_visits.to_string(),
+    ]);
+    ledger.row(vec![
+        "hst_visits_per_req".into(),
+        f3(counters.hst_node_visits as f64 / counters.requests.max(1) as f64),
+    ]);
+    ledger.row(vec![
+        "hst_cache_hits".into(),
+        counters.hst_cache_hits.to_string(),
+    ]);
+    ledger.row(vec![
+        "coupling_follows".into(),
+        counters.coupling_follows.to_string(),
+    ]);
+    ledger.row(vec![
+        "hst_levels (n=48)".into(),
+        probe.hst_levels().to_string(),
+    ]);
+    ledger.row(vec![
+        "hst_arena_bytes (n=48)".into(),
+        probe.hst_arena_bytes().to_string(),
+    ]);
+    ledger.emit("s7_arena_ledger");
+}

@@ -105,8 +105,6 @@ fn main() {
             f3(audited / unaudited),
         ]);
     }
-    table.print();
-    table.write_csv("s2_serve_throughput");
-    println!("\nNote: run with --release for meaningful numbers.");
+    table.emit("s2_serve_throughput");
     println!("Compare against the PR-3 baseline in bench_results/s1_serve_throughput.csv.");
 }

@@ -80,7 +80,5 @@ fn main() {
         ]);
     }
 
-    table.print();
-    println!("\nNote: run with --release for meaningful numbers.");
-    table.write_csv("t3_throughput");
+    table.emit("t3_throughput");
 }

@@ -1,4 +1,4 @@
-//! Runs the complete experiment suite (F1–F7, T1–T4, S2, S4–S5,
+//! Runs the complete experiment suite (F1–F7, T1–T4, S2, S4–S7,
 //! A1–A3) in sequence, as recorded in EXPERIMENTS.md. Set
 //! `RDBP_FULL=1` for publication-size sweeps (the nightly CI
 //! `full-sweep` job does).
@@ -21,6 +21,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp_ratio_sweep",
     "exp_throughput",
     "exp_serve_throughput",
+    "exp_arena_throughput",
     "exp_serve_scaling",
     "exp_cluster_scaling",
     "exp_well_behaved",

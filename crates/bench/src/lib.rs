@@ -133,6 +133,17 @@ impl Table {
         }
         println!("[csv] {}", path.display());
     }
+
+    /// The shared experiment tail: prints the aligned table, writes it
+    /// as `bench_results/<csv_name>.csv`, and reminds the reader that
+    /// debug-profile numbers are meaningless. Every `exp_*` binary used
+    /// to hand-roll this trio; promoted here alongside the shared
+    /// [`mean`] so the binaries end identically.
+    pub fn emit(&self, csv_name: &str) {
+        self.print();
+        self.write_csv(csv_name);
+        println!("\nNote: run with --release for meaningful numbers.");
+    }
 }
 
 /// Least-squares scale `a` minimizing `Σ (y - a·g)²` — used to check

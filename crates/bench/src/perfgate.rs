@@ -218,6 +218,23 @@ fn diff_case(base: &CaseResult, new: &CaseResult, config: &GateConfig, out: &mut
         gating: false,
         ok: true,
     });
+    // Derived layout-efficiency ratio: hierarchy-node touches per
+    // request. Report-only (it is a quotient of two gated counters, so
+    // it can never disagree with the gate) — surfaced so data-layout
+    // wins/regressions in the HstHedge hot path are visible at a
+    // glance. Only emitted for cases that exercise the hierarchy at
+    // all.
+    if base.counters.hst_node_visits > 0 || new.counters.hst_node_visits > 0 {
+        let per_req = |visits: u64, requests: u64| visits as f64 / requests.max(1) as f64;
+        out.rows.push(DiffRow {
+            case: base.id.clone(),
+            metric: "hst_visits_per_req".to_string(),
+            base: per_req(base.counters.hst_node_visits, base.counters.requests),
+            new: per_req(new.counters.hst_node_visits, new.counters.requests),
+            gating: false,
+            ok: true,
+        });
+    }
 }
 
 #[cfg(test)]
@@ -269,6 +286,32 @@ mod tests {
         assert_eq!(failures[0].new, 8.0);
         // The table renders without panicking and marks the failure.
         let _ = cmp.table();
+    }
+
+    #[test]
+    fn hst_visits_per_req_is_derived_and_report_only() {
+        let with_hst = |visits: u64| {
+            let mut r = report(7, 500);
+            r.cases[0].counters.hst_node_visits = visits;
+            r
+        };
+        // A hedge case surfaces the ratio; halving the visit count is
+        // visible in the derived row yet (being derived) never gates on
+        // its own — the underlying counter row is what fails.
+        let cmp = compare(&with_hst(600), &with_hst(300), &GateConfig::default());
+        let row = cmp
+            .rows
+            .iter()
+            .find(|r| r.metric == "hst_visits_per_req")
+            .expect("derived ratio row");
+        assert!(!row.gating && row.ok);
+        assert_eq!(row.base, 6.0);
+        assert_eq!(row.new, 3.0);
+        assert!(!cmp.passed(), "the raw hst_node_visits row still gates");
+        // Cases that never touch the hierarchy (e.g. WFA-only) stay
+        // ratio-free.
+        let cmp = compare(&report(7, 500), &report(7, 500), &GateConfig::default());
+        assert!(cmp.rows.iter().all(|r| r.metric != "hst_visits_per_req"));
     }
 
     #[test]

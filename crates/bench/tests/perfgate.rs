@@ -98,6 +98,18 @@ fn counters_reflect_real_work_per_family() {
         "the partitioner never materializes cost vectors"
     );
     assert!(hedge.counters.hst_node_visits > 0);
+    // Arena depth pin: the 4-ary BFS arena (DESIGN.md §14) serves a
+    // point request by walking at most one family per level above the
+    // leaves — never more than 3 for the state counts the pinned
+    // suite uses. The pre-arena binary hierarchy averaged ~5.6 visits
+    // per serve; a regression past 3× serve count means the flat walk
+    // lost its shape.
+    assert!(
+        hedge.counters.hst_node_visits <= 3 * hedge.counters.policy_serve_hit,
+        "arena hit walk exceeded the 4-ary depth bound: {} visits for {} serves",
+        hedge.counters.hst_node_visits,
+        hedge.counters.policy_serve_hit
+    );
     assert!(hedge.counters.coupling_follows > 0);
 
     let wfa = report.case("mini-wfa").unwrap();
@@ -339,4 +351,23 @@ fn committed_baseline_matches_the_pinned_suite_shape() {
         committed, pinned,
         "baseline cases diverged from the pinned suite — regenerate BENCH_main.json"
     );
+
+    // Arena-era efficiency pin: every hedge-bearing committed case
+    // must stay strictly below the pre-arena (pointer-tree, binary
+    // hierarchy) visit rates — e.g. dyn-hedge-zipf-b1000-none carried
+    // 235 296 visits over 40 000 requests (5.88/req) before the
+    // flattening, against ~3.06/req after. A committed baseline back
+    // above 4 visits/request means the data-oriented serve path
+    // regressed to pointer-tree workloads.
+    for case in &baseline.cases {
+        if case.counters.hst_node_visits == 0 {
+            continue;
+        }
+        let per_req = case.counters.hst_node_visits as f64 / case.counters.requests.max(1) as f64;
+        assert!(
+            per_req < 4.0,
+            "case {}: {per_req:.3} hst visits/request exceeds the arena bound",
+            case.id
+        );
+    }
 }

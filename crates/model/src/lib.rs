@@ -40,7 +40,7 @@ pub mod workload;
 pub use counters::{WorkCounters, NUM_WORK_METRICS};
 pub use instance::{Edge, Process, RingInstance, Segment, Server};
 pub use ledger::CostLedger;
-pub use placement::{MigrationRecord, Placement};
+pub use placement::{JournalIter, MigrationJournal, MigrationRecord, Placement};
 pub use seed::split_mix64;
 pub use sim::{
     run, run_batch, run_batch_counted, run_counted, run_observed, run_trace, run_trace_counted,

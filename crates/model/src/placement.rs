@@ -1,4 +1,14 @@
 //! Process→server assignments with incrementally maintained loads.
+//!
+//! Data-oriented layout (DESIGN.md §14): a [`Placement`] is a handful of
+//! parallel dense vectors — the assignment (`Vec<u32>`, one entry per
+//! process), the load histogram ([`LoadHistogram`]: per-server loads
+//! plus a per-level occupancy count backing the O(1) incremental max),
+//! and the migration journal ([`MigrationJournal`]: three parallel
+//! `Vec<u32>` columns instead of an array-of-structs). The audit's
+//! journal drain and the per-move load updates touch only these small
+//! contiguous arrays, so the placement side of a serve step stays
+//! cache-resident.
 
 use serde::{DeError, Deserialize, Serialize, Value};
 
@@ -19,6 +29,161 @@ pub struct MigrationRecord {
     /// The server it landed on (always ≠ `from`; same-server moves are
     /// not migrations and are never journaled).
     pub to: Server,
+}
+
+/// The buffered migration deltas, stored as a struct of arrays: three
+/// parallel `Vec<u32>` columns (process, from, to) appended in move
+/// order. Iteration yields [`MigrationRecord`]s by value, assembled on
+/// the fly — consumers keep their AoS view while the storage stays
+/// three dense, independently prefetchable columns.
+#[derive(Debug, Clone, Default)]
+pub struct MigrationJournal {
+    process: Vec<u32>,
+    from: Vec<u32>,
+    to: Vec<u32>,
+}
+
+impl MigrationJournal {
+    /// Number of buffered records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.process.len()
+    }
+
+    /// Whether the journal is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.process.is_empty()
+    }
+
+    /// The `i`-th record in append order.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[must_use]
+    pub fn get(&self, i: usize) -> MigrationRecord {
+        MigrationRecord {
+            process: Process(self.process[i]),
+            from: Server(self.from[i]),
+            to: Server(self.to[i]),
+        }
+    }
+
+    /// Iterates the records in append order (by value).
+    pub fn iter(&self) -> JournalIter<'_> {
+        JournalIter {
+            journal: self,
+            i: 0,
+        }
+    }
+
+    /// The records as an owned vector (test/debug convenience).
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<MigrationRecord> {
+        self.iter().collect()
+    }
+
+    fn push(&mut self, rec: MigrationRecord) {
+        self.process.push(rec.process.0);
+        self.from.push(rec.from.0);
+        self.to.push(rec.to.0);
+    }
+
+    fn clear(&mut self) {
+        self.process.clear();
+        self.from.clear();
+        self.to.clear();
+    }
+}
+
+/// Iterator over a [`MigrationJournal`], yielding records by value.
+#[derive(Debug)]
+pub struct JournalIter<'a> {
+    journal: &'a MigrationJournal,
+    i: usize,
+}
+
+impl Iterator for JournalIter<'_> {
+    type Item = MigrationRecord;
+
+    fn next(&mut self) -> Option<MigrationRecord> {
+        if self.i >= self.journal.len() {
+            return None;
+        }
+        let rec = self.journal.get(self.i);
+        self.i += 1;
+        Some(rec)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.journal.len() - self.i;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for JournalIter<'_> {}
+
+impl<'a> IntoIterator for &'a MigrationJournal {
+    type Item = MigrationRecord;
+    type IntoIter = JournalIter<'a>;
+
+    fn into_iter(self) -> JournalIter<'a> {
+        self.iter()
+    }
+}
+
+/// Server loads plus the occupancy histogram that makes the maximum
+/// load an O(1) query under ±1 load changes: `count[l]` is the number
+/// of servers currently at load `l` (length `n + 1`; a load can never
+/// exceed `n`), and `max` moves by at most 1 per update, dropping
+/// exactly when the last server leaves the top bucket.
+#[derive(Debug, Clone)]
+struct LoadHistogram {
+    loads: Vec<u32>,
+    count: Vec<u32>,
+    max: u32,
+    /// Work counter: times the incremental `max` changed.
+    max_updates: u64,
+}
+
+impl LoadHistogram {
+    fn new(loads: Vec<u32>, n: u32) -> Self {
+        let mut count = vec![0u32; n as usize + 1];
+        for &l in &loads {
+            count[l as usize] += 1;
+        }
+        let max = loads.iter().copied().max().unwrap_or(0);
+        Self {
+            loads,
+            count,
+            max,
+            max_updates: 0,
+        }
+    }
+
+    fn dec(&mut self, s: u32) {
+        let l = self.loads[s as usize];
+        self.loads[s as usize] = l - 1;
+        self.count[l as usize] -= 1;
+        self.count[l as usize - 1] += 1;
+        // The max drops (by exactly 1) iff the last max-load server just
+        // left the top bucket.
+        if l == self.max && self.count[l as usize] == 0 {
+            self.max -= 1;
+            self.max_updates += 1;
+        }
+    }
+
+    fn inc(&mut self, s: u32) {
+        let l = self.loads[s as usize];
+        self.loads[s as usize] = l + 1;
+        self.count[l as usize] -= 1;
+        self.count[l as usize + 1] += 1;
+        if l + 1 > self.max {
+            self.max = l + 1;
+            self.max_updates += 1;
+        }
+    }
 }
 
 /// An assignment of every process to a server, with server loads *and*
@@ -42,22 +207,13 @@ pub struct MigrationRecord {
 #[derive(Debug, Clone)]
 pub struct Placement {
     servers_of: Vec<u32>,
-    loads: Vec<u32>,
-    /// `load_count[l]` = number of servers currently at load `l`
-    /// (length `n + 1`; a load can never exceed `n`).
-    load_count: Vec<u32>,
-    /// Maximum entry of `loads`, maintained incrementally: loads change
-    /// by ±1 per migration, so the max moves by at most 1 per update and
-    /// `load_count` tells us exactly when it drops.
-    max: u32,
-    journal: Vec<MigrationRecord>,
+    hist: LoadHistogram,
+    journal: MigrationJournal,
     record_journal: bool,
     instance: RingInstance,
     /// Work counter: actual migrations performed (always on; plain u64
     /// add per move). Transient — never serialized, never compared.
     migrations: u64,
-    /// Work counter: times the incremental `max` changed.
-    max_load_updates: u64,
 }
 
 /// Placements compare by what they assert — the assignment (and its
@@ -103,21 +259,13 @@ impl Placement {
             assert!(s < instance.servers(), "server index {s} out of range");
             loads[s as usize] += 1;
         }
-        let mut load_count = vec![0u32; instance.n() as usize + 1];
-        for &l in &loads {
-            load_count[l as usize] += 1;
-        }
-        let max = loads.iter().copied().max().unwrap_or(0);
         Self {
             servers_of,
-            loads,
-            load_count,
-            max,
-            journal: Vec::new(),
+            hist: LoadHistogram::new(loads, instance.n()),
+            journal: MigrationJournal::default(),
             record_journal: false,
             instance: *instance,
             migrations: 0,
-            max_load_updates: 0,
         }
     }
 
@@ -133,30 +281,6 @@ impl Placement {
         Server(self.servers_of[p.0 as usize])
     }
 
-    fn dec_load(&mut self, s: u32) {
-        let l = self.loads[s as usize];
-        self.loads[s as usize] = l - 1;
-        self.load_count[l as usize] -= 1;
-        self.load_count[l as usize - 1] += 1;
-        // The max drops (by exactly 1) iff the last max-load server just
-        // left the top bucket.
-        if l == self.max && self.load_count[l as usize] == 0 {
-            self.max -= 1;
-            self.max_load_updates += 1;
-        }
-    }
-
-    fn inc_load(&mut self, s: u32) {
-        let l = self.loads[s as usize];
-        self.loads[s as usize] = l + 1;
-        self.load_count[l as usize] -= 1;
-        self.load_count[l as usize + 1] += 1;
-        if l + 1 > self.max {
-            self.max = l + 1;
-            self.max_load_updates += 1;
-        }
-    }
-
     /// Moves process `p` to server `s`. Returns `true` if this was an
     /// actual migration (different server), which costs 1 in the model.
     ///
@@ -168,8 +292,8 @@ impl Placement {
         if old == s.0 {
             return false;
         }
-        self.dec_load(old);
-        self.inc_load(s.0);
+        self.hist.dec(old);
+        self.hist.inc(s.0);
         self.servers_of[p.0 as usize] = s.0;
         self.migrations += 1;
         if self.record_journal {
@@ -197,20 +321,20 @@ impl Placement {
     /// Current load of server `s`.
     #[must_use]
     pub fn load(&self, s: Server) -> u32 {
-        self.loads[s.0 as usize]
+        self.hist.loads[s.0 as usize]
     }
 
     /// Maximum load over all servers — O(1), maintained incrementally
     /// across migrations (property-tested against a full rescan).
     #[must_use]
     pub fn max_load(&self) -> u32 {
-        self.max
+        self.hist.max
     }
 
     /// All server loads.
     #[must_use]
     pub fn loads(&self) -> &[u32] {
-        &self.loads
+        &self.hist.loads
     }
 
     /// Enables or disables migration journaling. Disabling clears any
@@ -230,21 +354,23 @@ impl Placement {
 
     /// The migrations journaled since the last drain/clear, in order.
     #[must_use]
-    pub fn journal(&self) -> &[MigrationRecord] {
+    pub fn journal(&self) -> &MigrationJournal {
         &self.journal
     }
 
-    /// Clears the journal, keeping its capacity (the auditing driver
-    /// calls this once per step, so steady-state auditing allocates
-    /// nothing).
+    /// Clears the journal, keeping its columns' capacity (the auditing
+    /// driver calls this once per step, so steady-state auditing
+    /// allocates nothing).
     pub fn clear_journal(&mut self) {
         self.journal.clear();
     }
 
-    /// Hands the buffered migration deltas to the caller, leaving the
-    /// journal empty (capacity retained).
-    pub fn drain_journal(&mut self) -> std::vec::Drain<'_, MigrationRecord> {
-        self.journal.drain(..)
+    /// Hands the buffered migration deltas to the caller as an owned
+    /// vector, leaving the journal empty (column capacity retained).
+    pub fn drain_journal(&mut self) -> Vec<MigrationRecord> {
+        let records = self.journal.to_vec();
+        self.journal.clear();
+        records
     }
 
     /// Whether the endpoints of ring edge `e` sit on different servers
@@ -296,14 +422,14 @@ impl Placement {
     /// changed since construction.
     #[must_use]
     pub fn max_load_updates(&self) -> u64 {
-        self.max_load_updates
+        self.hist.max_updates
     }
 
     /// Adds this placement's work counters into `out` (the
     /// [`crate::OnlineAlgorithm::work_counters`] plumbing).
     pub fn add_work_counters(&self, out: &mut WorkCounters) {
         out.migrations += self.migrations;
-        out.max_load_updates += self.max_load_updates;
+        out.max_load_updates += self.hist.max_updates;
     }
 }
 
@@ -427,7 +553,12 @@ mod tests {
                 },
             ]
         );
-        let drained: Vec<_> = p.drain_journal().collect();
+        // The SoA columns reassemble the same records however they are
+        // read: indexed, iterated, or drained.
+        assert_eq!(p.journal().get(0), journal[0]);
+        assert_eq!(p.journal().iter().len(), 2);
+        assert_eq!(p.journal().iter().collect::<Vec<_>>(), journal);
+        let drained = p.drain_journal();
         assert_eq!(drained, journal);
         assert!(p.journal().is_empty());
         assert!(p.journaling(), "draining keeps journaling armed");

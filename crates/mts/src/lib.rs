@@ -16,9 +16,10 @@
 //!   *static* optimum; it is the engine of the Section 4.1 hitting
 //!   game).
 //! * [`HstHedge`] — a randomized hierarchical multiplicative-weights
-//!   policy over a dyadic tree with per-node phase resets; the
-//!   documented substitution for the Bubeck–Cohen–Lee–Lee O(log²N) MTS
-//!   algorithm \[25\] (see DESIGN.md).
+//!   policy over a flat arena hierarchy (branching ≤ 4) with per-family
+//!   phase resets; the documented substitution for the
+//!   Bubeck–Cohen–Lee–Lee O(log²N) MTS algorithm \[25\] (see DESIGN.md
+//!   §§1, 14).
 //! * [`Marking`] — the classic randomized marking/phase policy for the
 //!   *uniform* metric, used for comparisons and inside tests.
 //! * [`offline`] — exact dynamic-programming optimum for line MTS
@@ -34,6 +35,7 @@ mod marking;
 pub mod offline;
 mod policy;
 mod smin_policy;
+mod vecops;
 mod workfn;
 
 pub use hst::HstHedge;

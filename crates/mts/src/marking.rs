@@ -106,9 +106,7 @@ impl MtsPolicy for Marking {
     fn serve(&mut self, costs: &[f64]) -> usize {
         validate_costs(costs, self.phase_cost.len());
         self.serves += 1;
-        for (acc, c) in self.phase_cost.iter_mut().zip(costs) {
-            *acc += c;
-        }
+        crate::vecops::add_assign(&mut self.phase_cost, costs);
         self.advance()
     }
 

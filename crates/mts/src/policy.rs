@@ -36,6 +36,25 @@ impl PolicyCounters {
         self.cache_hits += other.cache_hits;
         self.coupling_follows += other.coupling_follows;
     }
+
+    /// Componentwise `self − earlier`: the work performed between two
+    /// counter snapshots of the same policy (differential tests use
+    /// this to assert a restored twin pays exactly what the
+    /// uninterrupted one does).
+    ///
+    /// # Panics
+    /// Panics if any counter of `earlier` exceeds `self`'s (snapshots
+    /// out of order).
+    #[must_use]
+    pub fn diff(&self, earlier: &Self) -> Self {
+        Self {
+            serve_vector: self.serve_vector - earlier.serve_vector,
+            serve_hit: self.serve_hit - earlier.serve_hit,
+            node_visits: self.node_visits - earlier.node_visits,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            coupling_follows: self.coupling_follows - earlier.coupling_follows,
+        }
+    }
 }
 
 /// An online policy for a metrical task system on the **line metric**

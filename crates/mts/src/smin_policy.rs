@@ -110,9 +110,7 @@ impl MtsPolicy for SminGradient {
     fn serve(&mut self, costs: &[f64]) -> usize {
         validate_costs(costs, self.x.len());
         self.serves += 1;
-        for (xi, c) in self.x.iter_mut().zip(costs) {
-            *xi += c;
-        }
+        crate::vecops::add_assign(&mut self.x, costs);
         let dist = self.distribution();
         self.coupling.follow(&dist);
         self.coupling.state()

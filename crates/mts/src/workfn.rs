@@ -112,9 +112,7 @@ impl MtsPolicy for WorkFunction {
         self.serves += 1;
         // tmp(y) = w_{t-1}(y) + T_t(y); then min-plus with |y − x| via a
         // forward and a backward sweep (in `settle`).
-        for (s, (wv, c)) in self.scratch.iter_mut().zip(self.w.iter().zip(costs)) {
-            *s = wv + c;
-        }
+        crate::vecops::sum_into(&mut self.scratch, &self.w, costs);
         self.settle()
     }
 

@@ -1,8 +1,10 @@
 //! Cross-module property tests for the MTS crate: exactness of the
-//! offline DP, competitiveness sanity of each online policy.
+//! offline DP, competitiveness sanity of each online policy, and the
+//! arena-layout differentials (flat walk ≡ reference pointer tree,
+//! snapshot round-trips of the flattened caches).
 
 use proptest::prelude::*;
-use rdbp_mts::{offline, run_policy, PolicyKind};
+use rdbp_mts::{offline, run_policy, HstHedge, MtsPolicy, PolicyKind};
 
 /// Random unit-task sequences (the only task shape the partitioning
 /// reduction produces).
@@ -84,6 +86,133 @@ proptest! {
                 prop_assert!(s < 9);
                 prop_assert_eq!(s, p.state());
             }
+        }
+    }
+}
+
+/// A reference pointer tree built independently of the arena: the
+/// hierarchy as heap-allocated nodes with owned child vectors, split
+/// with the same near-equal rule (branching ≤ 4, first `width % arity`
+/// children one wider). This is the layout `HstHedge` used before the
+/// flattening — kept here as the oracle the arena walk is diffed
+/// against.
+struct RefNode {
+    lo: u32,
+    hi: u32,
+    children: Vec<RefNode>,
+}
+
+impl RefNode {
+    fn build(lo: u32, hi: u32) -> Self {
+        let width = (hi - lo) as usize;
+        let mut children = Vec::new();
+        if width >= 2 {
+            let arity = width.min(4);
+            let base = width / arity;
+            let rem = width % arity;
+            let mut cursor = lo;
+            for j in 0..arity {
+                let size = (base + usize::from(j < rem)) as u32;
+                children.push(Self::build(cursor, cursor + size));
+                cursor += size;
+            }
+            assert_eq!(cursor, hi, "children must tile the parent");
+        }
+        Self { lo, hi, children }
+    }
+
+    /// The families a pointer-tree hit walk on `state` updates, in
+    /// leaf→root order: descend to the leaf, record every internal
+    /// node on the way, reverse.
+    fn hit_path(&self, state: u32) -> Vec<(u32, u32)> {
+        let mut path = Vec::new();
+        let mut node = self;
+        while !node.children.is_empty() {
+            path.push((node.lo, node.hi));
+            node = node
+                .children
+                .iter()
+                .find(|c| c.lo <= state && state < c.hi)
+                .expect("children tile the parent");
+        }
+        assert_eq!(
+            (node.lo, node.hi),
+            (state, state + 1),
+            "walk ends at the leaf"
+        );
+        path.reverse();
+        path
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Tentpole differential: for every state of a random-size
+    /// hierarchy, the arena's flat hit walk visits exactly the node
+    /// sequence (order included) a reference pointer-tree walk visits.
+    #[test]
+    fn arena_hit_walk_matches_reference_pointer_tree(n in 1usize..96) {
+        let policy = HstHedge::new(n, n / 2, 11);
+        let reference = RefNode::build(0, n as u32);
+        for state in 0..n {
+            prop_assert_eq!(
+                policy.hit_path(state),
+                reference.hit_path(state as u32),
+                "n={} state={}", n, state
+            );
+        }
+    }
+
+    /// Snapshot round-trip of the flattened state: a restored twin
+    /// replays the continuation bit-identically — same realized
+    /// states, same leaf distribution — and performs exactly the same
+    /// work, including the cache bookkeeping the "one cache hit per
+    /// restore" note in hst.rs pins (`probs_fresh` rides the snapshot,
+    /// so restoring neither grants nor steals a leaf-cache refresh).
+    #[test]
+    fn snapshot_round_trip_preserves_flattened_caches(
+        n in 2usize..64,
+        seed in 0u64..500,
+        warm in 0usize..40,
+        cont in 1usize..40,
+    ) {
+        // Derived coin: exercise both freshness polarities of the
+        // exported `probs_fresh` flag across the sample space.
+        let read_dist = seed % 2 == 0;
+        let mut original = HstHedge::new(n, n / 2, seed);
+        for t in 0..warm {
+            original.serve_hit((t * 7 + 3) % n);
+        }
+        if read_dist {
+            // Freshen the leaf-distribution cache so both freshness
+            // polarities of the exported `probs_fresh` flag are hit.
+            let _ = original.leaf_distribution();
+        }
+        let snapshot = original.export_state().expect("hedge exports state");
+        let mut restored = HstHedge::new(n, n / 2, seed.wrapping_add(1));
+        restored.restore_state(&snapshot).expect("restore");
+        prop_assert_eq!(restored.state(), original.state());
+
+        let before_original = original.work_counters();
+        let before_restored = restored.work_counters();
+        for t in 0..cont {
+            let hit = (t * 5 + 1) % n;
+            prop_assert_eq!(original.serve_hit(hit), restored.serve_hit(hit));
+            prop_assert_eq!(original.state(), restored.state());
+        }
+        let da = original.work_counters().diff(&before_original);
+        let db = restored.work_counters().diff(&before_restored);
+        prop_assert_eq!(da, db, "continuation must cost both twins the same work");
+
+        let a = original.leaf_distribution();
+        let b = restored.leaf_distribution();
+        for i in 0..n {
+            prop_assert_eq!(
+                a.prob(i).to_bits(),
+                b.prob(i).to_bits(),
+                "leaf {} diverged after round-trip", i
+            );
         }
     }
 }

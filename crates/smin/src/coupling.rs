@@ -126,6 +126,22 @@ impl QuantileCoupling {
         d
     }
 
+    /// Follows the coupling to a state the *caller* already realized
+    /// from its own representation of the distribution — e.g. a
+    /// hierarchical policy descending its tree with one quantile step
+    /// per level instead of materializing the full leaf distribution.
+    /// Same bookkeeping as [`Self::follow_probs`] (one follow
+    /// operation, movement accrued), minus the linear scan; the caller
+    /// is responsible for `next` being `F⁻¹(u)` of its distribution.
+    /// Returns the line distance moved.
+    pub fn follow_to(&mut self, next: usize) -> u64 {
+        self.follows += 1;
+        let d = self.state.abs_diff(next) as u64;
+        self.moved += d;
+        self.state = next;
+        d
+    }
+
     /// Draws a fresh uniform `u` and re-realizes the state from `dist`,
     /// returning the line distance moved. Used at interval growth, where
     /// the paper pays up to `|I'|` to choose a new edge.
@@ -255,6 +271,20 @@ mod tests {
         // The persistence triple does not carry the counter.
         let restored = QuantileCoupling::from_parts(c.u(), c.state(), c.distance_moved());
         assert_eq!(restored.follows(), 0);
+    }
+
+    #[test]
+    fn follow_to_matches_follow_probs_bookkeeping() {
+        let probs = [0.25, 0.25, 0.25, 0.25];
+        let mut via_scan = QuantileCoupling::with_u(&Distribution::point(0, 4), 0.6);
+        let mut via_caller = QuantileCoupling::with_u(&Distribution::point(0, 4), 0.6);
+        let next = Distribution::quantile_of(&probs, 0.6);
+        let a = via_scan.follow_probs(&probs);
+        let b = via_caller.follow_to(next);
+        assert_eq!(a, b);
+        assert_eq!(via_scan.state(), via_caller.state());
+        assert_eq!(via_scan.distance_moved(), via_caller.distance_moved());
+        assert_eq!(via_scan.follows(), via_caller.follows());
     }
 
     #[test]
