@@ -7,12 +7,19 @@
 //! * [`ComponentSweep`] — a deterministic component-growing
 //!   repartitioner inspired by the connectivity-based algorithms of
 //!   Avin et al. (DISC 2016) and Forner et al. (APOCS 2021).
+//! * [`BisectionSwap`] / [`LearningCollocator`] — algorithms for the
+//!   related-work cost-model families (online bisection with ring
+//!   demands, Basiak et al.; the generalized learning model, Räcke,
+//!   Schmid & Zabrodin 2024) charged via
+//!   [`rdbp_model::FamilyCostObserver`].
 //! * [`mod@line`] — deterministic hitting-game strategies (stay-put,
 //!   flee-to-minimum, work-function) used as the Ω(k) lower-bound
 //!   victims in experiment F2.
 
+mod families;
 pub mod line;
 mod ring;
 
+pub use families::{learning_weights, BisectionSwap, LearningCollocator};
 pub use line::{FleeToMin, LineStrategy, StayPut, WorkFunctionLine};
 pub use ring::{ComponentSweep, GreedySwap, NeverMove};

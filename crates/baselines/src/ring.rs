@@ -5,7 +5,10 @@ use serde::{DeError, Deserialize, Serialize, Value};
 use rdbp_model::{Edge, OnlineAlgorithm, Placement, Process, RingInstance};
 
 /// Parses a snapshot's placement and checks it belongs to `instance`.
-fn placement_field(state: &Value, instance: &RingInstance) -> Result<Placement, DeError> {
+pub(crate) fn placement_field(
+    state: &Value,
+    instance: &RingInstance,
+) -> Result<Placement, DeError> {
     let placement = Placement::from_value(state.get_field("placement")?)?;
     if placement.instance() != instance {
         return Err(DeError(format!(

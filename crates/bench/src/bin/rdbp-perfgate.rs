@@ -2,7 +2,7 @@
 //! regressions.
 //!
 //! ```text
-//! rdbp-perfgate run [--out FILE] [--suite main] [--repeats N]
+//! rdbp-perfgate run [--out FILE] [--suite main] [--repeats N] [--strip-wall]
 //! rdbp-perfgate compare BASE.json NEW.json [--tolerance PCT]
 //! ```
 //!
@@ -11,6 +11,11 @@
 //! and exits nonzero when any deterministic work counter drifted beyond
 //! tolerance (default: exact). Wall-clock differences are printed but
 //! never gate — see DESIGN.md §10 for the contract.
+//!
+//! `--strip-wall` zeroes the report-only wall-clock/throughput fields
+//! before writing, making the report a pure function of the pinned
+//! suite: two `run --strip-wall` invocations must produce byte-identical
+//! JSON (CI's perf-gate reproducibility leg diffs them with `cmp`).
 
 use std::path::{Path, PathBuf};
 use std::process::exit;
@@ -24,8 +29,9 @@ fn usage() -> ! {
     eprintln!(
         "rdbp-perfgate — deterministic perf gate over the pinned bench suite\n\n\
          USAGE:\n\
-         \x20 rdbp-perfgate run [--out FILE] [--suite main] [--repeats N]\n\
-         \x20     run the suite; write BENCH_<suite>.json (default under bench_results/)\n\
+         \x20 rdbp-perfgate run [--out FILE] [--suite main] [--repeats N] [--strip-wall]\n\
+         \x20     run the suite; write BENCH_<suite>.json (default under bench_results/);\n\
+         \x20     --strip-wall zeroes wall-clock fields for byte-exact reproducibility\n\
          \x20 rdbp-perfgate compare BASE.json NEW.json [--tolerance PCT]\n\
          \x20     diff two reports; exit 1 if any counter drifts beyond PCT (default 0)\n"
     );
@@ -48,6 +54,18 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
     Some(value)
 }
 
+/// Pulls a valueless `--flag` out of `args`, returning whether it was
+/// present.
+fn take_bool_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(pos) => {
+            args.remove(pos);
+            true
+        }
+        None => false,
+    }
+}
+
 fn cmd_run(mut args: Vec<String>) {
     let suite = take_flag(&mut args, "--suite").unwrap_or_else(|| MAIN_SUITE.to_string());
     let repeats: u32 = take_flag(&mut args, "--repeats")
@@ -56,6 +74,7 @@ fn cmd_run(mut args: Vec<String>) {
     let out: PathBuf = take_flag(&mut args, "--out")
         .map(PathBuf::from)
         .unwrap_or_else(|| results_dir().join(format!("BENCH_{suite}.json")));
+    let strip_wall = take_bool_flag(&mut args, "--strip-wall");
     if !args.is_empty() {
         fail(format!("unexpected arguments: {args:?}"));
     }
@@ -63,7 +82,16 @@ fn cmd_run(mut args: Vec<String>) {
         fail(format!("unknown suite `{suite}` (valid: {MAIN_SUITE})"));
     }
 
-    let report = run_suite(&suite, repeats);
+    let mut report = run_suite(&suite, repeats);
+    if strip_wall {
+        // Wall-clock and throughput are the only nondeterministic
+        // fields of a report; with them zeroed the JSON is a pure
+        // function of the pinned suite and can be diffed byte-for-byte.
+        for case in &mut report.cases {
+            case.wall_ns = 0;
+            case.throughput = 0.0;
+        }
+    }
     let mut table = Table::new(
         &format!("perf-gate suite `{suite}` ({repeats} repeats, min wall-clock)"),
         &[

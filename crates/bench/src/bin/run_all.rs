@@ -1,4 +1,4 @@
-//! Runs the complete experiment suite (F1–F7, T1–T4, S2, S4–S7,
+//! Runs the complete experiment suite (F1–F7, T1–T4, S2, S4–S8,
 //! A1–A3) in sequence, as recorded in EXPERIMENTS.md. Set
 //! `RDBP_FULL=1` for publication-size sweeps (the nightly CI
 //! `full-sweep` job does).
@@ -19,6 +19,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp_shift_ablation",
     "exp_strictness",
     "exp_ratio_sweep",
+    "exp_adversary_search",
     "exp_throughput",
     "exp_serve_throughput",
     "exp_arena_throughput",

@@ -324,6 +324,54 @@ mod tests {
     }
 
     #[test]
+    fn missing_case_fails_the_gate() {
+        // A case present in the baseline but absent from the new report
+        // must gate — silently dropping a case would let its
+        // regressions through unseen.
+        let mut base = report(7, 1);
+        base.cases.push(CaseResult {
+            id: "case-b".into(),
+            steps: 50,
+            counters: WorkCounters::default(),
+            wall_ns: 1,
+            throughput: 1.0,
+        });
+        let new = report(7, 1);
+        let cmp = compare(&base, &new, &GateConfig::default());
+        assert!(!cmp.passed(), "a vanished case must fail the gate");
+        assert_eq!(cmp.problems.len(), 1);
+        assert!(
+            cmp.problems[0].contains("case `case-b` missing from the new report"),
+            "problem names the vanished case: {:?}",
+            cmp.problems
+        );
+    }
+
+    #[test]
+    fn extra_case_fails_the_gate() {
+        // The reverse direction gates too: a case in the new report
+        // with no committed baseline entry means the baseline is stale
+        // and must be regenerated in the same change.
+        let base = report(7, 1);
+        let mut new = report(7, 1);
+        new.cases.push(CaseResult {
+            id: "case-new".into(),
+            steps: 50,
+            counters: WorkCounters::default(),
+            wall_ns: 1,
+            throughput: 1.0,
+        });
+        let cmp = compare(&base, &new, &GateConfig::default());
+        assert!(!cmp.passed(), "an unbaselined case must fail the gate");
+        assert_eq!(cmp.problems.len(), 1);
+        assert!(
+            cmp.problems[0].contains("case `case-new` is not in the baseline"),
+            "problem names the unbaselined case: {:?}",
+            cmp.problems
+        );
+    }
+
+    #[test]
     fn structural_mismatches_are_problems() {
         let base = report(7, 1);
         let mut other = report(7, 1);

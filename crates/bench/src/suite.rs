@@ -216,7 +216,9 @@ impl Deserialize for BenchReport {
     }
 }
 
-/// The pinned `main` suite: ~8 cases spanning the registries. Case ids,
+/// The pinned `main` suite: ~10 cases spanning the registries
+/// (including the `bisection` and `learning` family algorithms against
+/// the S8 adversary workloads). Case ids,
 /// scenarios, seeds, step counts and batch sizes are all frozen — any
 /// change here invalidates the committed `BENCH_main.json` baseline and
 /// requires regenerating it in the same commit.
@@ -293,6 +295,32 @@ pub fn pinned_cases() -> Vec<BenchCase> {
             None,
             "uniform",
             40_000,
+            1_000,
+            AuditSpec::Full,
+        ),
+        // The related-work cost-model families against the adversary
+        // workloads introduced with them (S8). Online bisection is a
+        // two-server model, so its case overrides the suite's default
+        // instance shape (same n, ℓ = 2).
+        {
+            let mut case = BenchCase::new(
+                "bisection-greedycut-b1000-full",
+                "bisection",
+                None,
+                "greedy-cut",
+                10_000,
+                1_000,
+                AuditSpec::Full,
+            );
+            case.scenario.instance = InstanceSpec::packed(2, 128);
+            case
+        },
+        BenchCase::new(
+            "learning-separation-b1000-full",
+            "learning",
+            None,
+            "separation",
+            10_000,
             1_000,
             AuditSpec::Full,
         ),
@@ -967,6 +995,12 @@ mod tests {
                     .iter()
                     .any(|c| c.scenario.algorithm.policy.as_deref() == Some(policy)),
                 "suite must cover dynamic×{policy}"
+            );
+        }
+        for family in ["bisection", "learning"] {
+            assert!(
+                cases.iter().any(|c| c.scenario.algorithm.name == family),
+                "suite must cover the {family} family algorithm"
             );
         }
         assert!(cases.iter().any(|c| c.batch == 1), "per-step case");

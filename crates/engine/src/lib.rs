@@ -41,15 +41,17 @@ pub mod exec;
 pub mod grid;
 pub mod registry;
 pub mod runner;
+pub mod search;
 pub mod spec;
 
 pub use exec::{mean, parallel_map, stddev};
 pub use grid::{summarize, GridRun, GridSummary, ScenarioGrid};
 pub use registry::{
-    parse_policy, AlgorithmBuilder, AlgorithmRegistry, BuiltAlgorithm, OracleBuilder,
-    OracleRegistry, Registries, WorkloadBuilder, WorkloadRegistry,
+    parse_policy, AdversaryBuilder, AdversaryRegistry, AlgorithmBuilder, AlgorithmRegistry,
+    BuiltAlgorithm, OracleBuilder, OracleRegistry, Registries, WorkloadBuilder, WorkloadRegistry,
 };
 pub use runner::{workload_seed, PreparedScenario};
+pub use search::{adversary_search, SearchConfig, SearchOutcome};
 pub use spec::{
     AlgorithmSpec, AuditSpec, InstanceSpec, OracleSpec, Scenario, SpecError, WorkloadSpec,
 };

@@ -12,9 +12,14 @@
 
 use std::collections::BTreeMap;
 
-use rdbp_baselines::{ComponentSweep, GreedySwap, NeverMove};
+use rdbp_baselines::{
+    learning_weights, BisectionSwap, ComponentSweep, GreedySwap, LearningCollocator, NeverMove,
+};
 use rdbp_core::{DynamicConfig, DynamicPartitioner, StaticConfig, StaticPartitioner};
-use rdbp_model::{workload, OnlineAlgorithm, RingInstance, Workload};
+use rdbp_model::{
+    workload, AdaptiveAdversary, AdversaryWorkload, GreedyCutMaximizer, OnlineAlgorithm,
+    RingInstance, SeparationChaser, Workload,
+};
 use rdbp_mts::PolicyKind;
 use rdbp_offline::{ExactDynamicOracle, IntervalOracle, OfflineOracle};
 use rdbp_ringload::RingloadOracle;
@@ -79,8 +84,11 @@ impl AlgorithmRegistry {
     }
 
     /// The registry of built-in algorithms: `dynamic` (Theorem 2.1),
-    /// `static` (Theorem 2.2), and the `greedy` / `component` /
-    /// `never-move` baselines.
+    /// `static` (Theorem 2.2), the `greedy` / `component` /
+    /// `never-move` baselines, and the related-work family algorithms
+    /// `bisection` (online bisection with ring demands, `ℓ = 2` only)
+    /// and `learning` (the generalized learning model's rent-or-buy
+    /// collocator).
     #[must_use]
     pub fn builtin() -> Self {
         let mut reg = Self::empty();
@@ -131,6 +139,31 @@ impl AlgorithmRegistry {
         reg.register("never-move", |inst, _spec, _seed| {
             Ok(BuiltAlgorithm {
                 algorithm: Box::new(NeverMove::new(inst)),
+                load_bound: inst.capacity(),
+            })
+        });
+        reg.register("bisection", |inst, _spec, _seed| {
+            if inst.servers() != 2 {
+                return Err(SpecError(format!(
+                    "algorithm `bisection` requires exactly 2 servers (online \
+                     bisection is ℓ = 2 by definition), got ℓ = {}",
+                    inst.servers()
+                )));
+            }
+            let alg = BisectionSwap::new(inst);
+            let load_bound = alg.load_bound();
+            Ok(BuiltAlgorithm {
+                algorithm: Box::new(alg),
+                load_bound,
+            })
+        });
+        reg.register("learning", |inst, _spec, seed| {
+            // The canonical deterministic weight table — experiments
+            // charging CostModel::learning use the same generator with
+            // the same seed so algorithm and accounting agree on w(e).
+            let alg = LearningCollocator::new(inst, learning_weights(inst.n(), seed));
+            Ok(BuiltAlgorithm {
+                algorithm: Box::new(alg),
                 load_bound: inst.capacity(),
             })
         });
@@ -193,7 +226,9 @@ impl WorkloadRegistry {
     /// The registry of built-in workloads: `uniform`, `zipf`,
     /// `sliding`(-window), `allreduce`/`sequential`, `bursty`,
     /// `random-walk`, `hotspot`/`rotating-hotspot` and the adaptive
-    /// `chaser`/`cut-chaser` adversary.
+    /// adversaries `chaser`/`cut-chaser`, `greedy-cut` and
+    /// `separation`(-chaser) — every [`AdversaryRegistry`] strategy is
+    /// mirrored here so scenarios can name adversaries directly.
     #[must_use]
     pub fn builtin() -> Self {
         let mut reg = Self::empty();
@@ -253,6 +288,13 @@ impl WorkloadRegistry {
         let chaser: WorkloadBuilder =
             Box::new(|_inst, _spec, _seed| Ok(Box::new(workload::CutChaser::new()) as _));
         reg.register_alias(["chaser", "cut-chaser"], chaser);
+        reg.register("greedy-cut", |_inst, _spec, _seed| {
+            Ok(Box::new(AdversaryWorkload::new(GreedyCutMaximizer::new())) as _)
+        });
+        let separation: WorkloadBuilder = Box::new(|_inst, _spec, _seed| {
+            Ok(Box::new(AdversaryWorkload::new(SeparationChaser::new())) as _)
+        });
+        reg.register_alias(["separation", "separation-chaser"], separation);
         reg
     }
 
@@ -303,6 +345,113 @@ impl WorkloadRegistry {
             )
         })?;
         builder(instance, spec, seed)
+    }
+}
+
+/// Constructor signature for registered adaptive adversaries.
+pub type AdversaryBuilder =
+    Box<dyn Fn(&RingInstance, u64) -> Result<Box<dyn AdaptiveAdversary>, SpecError> + Send + Sync>;
+
+/// Registry of adaptive adversary strategies
+/// ([`rdbp_model::AdaptiveAdversary`]), keyed by name — the
+/// construction path behind the adversary-search harness
+/// ([`crate::search`]) and `rdbp-sim --adversary`.
+///
+/// Every built-in strategy is also mirrored into the
+/// [`WorkloadRegistry`] (wrapped in
+/// [`rdbp_model::AdversaryWorkload`]), so a scenario can name an
+/// adversary as its workload; this registry exists for callers that
+/// need the strategy *as* an adversary — observing placements directly
+/// inside a search rollout rather than through the driver's workload
+/// plumbing.
+pub struct AdversaryRegistry {
+    entries: BTreeMap<String, AdversaryBuilder>,
+}
+
+impl AdversaryRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// The registry of built-in strategies: `chaser`/`cut-chaser`
+    /// (rotate over cut edges), `greedy-cut` (hit the cut edge on the
+    /// most loaded server) and `separation`/`separation-chaser` (hit
+    /// the most recently collocated cut pair).
+    #[must_use]
+    pub fn builtin() -> Self {
+        let mut reg = Self::empty();
+        let chaser: AdversaryBuilder = Box::new(|_inst, _seed| {
+            Ok(Box::new(workload::CutChaser::new()) as Box<dyn AdaptiveAdversary>)
+        });
+        reg.register_alias(["chaser", "cut-chaser"], chaser);
+        reg.register("greedy-cut", |_inst, _seed| {
+            Ok(Box::new(GreedyCutMaximizer::new()) as _)
+        });
+        let separation: AdversaryBuilder =
+            Box::new(|_inst, _seed| Ok(Box::new(SeparationChaser::new()) as _));
+        reg.register_alias(["separation", "separation-chaser"], separation);
+        reg
+    }
+
+    /// Registers (or replaces) a strategy under `name`.
+    pub fn register<F>(&mut self, name: impl Into<String>, builder: F)
+    where
+        F: Fn(&RingInstance, u64) -> Result<Box<dyn AdaptiveAdversary>, SpecError>
+            + Send
+            + Sync
+            + 'static,
+    {
+        self.entries.insert(name.into(), Box::new(builder));
+    }
+
+    /// Registers one boxed builder under several keys.
+    fn register_alias<const N: usize>(&mut self, names: [&str; N], builder: AdversaryBuilder) {
+        let shared = std::sync::Arc::new(builder);
+        for name in names {
+            let b = std::sync::Arc::clone(&shared);
+            self.entries
+                .insert(name.to_string(), Box::new(move |inst, seed| b(inst, seed)));
+        }
+    }
+
+    /// The registered keys, sorted (aliases included).
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
+
+    /// The canonical (alias-free) strategy keys a search sweeps by
+    /// default: every registered key whose builder is not an alias of
+    /// an earlier key, i.e. the sorted key list with `chaser` and
+    /// `separation-chaser` folded into their canonical spellings.
+    #[must_use]
+    pub fn canonical_keys(&self) -> Vec<String> {
+        self.entries
+            .keys()
+            .filter(|k| !matches!(k.as_str(), "chaser" | "separation-chaser"))
+            .cloned()
+            .collect()
+    }
+
+    /// Resolves `name` into a live strategy for `instance`.
+    ///
+    /// # Errors
+    /// Returns a [`SpecError`] for unknown keys (listing the valid
+    /// ones).
+    pub fn resolve(
+        &self,
+        name: &str,
+        instance: &RingInstance,
+        seed: u64,
+    ) -> Result<Box<dyn AdaptiveAdversary>, SpecError> {
+        let builder = self
+            .entries
+            .get(name)
+            .ok_or_else(|| unknown_key("adversary", name, self.entries.keys().map(Clone::clone)))?;
+        builder(instance, seed)
     }
 }
 
@@ -387,7 +536,7 @@ impl OracleRegistry {
     }
 }
 
-/// All three registries bundled — what [`crate::Scenario::run_with`]
+/// All four registries bundled — what [`crate::Scenario::run_with`]
 /// and the grid executor take.
 pub struct Registries {
     /// Algorithm constructors.
@@ -396,6 +545,9 @@ pub struct Registries {
     pub workloads: WorkloadRegistry,
     /// Offline-oracle constructors.
     pub oracles: OracleRegistry,
+    /// Adaptive-adversary constructors (the search harness's strategy
+    /// pool).
+    pub adversaries: AdversaryRegistry,
 }
 
 impl Registries {
@@ -406,6 +558,7 @@ impl Registries {
             algorithms: AlgorithmRegistry::builtin(),
             workloads: WorkloadRegistry::builtin(),
             oracles: OracleRegistry::builtin(),
+            adversaries: AdversaryRegistry::builtin(),
         }
     }
 }
@@ -490,6 +643,64 @@ mod tests {
             ..OracleSpec::named("interval")
         };
         assert!(reg.resolve(&spec, &inst).is_err());
+    }
+
+    #[test]
+    fn unknown_adversary_lists_valid_keys() {
+        let reg = AdversaryRegistry::builtin();
+        let inst = InstanceSpec::packed(4, 8).build().unwrap();
+        let err = reg
+            .resolve("oracle-of-delphi", &inst, 0)
+            .err()
+            .expect("must fail");
+        assert!(
+            err.0.contains("unknown adversary `oracle-of-delphi`"),
+            "{err}"
+        );
+        assert!(err.0.contains("cut-chaser"), "{err}");
+        assert!(err.0.contains("greedy-cut"), "{err}");
+        assert!(err.0.contains("separation"), "{err}");
+    }
+
+    #[test]
+    fn builtin_adversaries_resolve_and_are_mirrored_as_workloads() {
+        let reg = Registries::builtin();
+        let inst = InstanceSpec::packed(4, 8).build().unwrap();
+        for key in ["cut-chaser", "greedy-cut", "separation"] {
+            let adv = reg.adversaries.resolve(key, &inst, 0).unwrap();
+            assert_eq!(adv.name(), key);
+            let w = reg
+                .workloads
+                .resolve(&WorkloadSpec::named(key), &inst, 0)
+                .unwrap();
+            assert!(w.is_adaptive(), "{key} must be adaptive as a workload");
+            assert_eq!(w.name(), key);
+        }
+        assert_eq!(
+            AdversaryRegistry::builtin().canonical_keys(),
+            vec!["cut-chaser", "greedy-cut", "separation"]
+        );
+    }
+
+    #[test]
+    fn family_algorithms_resolve_with_their_constraints() {
+        let reg = AlgorithmRegistry::builtin();
+        let two = InstanceSpec::packed(2, 8).build().unwrap();
+        let four = InstanceSpec::packed(4, 8).build().unwrap();
+        let built = reg
+            .resolve(&AlgorithmSpec::named("bisection"), &two, 0)
+            .unwrap();
+        assert_eq!(built.algorithm.name(), "bisection");
+        assert_eq!(built.load_bound, 8, "bisection keeps exact balance");
+        let err = reg
+            .resolve(&AlgorithmSpec::named("bisection"), &four, 0)
+            .err()
+            .expect("bisection must reject ℓ != 2");
+        assert!(err.0.contains("exactly 2 servers"), "{err}");
+        let built = reg
+            .resolve(&AlgorithmSpec::named("learning"), &four, 7)
+            .unwrap();
+        assert_eq!(built.algorithm.name(), "learning");
     }
 
     #[test]

@@ -22,12 +22,21 @@
 //!   paper's introduction motivates, plus Zipf, sliding windows, bursts,
 //!   rotating hotspots, random walks, and *adaptive adversaries* (the
 //!   cut-chaser used in the Ω(k) lower-bound experiments).
+//! * [`adversary`] — the [`AdaptiveAdversary`] trait (observe the
+//!   placement, pick the next request) with the chaser, greedy
+//!   cut-maximizer and separation-chaser strategies behind the
+//!   adversary-search harness.
+//! * [`family`] — related-work cost-model families (online bisection
+//!   with ring demands; the generalized learning model) charged by
+//!   reweighting driver events, no algorithm changes required.
 //! * [`trace`] — (de)serialization of recorded request traces.
 //! * [`WorkCounters`] — the always-on deterministic work-counter ledger
 //!   (requests, migrations, audited steps, …) the perf gate diffs
 //!   instead of noisy wall-clock.
 
+pub mod adversary;
 mod counters;
+pub mod family;
 mod instance;
 mod ledger;
 pub mod observers;
@@ -37,7 +46,9 @@ mod sim;
 pub mod trace;
 pub mod workload;
 
+pub use adversary::{AdaptiveAdversary, AdversaryWorkload, GreedyCutMaximizer, SeparationChaser};
 pub use counters::{WorkCounters, NUM_WORK_METRICS};
+pub use family::{CostModel, FamilyCostObserver};
 pub use instance::{Edge, Process, RingInstance, Segment, Server};
 pub use ledger::CostLedger;
 pub use placement::{JournalIter, MigrationJournal, MigrationRecord, Placement};

@@ -76,8 +76,8 @@ pub trait Workload {
 }
 
 /// Shorthand for the `{field: value}` objects the workload snapshots
-/// are built from.
-fn obj(pairs: Vec<(&str, Value)>) -> Value {
+/// are built from (shared with [`crate::adversary`]).
+pub(crate) fn obj(pairs: Vec<(&str, Value)>) -> Value {
     Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
 }
 

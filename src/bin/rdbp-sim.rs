@@ -58,6 +58,7 @@ impl Args {
                     | "ratio"
                     | "list-algorithms"
                     | "list-workloads"
+                    | "list-adversaries"
             ) {
                 map.insert(name.to_string(), "true".to_string());
                 continue;
@@ -117,11 +118,21 @@ fn print_help() {
          --counters       also print the deterministic work counters\n\
          \x20                (the perf-gate metrics; with --json, wraps the output\n\
          \x20                as {{\"report\": …, \"counters\": …}})\n\
+         --adversary A    drive the run with an adaptive adversary\n\
+         \x20                (chaser|cut-chaser|greedy-cut|separation; overrides\n\
+         \x20                --workload); with --search-budget, restricts the\n\
+         \x20                search to that one strategy\n\
+         --search-budget N  run the adversary search (DESIGN.md §15) instead\n\
+         \x20                of a single run: N rollout evaluations maximizing\n\
+         \x20                cost / oracle-LB over request schedules; reports\n\
+         \x20                the worst schedule found (uses --opt-oracle as the\n\
+         \x20                denominator; with --json adds a \"search\" object)\n\
          --save-scenario F  write the effective scenario spec as JSON\n\
          --save-trace F   write the request trace as JSON\n\
          --load-trace F   replay a JSON trace (ignores --workload/--steps)\n\
          --list-algorithms  print the registered algorithm keys and exit\n\
-         --list-workloads   print the registered workload keys and exit"
+         --list-workloads   print the registered workload keys and exit\n\
+         --list-adversaries print the registered adversary keys and exit"
     );
 }
 
@@ -156,7 +167,8 @@ fn main() {
 
     // Key listings come straight from the registries — the same lists
     // the unknown-key errors cite, so they can never drift apart.
-    if args.flag("list-algorithms") || args.flag("list-workloads") {
+    if args.flag("list-algorithms") || args.flag("list-workloads") || args.flag("list-adversaries")
+    {
         let registries = Registries::builtin();
         if args.flag("list-algorithms") {
             for key in registries.algorithms.keys() {
@@ -165,6 +177,11 @@ fn main() {
         }
         if args.flag("list-workloads") {
             for key in registries.workloads.keys() {
+                println!("{key}");
+            }
+        }
+        if args.flag("list-adversaries") {
+            for key in registries.adversaries.keys() {
                 println!("{key}");
             }
         }
@@ -179,6 +196,86 @@ fn main() {
     // --audit upgrades a loaded scenario too.
     if args.flag("audit") && scenario.audit == AuditSpec::None {
         scenario.audit = AuditSpec::Full;
+    }
+
+    // --adversary drives the run with an adaptive strategy. Every
+    // adversary key is mirrored as a workload key, so outside of search
+    // mode this is just spelling for the workload — validated against
+    // the adversary registry so typos cite the right key list.
+    if let Some(key) = args.0.get("adversary") {
+        let registries = Registries::builtin();
+        if !registries.adversaries.keys().any(|k| k == key) {
+            let valid: Vec<&str> = registries.adversaries.keys().collect();
+            fail(format!(
+                "unknown adversary `{key}` (valid: {})",
+                valid.join(", ")
+            ));
+        }
+        scenario.workload = WorkloadSpec::named(key.clone());
+    }
+
+    // --search-budget switches to adversary-search mode: instead of one
+    // run, spend N rollouts searching for the schedule that maximizes
+    // the algorithm's cost / certified-LB ratio (DESIGN.md §15).
+    if let Some(raw) = args.0.get("search-budget") {
+        let budget: u64 = raw
+            .parse()
+            .unwrap_or_else(|_| fail(format!("invalid value `{raw}` for --search-budget")));
+        for incompatible in ["opt", "batch", "save-trace", "load-trace"] {
+            if args.0.contains_key(incompatible) {
+                fail(format!(
+                    "--search-budget runs a schedule search, not a single serve, \
+                     and cannot be combined with --{incompatible}"
+                ));
+            }
+        }
+        let registries = Registries::builtin();
+        let inst = scenario.instance.build().unwrap_or_else(|e| fail(e));
+        let mut config = SearchConfig::new(scenario.algorithm.clone(), scenario.steps);
+        config.budget = budget;
+        config.seed = scenario.seed;
+        config.oracle = OracleSpec::named(args.str("opt-oracle", "ringload"));
+        if let Some(key) = args.0.get("adversary") {
+            config.adversaries = vec![key.clone()];
+        }
+        let outcome = adversary_search(&inst, &config, &registries).unwrap_or_else(|e| fail(e));
+        if args.flag("json") {
+            let search = Value::Obj(vec![
+                ("adversary".into(), outcome.best_adversary.to_value()),
+                ("cost".into(), outcome.best_cost.to_value()),
+                ("lower_bound".into(), outcome.best_lower_bound.to_value()),
+                ("ratio".into(), outcome.best_ratio.to_value()),
+                ("evaluations".into(), outcome.evaluations.to_value()),
+                ("restarts".into(), outcome.restarts.to_value()),
+                ("trace_len".into(), (outcome.trace.len() as u64).to_value()),
+            ]);
+            let text =
+                serde_json::to_string(&JsonValue(Value::Obj(vec![("search".into(), search)])))
+                    .unwrap_or_else(|e| fail(format!("cannot serialize search outcome: {e}")));
+            println!("{text}");
+        } else {
+            println!(
+                "instance: n={} ℓ={} k={} | algorithm={} | search budget {} (seed {})",
+                inst.n(),
+                inst.servers(),
+                inst.capacity(),
+                scenario.algorithm.name,
+                budget,
+                scenario.seed
+            );
+            println!(
+                "worst schedule: adversary={} cost={} LB={:.1} → ratio {:.2} \
+                 ({} evaluations, {} restarts, {} requests)",
+                outcome.best_adversary,
+                outcome.best_cost,
+                outcome.best_lower_bound,
+                outcome.best_ratio,
+                outcome.evaluations,
+                outcome.restarts,
+                outcome.trace.len()
+            );
+        }
+        return;
     }
 
     if let Some(path) = args.0.get("save-scenario") {

@@ -30,13 +30,18 @@
 //!   classical `O(n²)` split/unsplit ring-loading solver
 //!   (demands-across-cuts, tight cuts, rounding) and the scalable
 //!   certified-bound oracle behind the S6 ratio sweep (DESIGN.md §13);
-//! * [`baselines`] — the straw men: never-move, greedy
-//!   swapping, component-growing deterministic repartitioners;
+//! * [`baselines`] — the straw men (never-move, greedy
+//!   swapping, component-growing deterministic repartitioners) and the
+//!   related-work family algorithms
+//!   ([`BisectionSwap`](rdbp_baselines::BisectionSwap),
+//!   [`LearningCollocator`](rdbp_baselines::LearningCollocator));
 //! * [`engine`] — the scenario engine: serializable
-//!   [`Scenario`](rdbp_engine::Scenario) specs, algorithm/workload
-//!   registries, the [`ScenarioGrid`](rdbp_engine::ScenarioGrid)
-//!   multi-run executor, and streaming
-//!   [`Observer`](rdbp_model::Observer) hooks (DESIGN.md §7);
+//!   [`Scenario`](rdbp_engine::Scenario) specs,
+//!   algorithm/workload/adversary registries, the
+//!   [`ScenarioGrid`](rdbp_engine::ScenarioGrid) multi-run executor,
+//!   streaming [`Observer`](rdbp_model::Observer) hooks (DESIGN.md §7),
+//!   and the [`adversary_search`](rdbp_engine::adversary_search)
+//!   harness for empirical competitive ratios (DESIGN.md §15);
 //! * [`serve`] — the serving subsystem: long-lived
 //!   concurrent partition [`Session`](rdbp_serve::Session)s with
 //!   snapshot/restore, the sharded
@@ -78,19 +83,23 @@ pub use rdbp_smin as smin;
 
 /// The commonly needed surface in one import.
 pub mod prelude {
-    pub use rdbp_baselines::{ComponentSweep, GreedySwap, NeverMove};
+    pub use rdbp_baselines::{
+        learning_weights, BisectionSwap, ComponentSweep, GreedySwap, LearningCollocator, NeverMove,
+    };
     pub use rdbp_core::staticmodel::HittingGame;
     pub use rdbp_core::{DynamicConfig, DynamicPartitioner, StaticConfig, StaticPartitioner};
     pub use rdbp_engine::{
-        summarize, AlgorithmRegistry, AlgorithmSpec, AuditSpec, InstanceSpec, OracleRegistry,
-        OracleSpec, Registries, Scenario, ScenarioGrid, SpecError, WorkloadRegistry, WorkloadSpec,
+        adversary_search, summarize, AdversaryRegistry, AlgorithmRegistry, AlgorithmSpec,
+        AuditSpec, InstanceSpec, OracleRegistry, OracleSpec, Registries, Scenario, ScenarioGrid,
+        SearchConfig, SearchOutcome, SpecError, WorkloadRegistry, WorkloadSpec,
     };
     pub use rdbp_model::observers;
     pub use rdbp_model::workload;
     pub use rdbp_model::{
-        run, run_batch, run_observed, run_trace, run_trace_observed, AuditLevel, BatchEvent,
-        CostLedger, Edge, MigrationRecord, Observer, OnlineAlgorithm, Placement, Process,
-        RingInstance, RunReport, Segment, Server, StepEvent,
+        run, run_batch, run_observed, run_trace, run_trace_observed, AdaptiveAdversary,
+        AdversaryWorkload, AuditLevel, BatchEvent, CostLedger, CostModel, Edge, FamilyCostObserver,
+        GreedyCutMaximizer, MigrationRecord, Observer, OnlineAlgorithm, Placement, Process,
+        RingInstance, RunReport, Segment, SeparationChaser, Server, StepEvent,
     };
     pub use rdbp_mts::PolicyKind;
     pub use rdbp_offline::{

@@ -39,16 +39,19 @@ fn scenario_json_round_trip() {
 fn every_builtin_algorithm_key_resolves() {
     let registries = Registries::builtin();
     let inst = RingInstance::packed(4, 8);
+    // `bisection` is ℓ = 2 by definition and rejects anything else.
+    let two = RingInstance::packed(2, 8);
     let keys: Vec<String> = registries
         .algorithms
         .keys()
         .map(ToString::to_string)
         .collect();
-    assert!(keys.len() >= 5, "expected the 5 built-ins, got {keys:?}");
+    assert!(keys.len() >= 7, "expected the 7 built-ins, got {keys:?}");
     for key in keys {
+        let inst = if key == "bisection" { &two } else { &inst };
         let built = registries
             .algorithms
-            .resolve(&AlgorithmSpec::named(&key), &inst, 1)
+            .resolve(&AlgorithmSpec::named(&key), inst, 1)
             .unwrap_or_else(|e| panic!("algorithm `{key}` failed to resolve: {e}"));
         assert!(built.load_bound >= inst.capacity(), "`{key}` bound below k");
         assert!(!built.algorithm.name().is_empty());
